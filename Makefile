@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-big examples doc clean outputs
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-big:
+	dune exec bench/main.exe -- --big
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/ticket_service.exe
+	dune exec examples/adversary_demo.exe
+	dune exec examples/quorum_failover.exe
+	dune exec examples/concurrent_batches.exe
+	dune exec examples/job_queue.exe
+
+doc:
+	dune build @doc
+
+# The artefacts EXPERIMENTS.md numbers were taken from.
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
