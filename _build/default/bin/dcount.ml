@@ -1,0 +1,409 @@
+(* dcount — command-line driver for the distributed-counting testbed.
+
+   Subcommands:
+     list        available counters and quorum systems
+     run         execute a schedule against one counter, print the report
+     compare     bottleneck comparison table across counters and sizes
+     adversary   run the lower-bound adversary against a counter
+     trace       print the process DAG of the first operations
+     quorum      load profile and probe complexity of a quorum system
+     bound       print n -> k of the Lower Bound Theorem *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions *)
+
+let counter_conv =
+  let parse s =
+    match Baselines.Registry.find s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown counter %S (try: %s)" s
+               (String.concat ", " (Baselines.Registry.names ()))))
+  in
+  let print ppf (module C : Counter.Counter_intf.S) =
+    Format.pp_print_string ppf C.name
+  in
+  Arg.conv (parse, print)
+
+let delay_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Sim.Delay.of_string s) in
+  Arg.conv (parse, Sim.Delay.pp)
+
+let counter_arg =
+  Arg.(
+    value
+    & opt counter_conv Baselines.Registry.retire_tree
+    & info [ "c"; "counter" ] ~docv:"NAME"
+        ~doc:"Counter implementation (see $(b,dcount list)).")
+
+let n_arg =
+  Arg.(
+    value & opt int 81
+    & info [ "n" ] ~docv:"N"
+        ~doc:
+          "Number of processors; rounded up to the nearest size the \
+           counter supports.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let delay_arg =
+  Arg.(
+    value
+    & opt (some delay_conv) None
+    & info [ "delay" ] ~docv:"MODEL"
+        ~doc:
+          "Delivery latency model: constant:D, uniform:LO,HI, exp:MEAN or \
+           jitter:BASE. Default constant:1.")
+
+let quorum_systems : (string * Quorum.Quorum_intf.system) list =
+  [
+    ("majority", (module Quorum.Majority));
+    ("grid", (module Quorum.Grid));
+    ("tree", (module Quorum.Tree_quorum));
+    ("crumbling-wall", (module Quorum.Crumbling_wall));
+    ("projective-plane", (module Quorum.Projective_plane));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let run () =
+    Format.printf "counters:@.";
+    List.iter
+      (fun (module C : Counter.Counter_intf.S) ->
+        Format.printf "  %-22s %s@." C.name C.describe)
+      Baselines.Registry.all;
+    Format.printf "@.quorum systems:@.";
+    List.iter
+      (fun (name, (module Q : Quorum.Quorum_intf.S)) ->
+        Format.printf "  %-22s %s@." name Q.describe)
+      quorum_systems
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available counters and quorum systems.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let schedule_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "each-once" ] -> Ok Counter.Schedule.Each_once
+    | [ "shuffled" ] -> Ok Counter.Schedule.Each_once_shuffled
+    | [ "round-robin"; ops ] -> (
+        match int_of_string_opt ops with
+        | Some ops -> Ok (Counter.Schedule.Round_robin ops)
+        | None -> Error (`Msg "round-robin:OPS needs an integer"))
+    | [ "random"; ops ] -> (
+        match int_of_string_opt ops with
+        | Some ops -> Ok (Counter.Schedule.Random ops)
+        | None -> Error (`Msg "random:OPS needs an integer"))
+    | [ "single"; p; ops ] -> (
+        match (int_of_string_opt p, int_of_string_opt ops) with
+        | Some p, Some ops -> Ok (Counter.Schedule.Single_origin (p, ops))
+        | _ -> Error (`Msg "single:P:OPS needs two integers"))
+    | _ ->
+        Error
+          (`Msg
+            "schedule is each-once | shuffled | round-robin:OPS | \
+             random:OPS | single:P:OPS")
+  in
+  Arg.conv (parse, Counter.Schedule.pp)
+
+let run_cmd =
+  let run counter n seed delay schedule debug =
+    if debug then begin
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    let r = Counter.Driver.run ~seed ?delay counter ~n ~schedule in
+    Format.printf "%a@." Counter.Driver.pp_report r;
+    if not r.Counter.Driver.correct then exit 1
+  in
+  let debug_arg =
+    Arg.(
+      value & flag
+      & info [ "debug" ]
+          ~doc:"Log every message delivery (src -> dst, tag, time).")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt schedule_conv Counter.Schedule.Each_once
+      & info [ "s"; "schedule" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Operation schedule: each-once, shuffled, round-robin:OPS, \
+             random:OPS or single:P:OPS.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a schedule against a counter and report loads.")
+    Term.(
+      const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ schedule_arg
+      $ debug_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let compare_cmd =
+  let run ns csv =
+    let t =
+      Analysis.Table.create
+        ~columns:
+          ("counter" :: List.map (fun n -> "n=" ^ string_of_int n) ns)
+    in
+    List.iter
+      (fun c ->
+        let cells =
+          List.map
+            (fun n ->
+              let r = Counter.Driver.run_each_once c ~n in
+              string_of_int r.Counter.Driver.bottleneck_load)
+            ns
+        in
+        let (module C : Counter.Counter_intf.S) = c in
+        Analysis.Table.add_row t (C.name :: cells))
+      Baselines.Registry.all;
+    match csv with
+    | None ->
+        Format.printf "bottleneck message load, each-processor-once:@.%a@."
+          Analysis.Table.pp t
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Analysis.Table.to_csv t);
+        close_out oc;
+        Format.printf "wrote %s@." path
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the table as CSV to FILE.")
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 81; 1024 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Network sizes to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Bottleneck comparison across all counters.")
+    Term.(const run $ ns_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* adversary *)
+
+let adversary_cmd =
+  let run counter n seed sample verbose =
+    let r = Core.Adversary.run ~seed ~sample counter ~n in
+    Format.printf "%a@." Core.Adversary.pp_result r;
+    if verbose then begin
+      Format.printf "@.weight trajectory:@.";
+      List.iter
+        (fun o -> Format.printf "  %a@." Core.Weights.pp_observation o)
+        r.Core.Adversary.q_observations
+    end;
+    if not r.Core.Adversary.bound_satisfied then exit 1
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "sample" ] ~docv:"S"
+          ~doc:"Candidates evaluated per adversary step (cost control).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the weight trajectory.")
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Run the Lower Bound Theorem's adversarial sequence.")
+    Term.(const run $ counter_arg $ n_arg $ seed_arg $ sample_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let run counter n seed ops lanes =
+    let (module C : Counter.Counter_intf.S) = counter in
+    let n = C.supported_n n in
+    let c = C.create ~seed ~n () in
+    for i = 1 to min ops n do
+      ignore (C.inc c ~origin:i)
+    done;
+    List.iter
+      (fun trace ->
+        if lanes then Format.printf "%a@." Sim.Trace.pp_lanes trace
+        else Format.printf "%a@." Sim.Trace.pp trace;
+        let dag = Sim.Dag.of_trace trace in
+        Format.printf "  list: %a@." Sim.Comm_list.pp
+          (Sim.Comm_list.of_trace trace);
+        Format.printf "  critical path: %d msgs; max parallelism: %d@.@."
+          (Sim.Dag.critical_path dag) (Sim.Dag.max_width dag))
+      (C.traces c)
+  in
+  let lanes_arg =
+    Arg.(
+      value & flag
+      & info [ "lanes" ] ~doc:"Render as a message-sequence chart.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "ops" ] ~docv:"OPS" ~doc:"How many operations to trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the process DAG (Fig. 1) and communication list (Fig. 2).")
+    Term.(const run $ counter_arg $ n_arg $ seed_arg $ ops_arg $ lanes_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot *)
+
+let dot_cmd =
+  let run counter n seed op output =
+    let (module C : Counter.Counter_intf.S) = counter in
+    let n = C.supported_n n in
+    let c = C.create ~seed ~n () in
+    for i = 1 to min (op + 1) n do
+      ignore (C.inc c ~origin:i)
+    done;
+    match List.nth_opt (C.traces c) op with
+    | None ->
+        Format.eprintf "no operation #%d was executed@." op;
+        exit 2
+    | Some trace -> (
+        let dot = Sim.Trace.to_dot trace in
+        match output with
+        | None -> print_string dot
+        | Some path ->
+            let oc = open_out path in
+            output_string oc dot;
+            close_out oc;
+            Format.printf "wrote %s (render with: dot -Tsvg %s -o fig1.svg)@."
+              path path)
+  in
+  let op_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "op" ] ~docv:"I" ~doc:"Which operation's process to render (0-based).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit the process DAG of an operation as Graphviz (Fig. 1).")
+    Term.(const run $ counter_arg $ n_arg $ seed_arg $ op_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* quorum *)
+
+let quorum_cmd =
+  let run name n fraction trials =
+    match List.assoc_opt name quorum_systems with
+    | None ->
+        Format.eprintf "unknown quorum system %S (try: %s)@." name
+          (String.concat ", " (List.map fst quorum_systems));
+        exit 2
+    | Some ((module Q : Quorum.Quorum_intf.S) as q) ->
+        let n = Q.supported_n n in
+        let profile = Quorum.Load.measure q ~n () in
+        Format.printf "%a@." Quorum.Load.pp_profile profile;
+        let mean, success =
+          Quorum.Probe.expected_probes q ~n ~fraction ~trials ~seed:42
+        in
+        Format.printf
+          "probe complexity at %.0f%% crash rate: %.1f probes/search, %.0f%% \
+           success (%d trials)@."
+          (100. *. fraction) mean (100. *. success) trials
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "grid"
+      & info [ "q"; "system" ] ~docv:"NAME" ~doc:"Quorum system name.")
+  in
+  let fraction_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "crash" ] ~docv:"F" ~doc:"Per-element crash probability.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials.")
+  in
+  Cmd.v
+    (Cmd.info "quorum" ~doc:"Analyse a quorum system's load and probes.")
+    Term.(const run $ name_arg $ n_arg $ fraction_arg $ trials_arg)
+
+(* ------------------------------------------------------------------ *)
+(* exhaustive *)
+
+let exhaustive_cmd =
+  let run counter n limit =
+    let limit = if limit <= 0 then None else Some limit in
+    let s = Core.Exhaustive.verify_counter ?limit counter ~n in
+    Format.printf "%a@." Core.Exhaustive.pp_stats s;
+    if
+      not
+        (s.Core.Exhaustive.all_correct && s.Core.Exhaustive.all_hotspot
+        && s.Core.Exhaustive.all_bound)
+    then exit 1
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"L"
+          ~doc:"Check only the first L orders (0 = all; required for n > 9).")
+  in
+  Cmd.v
+    (Cmd.info "exhaustive"
+       ~doc:
+         "Verify correctness, Hot Spot Lemma and the lower bound over           EVERY each-once operation order (n! executions; keep n small).")
+    Term.(const run $ counter_arg $ n_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bound *)
+
+let bound_cmd =
+  let run ns = Format.printf "%a@." Core.Lower_bound.pp_table ns in
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 81; 1024; 15625; 279936; 5764801 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Network sizes.")
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Print the Lower Bound Theorem's k for sizes n.")
+    Term.(const run $ ns_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "distributed counting testbed — Wattenhofer & Widmayer, PODC 1997"
+  in
+  let info = Cmd.info "dcount" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            compare_cmd;
+            adversary_cmd;
+            trace_cmd;
+            dot_cmd;
+            quorum_cmd;
+            exhaustive_cmd;
+            bound_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Array Baselines Core Counter Format List Printf

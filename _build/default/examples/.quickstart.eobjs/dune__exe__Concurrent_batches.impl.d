@@ -1,0 +1,1 @@
+examples/concurrent_batches.ml: Analysis Baselines Format Fun List Printf Sim

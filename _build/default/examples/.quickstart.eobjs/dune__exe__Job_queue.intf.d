@@ -1,0 +1,1 @@
+examples/job_queue.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Core Printf Sim

@@ -1,0 +1,1 @@
+examples/quorum_failover.ml: Analysis Format List Printf Quorum String

@@ -1,0 +1,1 @@
+examples/quorum_failover.mli:

@@ -1,0 +1,1 @@
+examples/ticket_service.ml: Analysis Array Baselines Counter Format List Printf

@@ -1,0 +1,49 @@
+(* Quickstart: build the paper's counter, increment from every processor,
+   and look at who did how much work.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* The construction is built for n = k * k^k processors; k = 3 gives
+     n = 81. [supported_n] rounds any requested size up to the grid. *)
+  let n = Core.Retire_counter.supported_n 50 in
+  Printf.printf "network size: %d processors (k = %d)\n" n
+    (Core.Lower_bound.k_of_n n);
+
+  let counter = Core.Retire_counter.create ~seed:1 ~n () in
+
+  (* Every processor increments once — the sequence the paper's lower
+     bound is stated for. [inc] returns the pre-increment value. *)
+  for p = 1 to n do
+    let v = Core.Retire_counter.inc counter ~origin:p in
+    assert (v = p - 1)
+  done;
+  Printf.printf "performed %d increments, final value %d\n" n
+    (Core.Retire_counter.value counter);
+
+  (* Message loads: the paper's m_p, straight from the simulator. *)
+  let metrics = Core.Retire_counter.metrics counter in
+  let bottleneck_proc, bottleneck_load = Sim.Metrics.bottleneck metrics in
+  Printf.printf "total messages: %d\n" (Sim.Metrics.total_messages metrics);
+  Printf.printf "bottleneck: processor %d with load %d  (theory: Theta(k) = Theta(%d))\n"
+    bottleneck_proc bottleneck_load
+    (Core.Lower_bound.k_of_n n);
+
+  (* The counter retires busy workers; that is where the flat load comes
+     from. *)
+  Printf.printf "retirements: %d total; root worker changed %d times\n"
+    (Core.Retire_counter.total_retirements counter)
+    (Core.Retire_counter.retirements_of_node counter Core.Tree.root);
+
+  (* Compare with the strawman: one processor holds the value. *)
+  let central = Baselines.Central.create ~n () in
+  for p = 1 to n do
+    ignore (Baselines.Central.inc central ~origin:p)
+  done;
+  let _, central_bottleneck =
+    Sim.Metrics.bottleneck (Baselines.Central.metrics central)
+  in
+  Printf.printf
+    "for contrast, the central counter's bottleneck at the same n: %d\n"
+    central_bottleneck

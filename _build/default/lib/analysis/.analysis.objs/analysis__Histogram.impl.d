@@ -1,0 +1,1 @@
+lib/analysis/histogram.ml: Array Format List String

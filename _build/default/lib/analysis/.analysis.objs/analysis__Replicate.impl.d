@@ -1,0 +1,1 @@
+lib/analysis/replicate.ml: Array Domain Float Format List

@@ -1,0 +1,1 @@
+lib/analysis/replicate.mli: Format

@@ -1,0 +1,1 @@
+lib/analysis/table.ml: Format List Printf String

@@ -1,0 +1,34 @@
+type t = { lo : int; width : int; counts : int array }
+
+let of_samples ?(buckets = 12) samples =
+  if Array.length samples = 0 then
+    invalid_arg "Histogram.of_samples: empty sample";
+  if buckets < 1 then invalid_arg "Histogram.of_samples: buckets < 1";
+  let lo = Array.fold_left min samples.(0) samples in
+  let hi = Array.fold_left max samples.(0) samples in
+  let width = max 1 (((hi - lo) / buckets) + 1) in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      let b = min (buckets - 1) ((x - lo) / width) in
+      counts.(b) <- counts.(b) + 1)
+    samples;
+  { lo; width; counts }
+
+let bucket_counts t =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let lo = t.lo + (i * t.width) in
+         (lo, lo + t.width - 1, c))
+       t.counts)
+
+let pp ?(bar_width = 40) ppf t =
+  let most = Array.fold_left max 1 t.counts in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (lo, hi, c) ->
+      let bar = c * bar_width / most in
+      Format.fprintf ppf "%6d-%-6d %6d %s@," lo hi c (String.make bar '#'))
+    (bucket_counts t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,12 @@
+(** Text histograms for load distributions (experiment E6). *)
+
+type t
+
+val of_samples : ?buckets:int -> int array -> t
+(** Equal-width bucketing over the sample range (default 12 buckets). *)
+
+val pp : ?bar_width:int -> Format.formatter -> t -> unit
+(** Renders one line per bucket: range, count, and a proportional bar. *)
+
+val bucket_counts : t -> (int * int * int) list
+(** [(lo, hi, count)] per bucket (inclusive bounds). *)

@@ -1,0 +1,1 @@
+lib/baselines/bitonic.ml: Array List

@@ -1,0 +1,1 @@
+lib/baselines/central.ml: List Sim

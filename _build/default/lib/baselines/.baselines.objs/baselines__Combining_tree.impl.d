@@ -1,0 +1,1 @@
+lib/baselines/combining_tree.ml: Array List Queue Sim

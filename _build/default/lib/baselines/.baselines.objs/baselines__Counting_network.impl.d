@@ -1,0 +1,1 @@
+lib/baselines/counting_network.ml: Array Bitonic Counter Hashtbl List Sim

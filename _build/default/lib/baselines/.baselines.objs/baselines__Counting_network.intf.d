@@ -1,0 +1,1 @@
+lib/baselines/counting_network.mli: Bitonic Counter Sim

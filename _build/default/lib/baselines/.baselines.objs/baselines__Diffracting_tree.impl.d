@@ -1,0 +1,1 @@
+lib/baselines/diffracting_tree.ml: Array Bitonic Counter Hashtbl List Sim

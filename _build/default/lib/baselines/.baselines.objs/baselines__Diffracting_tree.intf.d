@@ -1,0 +1,1 @@
+lib/baselines/diffracting_tree.mli: Counter Sim

@@ -1,0 +1,1 @@
+lib/baselines/periodic.ml: Array Bitonic List

@@ -1,0 +1,1 @@
+lib/baselines/periodic.mli: Bitonic

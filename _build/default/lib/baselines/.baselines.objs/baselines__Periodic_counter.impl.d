@@ -1,0 +1,1 @@
+lib/baselines/periodic_counter.ml: Counting_network Periodic

@@ -1,0 +1,1 @@
+lib/baselines/periodic_counter.mli: Counter Sim

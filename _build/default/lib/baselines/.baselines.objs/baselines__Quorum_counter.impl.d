@@ -1,0 +1,1 @@
+lib/baselines/quorum_counter.ml: Array List Quorum Sim

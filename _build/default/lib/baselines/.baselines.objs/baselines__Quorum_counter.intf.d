@@ -1,0 +1,1 @@
+lib/baselines/quorum_counter.mli: Counter Quorum

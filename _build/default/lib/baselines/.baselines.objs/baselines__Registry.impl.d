@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Central Combining_tree Core Counter Counting_network Diffracting_tree List Periodic_counter Quorum_counter Static_tree

@@ -1,0 +1,119 @@
+type link = To_balancer of int | To_output of int
+
+type balancer = { id : int; out_top : link; out_bot : link }
+
+type network = { width : int; entry : link array; balancers : balancer array }
+
+let is_power_of_two w = w >= 1 && w land (w - 1) = 0
+
+(* Builder with a growing balancer store. Networks are built back to
+   front: a sub-network is given the links its outputs feed, and returns
+   the links its inputs should be wired to. *)
+type builder = { mutable store : balancer list; mutable next_id : int }
+
+let alloc b ~out_top ~out_bot =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.store <- { id; out_top; out_bot } :: b.store;
+  id
+
+(* Merger[w]: merges two bitonic halves. [outputs] has length w. *)
+let rec merger b w outputs =
+  if w = 1 then outputs
+  else if w = 2 then begin
+    let id = alloc b ~out_top:outputs.(0) ~out_bot:outputs.(1) in
+    [| To_balancer id; To_balancer id |]
+  end
+  else begin
+    let k = w / 2 in
+    (* Final layer: balancer o feeds output wires 2o (top) and 2o+1
+       (bottom). *)
+    let final =
+      Array.init k (fun o ->
+          alloc b ~out_top:outputs.(2 * o) ~out_bot:outputs.((2 * o) + 1))
+    in
+    let half_out = Array.init k (fun o -> To_balancer final.(o)) in
+    let m_even = merger b k half_out in
+    let m_odd = merger b k half_out in
+    (* Input wire i < k (the first step sequence) goes to half[i mod 2];
+       input wire i >= k (the second sequence) goes to half[1 - (i mod 2)]
+       — AHS's even/odd split. In both cases the sub-merger wire is i/2,
+       which places the first sequence on the sub-merger's lower half and
+       the second sequence on its upper half, as the recursion requires. *)
+    Array.init w (fun i ->
+        if i < k then if i mod 2 = 0 then m_even.(i / 2) else m_odd.(i / 2)
+        else if i mod 2 = 0 then m_odd.(i / 2)
+        else m_even.(i / 2))
+  end
+
+let rec bitonic b w outputs =
+  if w <= 2 then merger b w outputs
+  else begin
+    let k = w / 2 in
+    let m_in = merger b w outputs in
+    let top_in = bitonic b k (Array.sub m_in 0 k) in
+    let bot_in = bitonic b k (Array.sub m_in k k) in
+    Array.append top_in bot_in
+  end
+
+let build ~width =
+  if not (is_power_of_two width) then
+    invalid_arg "Bitonic.build: width must be a power of two";
+  let b = { store = []; next_id = 0 } in
+  let outputs = Array.init width (fun i -> To_output i) in
+  let entry = bitonic b width outputs in
+  let balancers = Array.make b.next_id { id = 0; out_top = To_output 0; out_bot = To_output 0 } in
+  List.iter (fun bal -> balancers.(bal.id) <- bal) b.store;
+  { width; entry; balancers }
+
+let depth net =
+  (* Longest path from any entry link to an output, in balancers. The
+     graph is acyclic, so memoised depth-first search terminates. *)
+  let memo = Array.make (Array.length net.balancers) (-1) in
+  let rec dist = function
+    | To_output _ -> 0
+    | To_balancer id ->
+        if memo.(id) >= 0 then memo.(id)
+        else begin
+          let bal = net.balancers.(id) in
+          let d = 1 + max (dist bal.out_top) (dist bal.out_bot) in
+          memo.(id) <- d;
+          d
+        end
+  in
+  Array.fold_left (fun acc l -> max acc (dist l)) 0 net.entry
+
+type state = { toggles : bool array; counts : int array }
+
+let fresh_state net =
+  {
+    toggles = Array.make (Array.length net.balancers) true;
+    counts = Array.make net.width 0;
+  }
+
+let push net st ~wire =
+  if wire < 0 || wire >= net.width then invalid_arg "Bitonic.push: bad wire";
+  let rec go = function
+    | To_output o ->
+        st.counts.(o) <- st.counts.(o) + 1;
+        o
+    | To_balancer id ->
+        let bal = net.balancers.(id) in
+        let top = st.toggles.(id) in
+        st.toggles.(id) <- not top;
+        go (if top then bal.out_top else bal.out_bot)
+  in
+  go net.entry.(wire)
+
+let output_counts st = Array.copy st.counts
+
+let step_property counts =
+  let w = Array.length counts in
+  let ok = ref true in
+  for i = 0 to w - 1 do
+    for j = i + 1 to w - 1 do
+      let d = counts.(i) - counts.(j) in
+      if d < 0 || d > 1 then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,52 @@
+(** Pure construction of the bitonic counting network (Aspnes, Herlihy &
+    Shavit, STOC 1991 — cited by the paper as the origin of counting
+    networks).
+
+    A balancer is a two-input/two-output toggle: tokens leave on its top
+    and bottom output wires alternately. [Bitonic\[w\]] consists of two
+    [Bitonic\[w/2\]] networks feeding a [Merger\[w\]]; [Merger\[w\]]
+    splits its inputs between two half-width mergers (first-half evens and
+    second-half odds to one, the rest to the other) whose outputs meet a
+    final layer of balancers. Its depth is [lg w * (lg w + 1) / 2].
+
+    The defining property is the {b step property}: in any quiescent
+    state, the token counts [y_0 >= y_1 >= ... >= y_{w-1}] on the output
+    wires satisfy [0 <= y_i - y_j <= 1] for [i < j]. The test suite
+    validates it here (pure token pushing), and the simulator wrapper
+    ({!Counting_network}) revalidates it on message-passing executions.
+
+    This module is pure graph construction plus a reference token-pusher;
+    it knows nothing about processors or messages. *)
+
+type link =
+  | To_balancer of int  (** Next stop: balancer with this id. *)
+  | To_output of int  (** Exit on this output wire. *)
+
+type balancer = { id : int; out_top : link; out_bot : link }
+
+type network = {
+  width : int;
+  entry : link array;  (** First stop for a token entering on each wire. *)
+  balancers : balancer array;
+}
+
+val build : width:int -> network
+(** Requires [width] a power of two, [>= 1]. [width = 1] is the empty
+    network (every token exits wire 0 immediately). *)
+
+val depth : network -> int
+(** Longest entry-to-output path measured in balancers;
+    [lg w * (lg w + 1) / 2]. *)
+
+(** Reference execution: toggle states outside the simulator. *)
+type state
+
+val fresh_state : network -> state
+
+val push : network -> state -> wire:int -> int
+(** Send one token in on [wire]; returns its output wire. *)
+
+val output_counts : state -> int array
+
+val step_property : int array -> bool
+(** [step_property counts] — the AHS step property over output counts. *)

@@ -1,0 +1,80 @@
+type payload = Request of { origin : int } | Reply of { value : int }
+
+let label = function Request _ -> "req" | Reply _ -> "val"
+
+type t = {
+  net : payload Sim.Network.t;
+  n : int;
+  mutable value : int;
+  mutable last_returned : int;
+  mutable traces_rev : Sim.Trace.t list;
+}
+
+let name = "central"
+
+let describe = "single holder processor; message-optimal, maximal bottleneck"
+
+let holder = 1
+
+let supported_n n = max 1 n
+
+let handle st ~self ~src:_ = function
+  | Request { origin } ->
+      assert (self = holder);
+      Sim.Network.send st.net ~src:holder ~dst:origin
+        (Reply { value = st.value });
+      st.value <- st.value + 1
+  | Reply { value } -> st.last_returned <- value
+
+let create ?(seed = 42) ?delay ~n () =
+  if n < 1 then invalid_arg "Central.create: n must be >= 1";
+  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let st = { net; n; value = 0; last_returned = -1; traces_rev = [] } in
+  Sim.Network.set_handler net (fun ~self ~src payload ->
+      handle st ~self ~src payload);
+  st
+
+let n t = t.n
+
+let value t = t.value
+
+let metrics t = Sim.Network.metrics t.net
+
+let traces t = List.rev t.traces_rev
+
+let inc t ~origin =
+  if origin < 1 || origin > t.n then
+    invalid_arg "Central.inc: origin out of range";
+  Sim.Network.begin_op t.net ~origin;
+  let result =
+    if origin = holder then begin
+      (* The holder increments locally: no messages at all. *)
+      let v = t.value in
+      t.value <- v + 1;
+      v
+    end
+    else begin
+      t.last_returned <- -1;
+      Sim.Network.send t.net ~src:origin ~dst:holder (Request { origin });
+      ignore (Sim.Network.run_to_quiescence t.net);
+      t.last_returned
+    end
+  in
+  let trace = Sim.Network.end_op t.net in
+  t.traces_rev <- trace :: t.traces_rev;
+  result
+
+let clone t =
+  let net = Sim.Network.clone_quiescent t.net in
+  let st =
+    {
+      net;
+      n = t.n;
+      value = t.value;
+      last_returned = t.last_returned;
+      traces_rev = t.traces_rev;
+    }
+  in
+  Sim.Network.set_handler net (fun ~self ~src payload ->
+      handle st ~self ~src payload);
+  st

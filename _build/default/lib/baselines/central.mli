@@ -1,0 +1,19 @@
+(** The strawman of the paper's introduction: a single processor stores
+    the counter value and everyone else asks it.
+
+    "A data structure implementing a distributed counter could be message
+    optimal by just storing the counter value with a single processor and
+    having all other processors access the counter with only one message
+    exchange — such an implementation is clearly unreasonable [...] the
+    single processor handling the counter value will be a bottleneck."
+
+    Processor 1 is the holder. An [inc] from [p <> 1] costs one request
+    and one reply; an [inc] from the holder itself is purely local (zero
+    messages). Over the each-processor-once sequence the holder's load is
+    [2(n-1)] = Theta(n), the message count is globally optimal, and the
+    bottleneck is maximal — the anchor point of experiment E5. *)
+
+include Counter.Counter_intf.S
+
+val holder : int
+(** The processor storing the value ([= 1]). *)

@@ -1,0 +1,239 @@
+type pending = { side : int; count : int }
+
+type payload =
+  | Up of { node : int; side : int; count : int }
+      (* request arriving at inner node [node] from its child on [side] *)
+  | Grant of { node : int; base : int }
+      (* a block [base, base+count) granted to inner node [node]'s batch *)
+  | Down of { origin : int; value : int }  (* final value for a leaf *)
+
+let label = function Up _ -> "up" | Grant _ -> "grant" | Down _ -> "down"
+
+type node_state = {
+  mutable collecting : pending option;
+  mutable generation : int;  (* invalidates stale window timers *)
+  batches : pending list Queue.t;  (* FIFO, one entry per Up sent above *)
+}
+
+type t = {
+  net : payload Sim.Network.t;
+  n : int;
+  window : float;
+  nodes : node_state array;  (* heap-indexed 1 .. n-1; slot 0 unused *)
+  mutable value : int;
+  mutable completed_rev : (int * int) list;
+  mutable traces_rev : Sim.Trace.t list;
+  mutable combined : int;
+  mutable uncombined : int;
+}
+
+let name = "combining"
+
+let describe =
+  "binary combining tree (YTL/GVW): requests merge under concurrency; \
+   Theta(n) root load when sequential"
+
+let is_power_of_two w = w >= 1 && w land (w - 1) = 0
+
+let supported_n n =
+  let n = max 1 n in
+  let rec grow w = if w >= n then w else grow (2 * w) in
+  grow 1
+
+(* Heap layout: inner nodes 1 .. n-1; leaf of processor p is n + p - 1. *)
+let node_host t i = ((i - 1) mod t.n) + 1
+
+let parent_of i = (i / 2, i mod 2)
+
+let is_leaf t i = i >= t.n
+
+let leaf_origin t i = i - t.n + 1
+
+(* Send a combined (or lone) request upward from node [i], or allocate at
+   the root. *)
+let rec ascend t ~self ~node ~batch ~count =
+  if node = 1 then begin
+    (* The root allocates the block locally and the grant descends. *)
+    let base = t.value in
+    t.value <- t.value + count;
+    descend t ~self ~node ~batch ~base
+  end
+  else begin
+    let parent, side = parent_of node in
+    t.nodes.(node).generation <- t.nodes.(node).generation + 1;
+    Queue.push batch t.nodes.(node).batches;
+    Sim.Network.send t.net ~src:self ~dst:(node_host t parent)
+      (Up { node = parent; side; count })
+  end
+
+and descend t ~self ~node ~batch ~base =
+  let offset = ref base in
+  List.iter
+    (fun p ->
+      let child = (2 * node) + p.side in
+      if is_leaf t child then begin
+        let origin = leaf_origin t child in
+        Sim.Network.send t.net ~src:self ~dst:origin
+          (Down { origin; value = !offset })
+      end
+      else
+        Sim.Network.send t.net ~src:self ~dst:(node_host t child)
+          (Grant { node = child; base = !offset });
+      offset := !offset + p.count)
+    batch
+
+let rec handle t ~self ~src:_ = function
+  | Down { origin; value } ->
+      t.completed_rev <- (origin, value) :: t.completed_rev
+  | Grant { node; base } ->
+      let nd = t.nodes.(node) in
+      let batch =
+        match Queue.take_opt nd.batches with
+        | Some b -> b
+        | None -> failwith "Combining_tree: grant without pending batch"
+      in
+      descend t ~self ~node ~batch ~base
+  | Up { node; side; count } -> (
+      let nd = t.nodes.(node) in
+      match nd.collecting with
+      | Some first when first.side <> side ->
+          (* Combine with the parked sibling request. *)
+          nd.collecting <- None;
+          nd.generation <- nd.generation + 1;
+          t.combined <- t.combined + 1;
+          ascend t ~self ~node
+            ~batch:[ first; { side; count } ]
+            ~count:(first.count + count)
+      | Some first ->
+          (* Same side twice (the sibling's window already expired below):
+             flush the parked request alone, then park the new one. *)
+          nd.collecting <- None;
+          t.uncombined <- t.uncombined + 1;
+          ascend t ~self ~node ~batch:[ first ] ~count:first.count;
+          park t ~self ~node ~side ~count
+      | None -> park t ~self ~node ~side ~count)
+
+and park t ~self ~node ~side ~count =
+  let nd = t.nodes.(node) in
+  nd.collecting <- Some { side; count };
+  nd.generation <- nd.generation + 1;
+  let gen = nd.generation in
+  Sim.Network.schedule_local t.net ~delay:t.window (fun () ->
+      if nd.generation = gen then
+        match nd.collecting with
+        | Some first ->
+            nd.collecting <- None;
+            nd.generation <- nd.generation + 1;
+            t.uncombined <- t.uncombined + 1;
+            ascend t ~self ~node ~batch:[ first ] ~count:first.count
+        | None -> ())
+
+let create_binary ?(seed = 42) ?delay ?(window = 1.5) ~n () =
+  if not (is_power_of_two n) then
+    invalid_arg "Combining_tree: n must be a power of two (use supported_n)";
+  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let t =
+    {
+      net;
+      n;
+      window;
+      nodes =
+        Array.init (max 1 n) (fun _ ->
+            { collecting = None; generation = 0; batches = Queue.create () });
+      value = 0;
+      completed_rev = [];
+      traces_rev = [];
+      combined = 0;
+      uncombined = 0;
+    }
+  in
+  Sim.Network.set_handler net (fun ~self ~src payload ->
+      handle t ~self ~src payload);
+  t
+
+let create ?seed ?delay ~n () = create_binary ?seed ?delay ~n ()
+
+let n t = t.n
+
+let value t = t.value
+
+let metrics t = Sim.Network.metrics t.net
+
+let traces t = List.rev t.traces_rev
+
+let combined_requests t = t.combined
+
+let uncombined_requests t = t.uncombined
+
+let combining_rate t =
+  let total = t.combined + t.uncombined in
+  if total = 0 then 0. else float_of_int t.combined /. float_of_int total
+
+let launch t ~origin =
+  if t.n = 1 then begin
+    (* Singleton tree: the lone processor is the root; local increment. *)
+    let v = t.value in
+    t.value <- v + 1;
+    t.completed_rev <- (origin, v) :: t.completed_rev
+  end
+  else begin
+    let leaf = t.n + origin - 1 in
+    let parent, side = parent_of leaf in
+    Sim.Network.send t.net ~src:origin ~dst:(node_host t parent)
+      (Up { node = parent; side; count = 1 })
+  end
+
+let finish_op t =
+  ignore (Sim.Network.run_to_quiescence t.net);
+  let trace = Sim.Network.end_op t.net in
+  t.traces_rev <- trace :: t.traces_rev
+
+let inc t ~origin =
+  if origin < 1 || origin > t.n then
+    invalid_arg "Combining_tree.inc: origin out of range";
+  Sim.Network.begin_op t.net ~origin;
+  t.completed_rev <- [];
+  launch t ~origin;
+  finish_op t;
+  match t.completed_rev with
+  | [ (_, value) ] -> value
+  | _ -> failwith "Combining_tree.inc: expected exactly one completion"
+
+let run_batch t ~origins =
+  (match origins with
+  | [] -> invalid_arg "Combining_tree.run_batch: empty batch"
+  | o :: _ -> Sim.Network.begin_op t.net ~origin:o);
+  let sorted = List.sort_uniq compare origins in
+  if List.length sorted <> List.length origins then
+    invalid_arg "Combining_tree.run_batch: duplicate origins in a batch";
+  t.completed_rev <- [];
+  List.iter (fun origin -> launch t ~origin) origins;
+  finish_op t;
+  List.rev t.completed_rev
+
+let clone t =
+  let net = Sim.Network.clone_quiescent t.net in
+  let st =
+    {
+      net;
+      n = t.n;
+      window = t.window;
+      nodes =
+        Array.map
+          (fun nd ->
+            {
+              collecting = nd.collecting;
+              generation = nd.generation;
+              batches = Queue.copy nd.batches;
+            })
+          t.nodes;
+      value = t.value;
+      completed_rev = t.completed_rev;
+      traces_rev = t.traces_rev;
+      combined = t.combined;
+      uncombined = t.uncombined;
+    }
+  in
+  Sim.Network.set_handler net (fun ~self ~src payload ->
+      handle st ~self ~src payload);
+  st

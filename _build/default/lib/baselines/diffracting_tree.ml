@@ -1,0 +1,260 @@
+type payload =
+  | Token of { origin : int; node : int }
+      (* walking the tree; [node] is a heap index, 1 = root *)
+  | Exit of { origin : int; wire : int }  (* token reached a leaf counter *)
+  | Value of { origin : int; value : int }
+
+let label = function
+  | Token _ -> "token"
+  | Exit _ -> "exit"
+  | Value _ -> "val"
+
+type node_state = {
+  mutable toggle : bool;  (* true = next lone token goes left *)
+  mutable waiting : int option;  (* origin of a parked token *)
+  mutable generation : int;  (* invalidates stale prism timers *)
+}
+
+type t = {
+  net : payload Sim.Network.t;
+  n : int;
+  width : int;
+  prism_window : float;
+  nodes : node_state array;  (* heap-indexed, slot 0 unused *)
+  counts : int array;  (* per leaf wire *)
+  mutable completed_rev : (int * int * float) list;  (* origin, value, time *)
+  mutable traces_rev : Sim.Trace.t list;
+  mutable ops : int;
+  mutable toggle_hits : int;
+  mutable diffractions : int;
+  mutable step_ok : bool;
+}
+
+let name = "diffracting"
+
+let describe =
+  "Shavit-Zemach diffracting tree: prism pairing under concurrency, \
+   Theta(n) root load when sequential"
+
+let supported_n n = max 1 n
+
+let is_power_of_two w = w >= 1 && w land (w - 1) = 0
+
+let log2 w =
+  let rec go acc w = if w <= 1 then acc else go (acc + 1) (w / 2) in
+  go 0 w
+
+let bit_reverse ~bits x =
+  let r = ref 0 in
+  for i = 0 to bits - 1 do
+    if x land (1 lsl i) <> 0 then r := !r lor (1 lsl (bits - 1 - i))
+  done;
+  !r
+
+let node_host t node = ((node - 1) mod t.n) + 1
+
+let leaf_host t wire = ((t.width - 1 + wire) mod t.n) + 1
+
+(* Child of heap node [i] in direction [dir] (0 = left): either another
+   inner node or a leaf wire. *)
+let forward t ~src ~origin ~node ~dir =
+  let child = (2 * node) + dir in
+  if child >= t.width then
+    let wire = child - t.width in
+    Sim.Network.send t.net ~src ~dst:(leaf_host t wire)
+      (Exit { origin; wire })
+  else
+    Sim.Network.send t.net ~src ~dst:(node_host t child)
+      (Token { origin; node = child })
+
+let handle st ~self ~src:_ = function
+  | Value { origin; value } ->
+      st.completed_rev <-
+        (origin, value, Sim.Network.now st.net) :: st.completed_rev
+  | Exit { origin; wire } ->
+      (* A toggle tree routes the m-th token to the leaf whose index is
+         the bit-reversal of m mod width, so leaf [wire] hands out the
+         value sequence seeded at bitrev(wire). *)
+      let seed = bit_reverse ~bits:(log2 st.width) wire in
+      let value = seed + (st.width * st.counts.(seed)) in
+      st.counts.(seed) <- st.counts.(seed) + 1;
+      Sim.Network.send st.net ~src:self ~dst:origin (Value { origin; value })
+  | Token { origin; node } -> (
+      let nd = st.nodes.(node) in
+      match nd.waiting with
+      | Some partner ->
+          (* Diffraction: the pair splits left/right without touching the
+             toggle. *)
+          nd.waiting <- None;
+          nd.generation <- nd.generation + 1;
+          st.diffractions <- st.diffractions + 1;
+          forward st ~src:self ~origin:partner ~node ~dir:0;
+          forward st ~src:self ~origin ~node ~dir:1
+      | None ->
+          nd.waiting <- Some origin;
+          nd.generation <- nd.generation + 1;
+          let gen = nd.generation in
+          Sim.Network.schedule_local st.net ~delay:st.prism_window (fun () ->
+              if nd.generation = gen && nd.waiting = Some origin then begin
+                (* Prism window expired with no partner: use the toggle. *)
+                nd.waiting <- None;
+                nd.generation <- nd.generation + 1;
+                st.toggle_hits <- st.toggle_hits + 1;
+                let dir = if nd.toggle then 0 else 1 in
+                nd.toggle <- not nd.toggle;
+                forward st ~src:self ~origin ~node ~dir
+              end))
+
+let create_width ?(seed = 42) ?delay ?(prism_window = 1.5) ~n ~width () =
+  if n < 1 then invalid_arg "Diffracting_tree: n must be >= 1";
+  if not (is_power_of_two width) then
+    invalid_arg "Diffracting_tree: width must be a power of two";
+  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let nodes =
+    Array.init (max 1 width) (fun _ ->
+        { toggle = true; waiting = None; generation = 0 })
+  in
+  let st =
+    {
+      net;
+      n;
+      width;
+      prism_window;
+      nodes;
+      counts = Array.make width 0;
+      completed_rev = [];
+      traces_rev = [];
+      ops = 0;
+      toggle_hits = 0;
+      diffractions = 0;
+      step_ok = true;
+    }
+  in
+  Sim.Network.set_handler net (fun ~self ~src payload ->
+      handle st ~self ~src payload);
+  st
+
+let default_width n =
+  if n <= 1 then 1
+  else begin
+    let target = int_of_float (sqrt (float_of_int n)) in
+    let rec grow w = if 2 * w <= target then grow (2 * w) else w in
+    max 2 (grow 1)
+  end
+
+let create ?seed ?delay ~n () =
+  create_width ?seed ?delay ~n ~width:(default_width n) ()
+
+let n t = t.n
+
+let width t = t.width
+
+let value t = t.ops
+
+let toggle_hits t = t.toggle_hits
+
+let diffractions t = t.diffractions
+
+let output_counts t = Array.copy t.counts
+
+let step_property_held t = t.step_ok
+
+let metrics t = Sim.Network.metrics t.net
+
+let traces t = List.rev t.traces_rev
+
+let launch t ~origin =
+  if t.width = 1 then
+    (* Degenerate tree: straight to the single leaf counter. *)
+    Sim.Network.send t.net ~src:origin ~dst:(leaf_host t 0)
+      (Exit { origin; wire = 0 })
+  else
+    Sim.Network.send t.net ~src:origin ~dst:(node_host t 1)
+      (Token { origin; node = 1 })
+
+let finish_op t =
+  ignore (Sim.Network.run_to_quiescence t.net);
+  let trace = Sim.Network.end_op t.net in
+  t.traces_rev <- trace :: t.traces_rev;
+  if not (Bitonic.step_property t.counts) then t.step_ok <- false
+
+let inc t ~origin =
+  if origin < 1 || origin > t.n then
+    invalid_arg "Diffracting_tree.inc: origin out of range";
+  Sim.Network.begin_op t.net ~origin;
+  t.completed_rev <- [];
+  launch t ~origin;
+  finish_op t;
+  t.ops <- t.ops + 1;
+  match t.completed_rev with
+  | [ (_, value, _) ] -> value
+  | _ -> failwith "Diffracting_tree.inc: expected exactly one completion"
+
+let run_batch t ~origins =
+  (match origins with
+  | [] -> invalid_arg "Diffracting_tree.run_batch: empty batch"
+  | o :: _ -> Sim.Network.begin_op t.net ~origin:o);
+  t.completed_rev <- [];
+  List.iter (fun origin -> launch t ~origin) origins;
+  finish_op t;
+  t.ops <- t.ops + List.length origins;
+  List.rev_map (fun (o, v, _) -> (o, v)) t.completed_rev
+
+let run_batch_timed t ?(stagger = 0.) ~origins () =
+  (match origins with
+  | [] -> invalid_arg "Diffracting_tree.run_batch_timed: empty batch"
+  | o :: _ -> Sim.Network.begin_op t.net ~origin:o);
+  t.completed_rev <- [];
+  let start = Sim.Network.now t.net in
+  let invoked = Hashtbl.create (List.length origins) in
+  List.iteri
+    (fun i origin ->
+      let at = start +. (float_of_int i *. stagger) in
+      Hashtbl.replace invoked origin at;
+      if stagger = 0. then launch t ~origin
+      else
+        Sim.Network.schedule_local t.net
+          ~delay:(float_of_int i *. stagger)
+          (fun () -> launch t ~origin))
+    origins;
+  finish_op t;
+  t.ops <- t.ops + List.length origins;
+  List.rev_map
+    (fun (origin, value, completed_at) ->
+      {
+        Counter.History.origin;
+        value;
+        invoked_at = Hashtbl.find invoked origin;
+        completed_at;
+      })
+    t.completed_rev
+
+let clone t =
+  let net = Sim.Network.clone_quiescent t.net in
+  let st =
+    {
+      net;
+      n = t.n;
+      width = t.width;
+      prism_window = t.prism_window;
+      nodes =
+        Array.map
+          (fun nd ->
+            {
+              toggle = nd.toggle;
+              waiting = nd.waiting;
+              generation = nd.generation;
+            })
+          t.nodes;
+      counts = Array.copy t.counts;
+      completed_rev = t.completed_rev;
+      traces_rev = t.traces_rev;
+      ops = t.ops;
+      toggle_hits = t.toggle_hits;
+      diffractions = t.diffractions;
+      step_ok = t.step_ok;
+    }
+  in
+  Sim.Network.set_handler net (fun ~self ~src payload ->
+      handle st ~self ~src payload);
+  st

@@ -1,0 +1,63 @@
+let is_power_of_two w = w >= 1 && w land (w - 1) = 0
+
+let log2 w =
+  let rec go acc w = if w <= 1 then acc else go (acc + 1) (w / 2) in
+  go 0 w
+
+(* Layers of one Block[w] on the wire range [lo, lo+w): the reflector
+   layer followed, positionally merged, by the layers of the two
+   half-blocks. Each layer is a list of disjoint wire pairs. *)
+let rec block_layers lo w =
+  if w < 2 then []
+  else begin
+    let reflector = List.init (w / 2) (fun i -> (lo + i, lo + w - 1 - i)) in
+    let top = block_layers lo (w / 2) in
+    let bottom = block_layers (lo + (w / 2)) (w / 2) in
+    let rec zip a b =
+      match (a, b) with
+      | [], [] -> []
+      | x :: xs, y :: ys -> (x @ y) :: zip xs ys
+      | x :: xs, [] -> x :: zip xs []
+      | [], y :: ys -> y :: zip [] ys
+    in
+    reflector :: zip top bottom
+  end
+
+let layers width =
+  List.concat (List.init (max 1 (log2 width)) (fun _ -> block_layers 0 width))
+
+let depth ~width = if width < 2 then 0 else log2 width * log2 width
+
+let build ~width =
+  if not (is_power_of_two width) then
+    invalid_arg "Periodic.build: width must be a power of two";
+  let store = ref [] in
+  let next_id = ref 0 in
+  let alloc ~out_top ~out_bot =
+    let id = !next_id in
+    incr next_id;
+    store := { Bitonic.id; out_top; out_bot } :: !store;
+    id
+  in
+  (* Wire the layers back to front: each layer's balancers point at the
+     current continuation of their two wires. *)
+  let entry =
+    List.fold_left
+      (fun outputs layer ->
+        let next = Array.copy outputs in
+        List.iter
+          (fun (a, b) ->
+            let id = alloc ~out_top:outputs.(a) ~out_bot:outputs.(b) in
+            next.(a) <- Bitonic.To_balancer id;
+            next.(b) <- Bitonic.To_balancer id)
+          layer;
+        next)
+      (Array.init width (fun i -> Bitonic.To_output i))
+      (List.rev (layers width))
+  in
+  let balancers =
+    Array.make (max 1 !next_id)
+      { Bitonic.id = 0; out_top = Bitonic.To_output 0; out_bot = Bitonic.To_output 0 }
+  in
+  List.iter (fun b -> balancers.(b.Bitonic.id) <- b) !store;
+  { Bitonic.width; entry; balancers = Array.sub balancers 0 !next_id }

@@ -1,0 +1,21 @@
+(** The periodic counting network — AHS's second construction.
+
+    [Periodic\[w\]] is [lg w] identical [Block\[w\]] networks in series.
+    [Block\[w\]] starts with a {e reflector} layer (a balancer between
+    wire [i] and wire [w-1-i] for each [i < w/2]) and recurses with two
+    [Block\[w/2]] networks on the halves, giving depth [lg w] per block
+    and [lg^2 w] overall — the same depth as the bitonic network but a
+    strictly repeating structure, which is what made it attractive for
+    hardware.
+
+    The construction reuses {!Bitonic}'s graph representation, so the
+    reference token-pusher, the step-property validator and the
+    message-passing wrapper ({!Counting_network.create_custom}) all work
+    on it unchanged. The test suite validates the step property at every
+    quiescent prefix, exactly as for the bitonic network. *)
+
+val build : width:int -> Bitonic.network
+(** Requires [width] a power of two, [>= 1]. *)
+
+val depth : width:int -> int
+(** [lg w * lg w] for [w >= 2] (0 for width 1). *)

@@ -1,0 +1,8 @@
+(** The periodic counting network ({!Periodic}) as a distributed counter —
+    a second counting-network baseline for the registry, sharing
+    {!Counting_network}'s message-passing wrapper. *)
+
+include Counter.Counter_intf.S
+
+val create :
+  ?seed:int -> ?delay:Sim.Delay.t -> n:int -> unit -> t

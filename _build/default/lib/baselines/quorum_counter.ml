@@ -1,0 +1,199 @@
+type payload =
+  | Read_req
+  | Read_rep of { value : int; version : int }
+  | Write_req of { value : int; version : int }
+  | Write_ack
+
+let label = function
+  | Read_req -> "read"
+  | Read_rep _ -> "read-rep"
+  | Write_req _ -> "write"
+  | Write_ack -> "ack"
+
+(* The in-flight operation of the (sequential) client. *)
+type op_phase =
+  | Idle
+  | Reading of {
+      origin : int;
+      members : int list;
+      mutable awaiting : int;
+      mutable best_value : int;
+      mutable best_version : int;
+    }
+  | Writing of { mutable awaiting : int; result : int }
+
+module Make (Q : Quorum.Quorum_intf.S) = struct
+  type t = {
+    net : payload Sim.Network.t;
+    n : int;
+    system : Q.t;
+    values : int array;  (* registers, index = processor *)
+    versions : int array;
+    local_ops : int array;
+        (* per-processor operation counts: quorum choice must depend only
+           on state the origin knows locally, or the process of a
+           hypothetical operation would change when unrelated processors
+           act — violating the prefix-stability the lower-bound proof
+           relies on (and which any real distributed client satisfies) *)
+    mutable phase : op_phase;
+    mutable ops : int;
+    mutable last_returned : int;
+    mutable traces_rev : Sim.Trace.t list;
+  }
+
+  let name = "quorum-" ^ Q.name
+
+  let describe = "read-max/write-back counter over " ^ Q.describe
+
+  let supported_n = Q.supported_n
+
+  let quorum_size t = Q.quorum_size t.system
+
+  (* Apply a write locally at a member. *)
+  let store t member ~value ~version =
+    if version > t.versions.(member) then begin
+      t.versions.(member) <- version;
+      t.values.(member) <- value
+    end
+
+  let start_write t ~origin ~members ~value ~version =
+    (* [value] is the new counter value being installed; the operation
+       returns [value - 1]. *)
+    let remote = List.filter (fun m -> m <> origin) members in
+    store t origin ~value ~version;
+    let w = Writing { awaiting = List.length remote; result = value - 1 } in
+    t.phase <- w;
+    List.iter
+      (fun m ->
+        Sim.Network.send t.net ~src:origin ~dst:m (Write_req { value; version }))
+      remote;
+    if remote = [] then t.last_returned <- value - 1
+
+  let handle t ~self ~src = function
+    | Read_req ->
+        Sim.Network.send t.net ~src:self ~dst:src
+          (Read_rep { value = t.values.(self); version = t.versions.(self) })
+    | Write_req { value; version } ->
+        store t self ~value ~version;
+        Sim.Network.send t.net ~src:self ~dst:src Write_ack
+    | Read_rep { value; version } -> (
+        match t.phase with
+        | Reading r ->
+            if version > r.best_version then begin
+              r.best_version <- version;
+              r.best_value <- value
+            end;
+            r.awaiting <- r.awaiting - 1;
+            if r.awaiting = 0 then
+              start_write t ~origin:r.origin ~members:r.members
+                ~value:(r.best_value + 1) ~version:(r.best_version + 1)
+        | Idle | Writing _ ->
+            failwith "Quorum_counter: unexpected read reply")
+    | Write_ack -> (
+        match t.phase with
+        | Writing w ->
+            w.awaiting <- w.awaiting - 1;
+            if w.awaiting = 0 then begin
+              t.phase <- Idle;
+              t.last_returned <- w.result
+            end
+        | Idle | Reading _ ->
+            failwith "Quorum_counter: unexpected write ack")
+
+  let create ?(seed = 42) ?delay ~n () =
+    if Q.supported_n n <> n then
+      invalid_arg ("Quorum_counter: unsupported n for " ^ Q.name);
+    let net = Sim.Network.create ~seed ?delay ~label ~n () in
+    let t =
+      {
+        net;
+        n;
+        system = Q.create ~n;
+        values = Array.make (n + 1) 0;
+        versions = Array.make (n + 1) 0;
+        local_ops = Array.make (n + 1) 0;
+        phase = Idle;
+        ops = 0;
+        last_returned = -1;
+        traces_rev = [];
+      }
+    in
+    Sim.Network.set_handler net (fun ~self ~src payload ->
+        handle t ~self ~src payload);
+    t
+
+  let n t = t.n
+
+  let value t = t.ops
+
+  let metrics t = Sim.Network.metrics t.net
+
+  let traces t = List.rev t.traces_rev
+
+  let inc t ~origin =
+    if origin < 1 || origin > t.n then
+      invalid_arg "Quorum_counter.inc: origin out of range";
+    Sim.Network.begin_op t.net ~origin;
+    t.last_returned <- -1;
+    (* Slot from origin-local state only: first access by origin [p] uses
+       slot [p-1] (spreading the each-once sequence across the full
+       rotation), later accesses jump by [n]. *)
+    let slot = origin - 1 + (t.n * t.local_ops.(origin)) in
+    t.local_ops.(origin) <- t.local_ops.(origin) + 1;
+    let members = Q.quorum t.system ~slot in
+    let remote = List.filter (fun m -> m <> origin) members in
+    (* Local read of own register, if a member. *)
+    let local_version = if List.mem origin members then t.versions.(origin) else -1 in
+    let local_value = if List.mem origin members then t.values.(origin) else 0 in
+    let r =
+      Reading
+        {
+          origin;
+          members;
+          awaiting = List.length remote;
+          best_value = local_value;
+          best_version = local_version;
+        }
+    in
+    t.phase <- r;
+    List.iter
+      (fun m -> Sim.Network.send t.net ~src:origin ~dst:m Read_req)
+      remote;
+    (if remote = [] then
+       (* Origin alone forms the quorum: purely local operation. *)
+       start_write t ~origin ~members ~value:(local_value + 1)
+         ~version:(local_version + 1));
+    ignore (Sim.Network.run_to_quiescence t.net);
+    let trace = Sim.Network.end_op t.net in
+    t.traces_rev <- trace :: t.traces_rev;
+    t.ops <- t.ops + 1;
+    if t.last_returned < 0 then
+      failwith "Quorum_counter.inc: operation did not complete";
+    t.last_returned
+
+  let clone t =
+    let net = Sim.Network.clone_quiescent t.net in
+    let st =
+      {
+        net;
+        n = t.n;
+        system = t.system;
+        values = Array.copy t.values;
+        versions = Array.copy t.versions;
+        local_ops = Array.copy t.local_ops;
+        phase = Idle;
+        ops = t.ops;
+        last_returned = t.last_returned;
+        traces_rev = t.traces_rev;
+      }
+    in
+    Sim.Network.set_handler net (fun ~self ~src payload ->
+        handle st ~self ~src payload);
+    st
+end
+
+module Over_majority = Make (Quorum.Majority)
+module Over_grid = Make (Quorum.Grid)
+module Over_tree = Make (Quorum.Tree_quorum)
+module Over_wall = Make (Quorum.Crumbling_wall)
+module Over_plane = Make (Quorum.Projective_plane)

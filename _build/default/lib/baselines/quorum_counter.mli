@@ -1,0 +1,40 @@
+(** A distributed counter layered over a quorum system — the "Dynamic
+    Quorum System" relative the paper mentions, in its simplest static
+    form.
+
+    Every processor keeps a versioned register [(value, version)]. An
+    [inc] by processor [p] for the [s]-th operation:
+
+    + {b read phase}: [p] asks every member of the strategy's quorum for
+      slot [s] for its register and takes the pair with the highest
+      version — since every earlier write covered a quorum, and quorums
+      pairwise intersect, the highest version seen is the current counter
+      value [v];
+    + {b write phase}: [p] writes [(v+1, version+1)] back to the same
+      quorum and waits for acknowledgements, then returns [v].
+
+    Messages per operation: about [4 |Q|] ([p]'s own membership is served
+    locally), so load follows the quorum system's geometry: majorities
+    cost Theta(n) per processor over the each-once sequence, grids
+    Theta(sqrt n), tree quorums pile Theta(n) onto the tree root — all
+    far above the paper's O(k), which is the point of experiment E5/E8.
+
+    The functor takes the quorum system; {!Over_majority}, {!Over_grid},
+    {!Over_tree} and {!Over_wall} are the instantiations used by the
+    registry. *)
+
+module Make (Q : Quorum.Quorum_intf.S) : sig
+  include Counter.Counter_intf.S
+
+  val quorum_size : t -> int
+end
+
+module Over_majority : Counter.Counter_intf.S
+
+module Over_grid : Counter.Counter_intf.S
+
+module Over_tree : Counter.Counter_intf.S
+
+module Over_wall : Counter.Counter_intf.S
+
+module Over_plane : Counter.Counter_intf.S

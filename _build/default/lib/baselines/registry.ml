@@ -1,0 +1,56 @@
+let retire_tree : Counter.Counter_intf.counter = (module Core.Retire_counter)
+
+let central : Counter.Counter_intf.counter = (module Central)
+
+let retire_tree_local : Counter.Counter_intf.counter =
+  (module Core.Retire_local)
+
+let static_tree : Counter.Counter_intf.counter = (module Static_tree)
+
+let combining : Counter.Counter_intf.counter = (module Combining_tree)
+
+let counting_network : Counter.Counter_intf.counter = (module Counting_network)
+
+let periodic_network : Counter.Counter_intf.counter = (module Periodic_counter)
+
+let diffracting : Counter.Counter_intf.counter = (module Diffracting_tree)
+
+let quorum_majority : Counter.Counter_intf.counter =
+  (module Quorum_counter.Over_majority)
+
+let quorum_grid : Counter.Counter_intf.counter =
+  (module Quorum_counter.Over_grid)
+
+let quorum_tree : Counter.Counter_intf.counter =
+  (module Quorum_counter.Over_tree)
+
+let quorum_wall : Counter.Counter_intf.counter =
+  (module Quorum_counter.Over_wall)
+
+let quorum_plane : Counter.Counter_intf.counter =
+  (module Quorum_counter.Over_plane)
+
+let all =
+  [
+    retire_tree;
+    retire_tree_local;
+    central;
+    static_tree;
+    combining;
+    counting_network;
+    periodic_network;
+    diffracting;
+    quorum_majority;
+    quorum_grid;
+    quorum_tree;
+    quorum_wall;
+    quorum_plane;
+  ]
+
+let find name =
+  List.find_opt
+    (fun (module C : Counter.Counter_intf.S) -> C.name = name)
+    all
+
+let names () =
+  List.map (fun (module C : Counter.Counter_intf.S) -> C.name) all

@@ -1,0 +1,38 @@
+(** Central catalogue of every distributed-counter implementation in the
+    repository, for the CLI, experiments and tests. *)
+
+val retire_tree : Counter.Counter_intf.counter
+(** The paper's counter ({!Core.Retire_counter}). *)
+
+val retire_tree_local : Counter.Counter_intf.counter
+(** The strictly processor-local variant ({!Core.Retire_local}). *)
+
+val central : Counter.Counter_intf.counter
+
+val static_tree : Counter.Counter_intf.counter
+
+val combining : Counter.Counter_intf.counter
+
+val counting_network : Counter.Counter_intf.counter
+
+val periodic_network : Counter.Counter_intf.counter
+
+val diffracting : Counter.Counter_intf.counter
+
+val quorum_majority : Counter.Counter_intf.counter
+
+val quorum_grid : Counter.Counter_intf.counter
+
+val quorum_tree : Counter.Counter_intf.counter
+
+val quorum_wall : Counter.Counter_intf.counter
+
+val quorum_plane : Counter.Counter_intf.counter
+
+val all : Counter.Counter_intf.counter list
+(** Every counter, the paper's first. *)
+
+val find : string -> Counter.Counter_intf.counter option
+(** Look up by [name]. *)
+
+val names : unit -> string list

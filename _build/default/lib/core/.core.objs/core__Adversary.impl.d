@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Counter Format List Lower_bound Sim Weights

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Counter Format Fun List Lower_bound Seq Sim

@@ -1,0 +1,1 @@
+lib/core/retire_counter.ml: Array Counter Hashtbl Ids List Params Printf Sim Tree

@@ -1,0 +1,1 @@
+lib/core/retire_counter.mli: Counter Sim Tree

@@ -1,0 +1,1 @@
+lib/core/retire_local.ml: Array Hashtbl Ids List Option Params Printf Retire_counter Sim Tree

@@ -1,0 +1,1 @@
+lib/core/retire_local.mli: Counter Retire_counter Sim

@@ -1,0 +1,74 @@
+(** The lower-bound adversary: an executable version of the operation
+    sequence constructed in the proof of the Lower Bound Theorem.
+
+    The proof defines the sequence as follows: "For each operation in the
+    sequence we choose a processor (among those that have not been chosen
+    yet) and a process such that the processor's communication list is
+    longest." We realise this against any *implemented* counter: before
+    each operation the adversary clones the quiescent counter state, trial
+    -runs an [inc] from every remaining candidate processor on the clone,
+    measures the resulting communication-list length, and commits the
+    maximising candidate on the real counter. (The proof additionally
+    ranges over all nondeterministic processes; our counters are
+    deterministic given a seed, so the trial run evaluates exactly the
+    process that would happen — a conservative adversary, which can only
+    make the measured bound easier to satisfy, never harder.)
+
+    A second pass replays the committed order and records the proof's
+    measurements for the distinguished processor [q] := the processor
+    chosen last: the length [l_i] of [q]'s hypothetical communication list
+    before each operation and the weight [w_i] ({!Weights}). The paper's
+    invariants checked on these measurements:
+
+    - [l_i <= L_i]: [q]'s list never beats the chosen maximum;
+    - the weight trajectory never decreases;
+    - at the end, the bottleneck load is at least [k] with [k * k^k = n]
+      ({!Lower_bound.satisfied_by}).
+
+    For large [n] an exact adversary costs O(n^2) trial runs; [sample]
+    caps the number of candidates evaluated per step (a uniformly sampled
+    subset), which again only weakens the adversary. *)
+
+type step = {
+  op_index : int;  (** 1-based. *)
+  chosen : int;  (** The committed processor. *)
+  list_length : int;  (** [L_i] of the committed operation. *)
+  q_list_length : int option;
+      (** [l_i] of the distinguished processor (second pass). *)
+  candidates_evaluated : int;
+}
+
+type result = {
+  counter_name : string;
+  n : int;
+  order : int array;  (** The adversarial operation order. *)
+  steps : step list;
+  q : int;  (** The processor chosen last. *)
+  q_observations : Weights.observation list;  (** Weight trajectory. *)
+  weight_base : float;
+  bottleneck_proc : int;
+  bottleneck_load : int;
+  q_load : int;
+  average_list_length : float;  (** The proof's [L]. *)
+  k : int;  (** {!Lower_bound.k_of_n}[ n]. *)
+  bound_satisfied : bool;  (** [bottleneck_load >= k]. *)
+  li_never_exceeds_big_li : bool;  (** [l_i <= L_i] for all [i]. *)
+  weights_monotone : bool;
+  correct : bool;  (** Returned values were [0 .. n-1] in order. *)
+  hotspot_ok : bool;
+}
+
+val run :
+  ?seed:int ->
+  ?sample:int ->
+  ?base:float ->
+  Counter.Counter_intf.counter ->
+  n:int ->
+  result
+(** [run (module C) ~n] builds the adversarial sequence on a fresh
+    counter of [C.supported_n n] processors. [sample] (default 16; use
+    [max_int] for the exact adversary) caps candidates per step. [base]
+    overrides the weight base (default: final bottleneck load + 2, which
+    satisfies the proof's requirement that the base exceed every load). *)
+
+val pp_result : Format.formatter -> result -> unit

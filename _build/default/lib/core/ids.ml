@@ -1,0 +1,27 @@
+let check tree ~level =
+  if level < 1 || level > Tree.depth tree then
+    invalid_arg "Ids: level must be within 1 .. depth (the root is special)"
+
+let capacity tree ~level =
+  check tree ~level;
+  Params.pow (Tree.arity tree) (Tree.depth tree - level)
+
+let level_range_size tree = Params.pow (Tree.arity tree) (Tree.depth tree)
+
+let initial_worker tree ~level ~index =
+  check tree ~level;
+  if index < 0 || index >= Tree.nodes_at_level tree level then
+    invalid_arg "Ids.initial_worker: bad index";
+  ((level - 1) * level_range_size tree) + (index * capacity tree ~level) + 1
+
+let root_initial_worker = 1
+
+let interval tree ~level ~index =
+  let first = initial_worker tree ~level ~index in
+  (first, first + capacity tree ~level - 1)
+
+let interval_of_flat tree id =
+  let level = Tree.level_of tree id in
+  interval tree ~level ~index:(Tree.index_of tree id)
+
+let max_identifier tree = Tree.depth tree * level_range_size tree

@@ -1,0 +1,52 @@
+(** The identifier scheme of Section 4, generalised to any tree shape.
+
+    Each inner node's "current processor" is drawn from a reserved interval
+    of processor identifiers, so that retirement ([id_new = id_old + 1])
+    always lands on a fresh processor and every processor can compute all
+    initial identifiers locally. In the paper's tree (arity = depth = k,
+    [n = k^(k+1)]), node [j] (0-based) on level [i] ([1 <= i <= k]) has:
+
+    - initial worker [(i-1)*k^k + j*k^(k-i) + 1];
+    - reserved interval [(i-1)*k^k + j*k^(k-i) + 1 .. (i-1)*k^k +
+      (j+1)*k^(k-i)] — the initial worker plus [k^(k-i) - 1] replacements.
+
+    Levels occupy disjoint ranges [((i-1)*k^k, i*k^k]], nodes within a
+    level occupy disjoint sub-ranges, and the largest identifier used is
+    [(k-1)*k^k + k^k = k^(k+1) = n] — exactly the available processors.
+
+    Generalised to arity [a], depth [d], [n = a^(d+1)]: capacity
+    [a^(d-i)], level ranges of size [a^d = n/a] each; all of them fit
+    inside [1 .. n] exactly when [d <= a] (the paper has equality).
+
+    The root is special: it starts with identifier 1 (deliberately
+    overlapping level 1's range — a processor may work once for the root
+    and once for one other inner node, which the Bottleneck Theorem
+    accounts for) and walks 1, 2, 3, ... as it retires, up to roughly
+    [k^k] replacements.
+
+    When a node exhausts its interval (possible because the retirement
+    constants of the paper's lemmas are conservative — see DESIGN.md and
+    experiment E4), the implementation hires an overflow processor with an
+    identifier above [n]; {!Sim.Metrics.overflow_processors} reports how
+    many such hires a run needed. *)
+
+val capacity : Tree.t -> level:int -> int
+(** Interval size [arity^(depth-level)] for levels [1 .. depth]. *)
+
+val initial_worker : Tree.t -> level:int -> index:int -> int
+(** Initial processor for an inner node on levels [1 .. depth]. The root
+    (level 0) starts at processor 1 — use {!root_initial_worker}. *)
+
+val root_initial_worker : int
+(** [= 1]. *)
+
+val interval : Tree.t -> level:int -> index:int -> int * int
+(** Reserved inclusive identifier range for a node on levels
+    [1 .. depth]. The first component equals {!initial_worker}. *)
+
+val interval_of_flat : Tree.t -> int -> int * int
+(** Interval of a non-root node given by flat id. *)
+
+val max_identifier : Tree.t -> int
+(** Largest identifier any non-root interval reaches:
+    [depth * arity^depth] (equals [n] for the paper's shape). *)

@@ -1,0 +1,69 @@
+let pow b e =
+  if e < 0 then invalid_arg "Params.pow: negative exponent";
+  let mul_checked x y =
+    if x <> 0 && y <> 0 && abs y > max_int / abs x then
+      invalid_arg "Params.pow: overflow"
+    else x * y
+  in
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul_checked acc base else acc in
+      if e lsr 1 = 0 then acc else go acc (mul_checked base base) (e lsr 1)
+  in
+  go 1 b e
+
+let n_of_k k =
+  if k < 1 then invalid_arg "Params.n_of_k: k must be >= 1";
+  pow k (k + 1)
+
+let k_of_n_exact n =
+  if n < 1 then None
+  else
+    let rec search k =
+      match n_of_k k with
+      | exception Invalid_argument _ -> None
+      | nk -> if nk = n then Some k else if nk > n then None else search (k + 1)
+    in
+    search 1
+
+let k_of_n_floor n =
+  if n < 1 then invalid_arg "Params.k_of_n_floor: n must be >= 1";
+  let rec search k =
+    match n_of_k (k + 1) with
+    | exception Invalid_argument _ -> k
+    | nk -> if nk <= n then search (k + 1) else k
+  in
+  search 1
+
+let round_up_n n =
+  if n < 1 then invalid_arg "Params.round_up_n: n must be >= 1";
+  let rec search k =
+    let nk = n_of_k k in
+    if nk >= n then nk else search (k + 1)
+  in
+  search 1
+
+let k_continuous n =
+  if n < 1. then invalid_arg "Params.k_continuous: n must be >= 1";
+  (* Solve (x+1) ln x = ln n by bisection: the LHS is increasing for
+     x >= 1. *)
+  let target = log n in
+  let f x = (x +. 1.) *. log x in
+  let rec bisect lo hi iter =
+    if iter = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if f mid < target then bisect mid hi (iter - 1)
+      else bisect lo mid (iter - 1)
+  in
+  if target <= 0. then 1.
+  else
+    let rec grow hi = if f hi < target then grow (2. *. hi) else hi in
+    bisect 1. (grow 2.) 80
+
+let levels k = k + 2
+
+let inner_nodes k =
+  let rec sum acc i = if i > k then acc else sum (acc + pow k i) (i + 1) in
+  sum 0 0

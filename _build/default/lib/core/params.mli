@@ -1,0 +1,41 @@
+(** Arithmetic around the paper's magic quantity [k], defined by
+    [k * k^k = n] (equivalently [k^(k+1) = n]).
+
+    [k] is both the lower bound on the bottleneck load (Section 3) and the
+    arity/depth parameter of the optimal communication tree (Section 4).
+    Asymptotically [k = Theta(log n / log log n)].
+
+    All functions work in exact integer arithmetic and raise
+    [Invalid_argument] on overflow rather than silently wrapping; the
+    supported range ([k <= 15] on 64-bit) vastly exceeds what any
+    simulation can execute. *)
+
+val pow : int -> int -> int
+(** [pow b e] with [e >= 0]; raises [Invalid_argument] on negative
+    exponent or overflow. *)
+
+val n_of_k : int -> int
+(** [n_of_k k = k^(k+1) = k * k^k], the network size the paper's
+    construction is built for. Requires [k >= 1]. *)
+
+val k_of_n_exact : int -> int option
+(** [k_of_n_exact n = Some k] iff [n = k^(k+1)] exactly. *)
+
+val k_of_n_floor : int -> int
+(** Largest [k >= 1] with [k^(k+1) <= n]. This is the [k] of the Lower
+    Bound Theorem ("... where k * k^k = n" read as the integer solution).
+    Requires [n >= 1]. *)
+
+val round_up_n : int -> int
+(** Smallest [k^(k+1)] that is [>= n] — how the paper pads: "otherwise
+    simply increase n to the next higher value of the form k * k^k". *)
+
+val k_continuous : float -> float
+(** Real solution [x >= 1] of [x^(x+1) = n], for plotting the theoretical
+    curve against measured data. Requires [n >= 1.]. *)
+
+val levels : int -> int
+(** [levels k = k + 2]: inner levels [0..k] plus the leaf level [k+1]. *)
+
+val inner_nodes : int -> int
+(** Total number of inner nodes, [sum_{i=0..k} k^i]. *)

@@ -1,0 +1,40 @@
+type observation = {
+  op_index : int;
+  list_length : int;
+  weight : float;
+  guaranteed_gain : float;
+}
+
+let weight ~base ~load list =
+  if base <= 1. then invalid_arg "Weights.weight: base must be > 1";
+  let _, w =
+    List.fold_left
+      (fun (denom, acc) p ->
+        let denom = denom *. base in
+        (denom, acc +. ((float_of_int (load p) +. 1.) /. denom)))
+      (1., 0.)
+      (Sim.Comm_list.nodes list)
+  in
+  w
+
+let observe ~base ~load ~op_index list =
+  let l = Sim.Comm_list.length list in
+  {
+    op_index;
+    list_length = l;
+    weight = weight ~base ~load list;
+    guaranteed_gain = 2. /. (base ** float_of_int (max l 1));
+  }
+
+let trajectory_monotone observations =
+  let rec walk = function
+    | a :: (b : observation) :: rest ->
+        (* Tolerate floating-point jitter at the 1e-12 scale. *)
+        if b.weight +. 1e-12 < a.weight then false else walk (b :: rest)
+    | [ _ ] | [] -> true
+  in
+  walk observations
+
+let pp_observation ppf o =
+  Format.fprintf ppf "op %4d: l_i=%3d w_i=%.6f (guaranteed gain %.2e)"
+    o.op_index o.list_length o.weight o.guaranteed_gain

@@ -1,0 +1,1 @@
+lib/counter/counter_intf.ml: Sim

@@ -1,0 +1,1 @@
+lib/counter/driver.ml: Array Counter_intf Float Format Hotspot List Schedule Sim

@@ -1,0 +1,1 @@
+lib/counter/driver.mli: Counter_intf Format Schedule Sim

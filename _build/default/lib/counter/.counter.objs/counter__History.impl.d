@@ -1,0 +1,1 @@
+lib/counter/history.ml: Array Format Fun List

@@ -1,0 +1,1 @@
+lib/counter/history.mli: Format

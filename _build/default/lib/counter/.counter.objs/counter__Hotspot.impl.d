@@ -1,0 +1,1 @@
+lib/counter/hotspot.ml: Format List Sim

@@ -1,0 +1,1 @@
+lib/counter/hotspot.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/counter/schedule.ml: Array Format List Printf Sim

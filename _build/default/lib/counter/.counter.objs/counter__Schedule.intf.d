@@ -1,0 +1,1 @@
+lib/counter/schedule.mli: Format Sim

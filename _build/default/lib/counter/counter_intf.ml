@@ -1,0 +1,58 @@
+(** The distributed-counter abstract data type (Section 2 of the paper).
+
+    A distributed counter encapsulates an integer value [val] and supports
+    one operation, [inc]: for any processor, [inc] returns the current
+    counter value to the requesting processor and increments the counter by
+    one (test-and-increment). Following the paper's model we assume enough
+    time elapses between two [inc] requests that the preceding operation's
+    process has finished before the next one starts; implementations run
+    each operation's message exchange to quiescence before returning.
+
+    Implementations own a {!Sim.Network} instance, so per-processor message
+    loads and per-operation traces come for free and are comparable across
+    counters. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short stable identifier ("central", "retire-tree", ...). *)
+
+  val describe : string
+  (** One-line human description, shown by the CLI and benches. *)
+
+  val supported_n : int -> int
+  (** [supported_n n] rounds a requested network size up to the nearest
+      size the construction supports (e.g. [k^(k+1)] for the paper's tree,
+      a power of two for counting networks, a square for grids). The result
+      is always [>= max 1 n]. *)
+
+  val create : ?seed:int -> ?delay:Sim.Delay.t -> n:int -> unit -> t
+  (** Build the counter for exactly [n] processors; callers should pass a
+      value accepted by {!supported_n} (implementations raise
+      [Invalid_argument] otherwise). [seed] makes runs reproducible. *)
+
+  val n : t -> int
+  (** Number of processors. *)
+
+  val inc : t -> origin:int -> int
+  (** [inc t ~origin] performs one test-and-increment initiated by
+      processor [origin] (in [1 .. n t]), runs the resulting process to
+      quiescence, and returns the value the counter had. *)
+
+  val value : t -> int
+  (** Current counter value = number of completed [inc]s. *)
+
+  val metrics : t -> Sim.Metrics.t
+  (** Cumulative per-processor message loads. *)
+
+  val traces : t -> Sim.Trace.t list
+  (** Traces of all completed operations, chronological. *)
+
+  val clone : t -> t
+  (** Deep copy of the quiescent counter state (same future behaviour).
+      Used by the lower-bound adversary to evaluate hypothetical
+      operations without committing them. *)
+end
+
+type counter = (module S)

@@ -1,0 +1,89 @@
+type report = {
+  counter_name : string;
+  n : int;
+  ops : int;
+  schedule : string;
+  values : int array;
+  correct : bool;
+  hotspot_ok : bool;
+  hotspot_violations : int;
+  total_messages : int;
+  bottleneck_proc : int;
+  bottleneck_load : int;
+  average_load : float;
+  max_op_messages : int;
+  overflow_processors : int;
+  mean_op_latency : float;
+  max_op_latency : float;
+}
+
+let values_sequential values =
+  let ok = ref true in
+  Array.iteri (fun i v -> if v <> i then ok := false) values;
+  !ok
+
+let run ?(seed = 42) ?delay (module C : Counter_intf.S) ~n ~schedule =
+  let n = C.supported_n n in
+  let counter = C.create ?delay ~seed ~n () in
+  let schedule_rng = Sim.Rng.create ~seed:(seed + 1) in
+  let origins = Schedule.origins schedule schedule_rng ~n in
+  let values = List.map (fun origin -> C.inc counter ~origin) origins in
+  let values = Array.of_list values in
+  let traces = C.traces counter in
+  let violations = Hotspot.check traces in
+  let metrics = C.metrics counter in
+  let bottleneck_proc, bottleneck_load = Sim.Metrics.bottleneck metrics in
+  let max_op_messages =
+    List.fold_left (fun acc t -> max acc (Sim.Trace.message_count t)) 0 traces
+  in
+  let total_latency, max_op_latency =
+    List.fold_left
+      (fun (total, worst) t ->
+        let d = Sim.Trace.duration t in
+        (total +. d, Float.max worst d))
+      (0., 0.) traces
+  in
+  let mean_op_latency =
+    match traces with
+    | [] -> 0.
+    | _ -> total_latency /. float_of_int (List.length traces)
+  in
+  {
+    counter_name = C.name;
+    n;
+    ops = Array.length values;
+    schedule = Format.asprintf "%a" Schedule.pp schedule;
+    values;
+    correct = values_sequential values;
+    hotspot_ok = violations = [];
+    hotspot_violations = List.length violations;
+    total_messages = Sim.Metrics.total_messages metrics;
+    bottleneck_proc;
+    bottleneck_load;
+    average_load = Sim.Metrics.average_load metrics;
+    max_op_messages;
+    overflow_processors = Sim.Metrics.overflow_processors metrics;
+    mean_op_latency;
+    max_op_latency;
+  }
+
+let run_each_once ?seed ?delay c ~n = run ?seed ?delay c ~n ~schedule:Schedule.Each_once
+
+let load_profile ?(seed = 42) (module C : Counter_intf.S) ~n ~schedule =
+  let n = C.supported_n n in
+  let counter = C.create ~seed ~n () in
+  let schedule_rng = Sim.Rng.create ~seed:(seed + 1) in
+  let origins = Schedule.origins schedule schedule_rng ~n in
+  List.iter (fun origin -> ignore (C.inc counter ~origin)) origins;
+  Sim.Metrics.load_array (C.metrics counter)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>counter=%s n=%d ops=%d schedule=%s@,\
+     correct=%b hotspot_ok=%b (violations=%d)@,\
+     messages=%d bottleneck=p%d(%d) avg_load=%.2f max_op_msgs=%d overflow=%d@,\
+     latency: mean=%.2f max=%.2f (virtual time)@]"
+    r.counter_name r.n r.ops r.schedule r.correct r.hotspot_ok
+    r.hotspot_violations r.total_messages r.bottleneck_proc r.bottleneck_load
+    r.average_load r.max_op_messages r.overflow_processors r.mean_op_latency
+    r.max_op_latency

@@ -1,0 +1,56 @@
+(** Generic experiment driver: runs a schedule against any counter and
+    gathers correctness verdicts and load statistics.
+
+    The driver is the single place that defines what "a run" means, so every
+    experiment, test and benchmark measures the same thing:
+
+    - operations execute strictly sequentially (the paper's model);
+    - correctness = the multiset of returned values is exactly
+      [{0, 1, ..., ops-1}] and, because operations are sequential, the
+      values arrive in increasing order;
+    - the Hot Spot Lemma is checked over all consecutive operation pairs;
+    - loads come from the counter's {!Sim.Metrics}. *)
+
+type report = {
+  counter_name : string;
+  n : int;
+  ops : int;
+  schedule : string;
+  values : int array;  (** Value returned by each operation, in order. *)
+  correct : bool;  (** Values are exactly [0 .. ops-1] in order. *)
+  hotspot_ok : bool;  (** Hot Spot Lemma holds on all consecutive pairs. *)
+  hotspot_violations : int;
+  total_messages : int;
+  bottleneck_proc : int;
+  bottleneck_load : int;
+  average_load : float;
+  max_op_messages : int;  (** Largest single-operation message count. *)
+  overflow_processors : int;  (** Replacement hires beyond processor [n]. *)
+  mean_op_latency : float;
+      (** Mean virtual time from an operation's start to its last
+          delivery — the asynchronous-model time cost under the chosen
+          delay model (unit delay by default, so roughly the longest
+          message chain). *)
+  max_op_latency : float;
+}
+
+val run :
+  ?seed:int ->
+  ?delay:Sim.Delay.t ->
+  Counter_intf.counter ->
+  n:int ->
+  schedule:Schedule.t ->
+  report
+(** [run (module C) ~n ~schedule] creates a fresh counter for
+    [C.supported_n n] processors and executes the schedule. [seed]
+    (default 42) seeds both the counter and the schedule's own draws. *)
+
+val run_each_once : ?seed:int -> ?delay:Sim.Delay.t -> Counter_intf.counter -> n:int -> report
+(** The lower-bound setting: each processor increments exactly once. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val load_profile :
+  ?seed:int -> Counter_intf.counter -> n:int -> schedule:Schedule.t -> int array
+(** Like {!run} but returns the dense per-processor load array
+    (index 0 unused) for distribution experiments. *)

@@ -1,0 +1,64 @@
+type op = {
+  origin : int;
+  value : int;
+  invoked_at : float;
+  completed_at : float;
+}
+
+type verdict = Linearizable | Violation of op * op
+
+let check ops =
+  let arr = Array.of_list ops in
+  let violation = ref Linearizable in
+  (try
+     Array.iter
+       (fun a ->
+         Array.iter
+           (fun b ->
+             if a.completed_at < b.invoked_at && a.value > b.value then begin
+               violation := Violation (a, b);
+               raise Exit
+             end)
+           arr)
+       arr
+   with Exit -> ());
+  !violation
+
+let is_linearizable ops = check ops = Linearizable
+
+let values_contiguous ops =
+  let values = List.sort compare (List.map (fun o -> o.value) ops) in
+  values = List.init (List.length ops) Fun.id
+
+let concurrency_profile ops =
+  (* Sweep over invocation/completion endpoints. *)
+  let events =
+    List.concat_map
+      (fun o -> [ (o.invoked_at, 1); (o.completed_at, -1) ])
+      ops
+  in
+  let sorted =
+    (* Completions before invocations at the same instant: an op ending
+       exactly when another starts does not overlap it. *)
+    List.sort
+      (fun (t1, d1) (t2, d2) -> if t1 = t2 then compare d1 d2 else compare t1 t2)
+      events
+  in
+  let _, peak =
+    List.fold_left
+      (fun (cur, peak) (_, d) ->
+        let cur = cur + d in
+        (cur, max peak cur))
+      (0, 0) sorted
+  in
+  peak
+
+let pp_op ppf o =
+  Format.fprintf ppf "p%d got %d [%.2f, %.2f]" o.origin o.value o.invoked_at
+    o.completed_at
+
+let pp_verdict ppf = function
+  | Linearizable -> Format.pp_print_string ppf "linearizable"
+  | Violation (a, b) ->
+      Format.fprintf ppf "NOT linearizable: (%a) precedes (%a) in real time"
+        pp_op a pp_op b

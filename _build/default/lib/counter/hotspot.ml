@@ -1,0 +1,32 @@
+type violation = {
+  first_op : int;
+  second_op : int;
+  first_origin : int;
+  second_origin : int;
+}
+
+let check traces =
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+        let acc =
+          if Sim.Trace.intersects a b then acc
+          else
+            {
+              first_op = Sim.Trace.op_index a;
+              second_op = Sim.Trace.op_index b;
+              first_origin = Sim.Trace.origin a;
+              second_origin = Sim.Trace.origin b;
+            }
+            :: acc
+        in
+        walk acc rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  walk [] traces
+
+let holds traces = check traces = []
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "ops #%d (by p%d) and #%d (by p%d) touch disjoint processor sets"
+    v.first_op v.first_origin v.second_op v.second_origin

@@ -1,0 +1,29 @@
+(** Mechanical Hot Spot Lemma checker.
+
+    Hot Spot Lemma (Section 2): if processors [p] and [q] increment the
+    counter in direct succession then [I_p], the set of processors that
+    send or receive a message during [p]'s operation, must intersect
+    [I_q] — otherwise no processor involved in [q]'s operation knows the
+    new counter value and [q] would read a stale value.
+
+    The lemma is a *necessary* property of any correct counter, so checking
+    it on executions is a sanity check of both the implementations and the
+    trace machinery: every correct counter must pass, and a deliberately
+    broken counter (see the test suite's [Amnesiac] counter) must fail it
+    and simultaneously return wrong values. *)
+
+type violation = {
+  first_op : int;  (** Index of the earlier operation. *)
+  second_op : int;
+  first_origin : int;
+  second_origin : int;
+}
+
+val check : Sim.Trace.t list -> violation list
+(** [check traces] examines every consecutive pair of operation traces
+    (chronological order) and returns all pairs with disjoint processor
+    sets. Empty result = lemma holds on this execution. *)
+
+val holds : Sim.Trace.t list -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

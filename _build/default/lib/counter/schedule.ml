@@ -1,0 +1,55 @@
+type t =
+  | Each_once
+  | Each_once_shuffled
+  | Round_robin of int
+  | Random of int
+  | Single_origin of int * int
+  | Explicit of int list
+
+let ops t ~n =
+  match t with
+  | Each_once | Each_once_shuffled -> n
+  | Round_robin ops | Random ops -> ops
+  | Single_origin (_, ops) -> ops
+  | Explicit l -> List.length l
+
+let check_range ~n origins =
+  List.iter
+    (fun p ->
+      if p < 1 || p > n then
+        invalid_arg
+          (Printf.sprintf "Schedule: origin %d out of range 1..%d" p n))
+    origins;
+  origins
+
+let origins t rng ~n =
+  let l =
+    match t with
+    | Each_once -> List.init n (fun i -> i + 1)
+    | Each_once_shuffled ->
+        let a = Array.init n (fun i -> i + 1) in
+        Sim.Rng.shuffle rng a;
+        Array.to_list a
+    | Round_robin ops -> List.init ops (fun i -> (i mod n) + 1)
+    | Random ops -> List.init ops (fun _ -> 1 + Sim.Rng.int rng n)
+    | Single_origin (p, ops) -> List.init ops (fun _ -> p)
+    | Explicit l -> l
+  in
+  check_range ~n l
+
+let name = function
+  | Each_once -> "each-once"
+  | Each_once_shuffled -> "each-once-shuffled"
+  | Round_robin _ -> "round-robin"
+  | Random _ -> "random"
+  | Single_origin _ -> "single-origin"
+  | Explicit _ -> "explicit"
+
+let pp ppf t =
+  match t with
+  | Each_once -> Format.pp_print_string ppf "each-once"
+  | Each_once_shuffled -> Format.pp_print_string ppf "each-once-shuffled"
+  | Round_robin ops -> Format.fprintf ppf "round-robin(%d)" ops
+  | Random ops -> Format.fprintf ppf "random(%d)" ops
+  | Single_origin (p, ops) -> Format.fprintf ppf "single-origin(p%d,%d)" p ops
+  | Explicit l -> Format.fprintf ppf "explicit(%d ops)" (List.length l)

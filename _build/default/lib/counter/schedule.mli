@@ -1,0 +1,35 @@
+(** Operation schedules: which processor initiates which [inc].
+
+    The paper's lower bound is derived for the strictest case, "each
+    processor initiates exactly one inc operation" ({!Each_once}); the
+    other schedules exercise the counters under more and less favourable
+    request patterns. *)
+
+type t =
+  | Each_once
+      (** Processors [1 .. n] in identifier order, one operation each —
+          the lower-bound setting. *)
+  | Each_once_shuffled
+      (** Each processor exactly once, in a seed-determined random order. *)
+  | Round_robin of int
+      (** [Round_robin ops]: origins [1, 2, ..., n, 1, 2, ...] for a total
+          of [ops] operations. *)
+  | Random of int
+      (** [Random ops]: each origin drawn uniformly. *)
+  | Single_origin of int * int
+      (** [Single_origin (p, ops)]: processor [p] initiates all [ops]
+          operations — the degenerate case the paper excludes from the
+          lower bound ("the amount of achievable distribution is limited if
+          many operations are initiated by a single processor"). *)
+  | Explicit of int list  (** Fully specified origin sequence. *)
+
+val origins : t -> Sim.Rng.t -> n:int -> int list
+(** Materialise the origin sequence for an [n]-processor network. Raises
+    [Invalid_argument] if an origin is out of range. *)
+
+val ops : t -> n:int -> int
+(** Number of operations the schedule will perform. *)
+
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/quorum/check.ml: Array Int List Quorum_intf Set

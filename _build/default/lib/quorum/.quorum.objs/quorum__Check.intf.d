@@ -1,0 +1,1 @@
+lib/quorum/check.mli: Quorum_intf

@@ -1,0 +1,1 @@
+lib/quorum/crumbling_wall.mli: Quorum_intf

@@ -1,0 +1,1 @@
+lib/quorum/grid.mli: Quorum_intf

@@ -1,0 +1,1 @@
+lib/quorum/load.ml: Array Format List Quorum_intf

@@ -1,0 +1,1 @@
+lib/quorum/load.mli: Format Quorum_intf

@@ -1,0 +1,1 @@
+lib/quorum/probe.ml: Array List Quorum_intf Sim

@@ -1,0 +1,1 @@
+lib/quorum/probe.mli: Quorum_intf Sim

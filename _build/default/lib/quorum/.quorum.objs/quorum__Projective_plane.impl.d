@@ -1,0 +1,1 @@
+lib/quorum/projective_plane.ml: Array List

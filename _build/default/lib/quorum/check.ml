@@ -1,0 +1,33 @@
+module Int_set = Set.Make (Int)
+
+let quorums (module Q : Quorum_intf.S) ~n ~slots =
+  let n = Q.supported_n n in
+  let q = Q.create ~n in
+  (n, List.init slots (fun slot -> Q.quorum q ~slot))
+
+let well_formed (module Q : Quorum_intf.S) ~n ~slots =
+  let n, qs = quorums (module Q) ~n ~slots in
+  List.for_all
+    (fun members ->
+      members <> []
+      && List.sort_uniq compare members = members
+      && List.for_all (fun e -> e >= 1 && e <= n) members)
+    qs
+
+let first_violation (module Q : Quorum_intf.S) ~n ~slots =
+  let _, qs = quorums (module Q) ~n ~slots in
+  let sets = Array.of_list (List.map Int_set.of_list qs) in
+  let violation = ref None in
+  (try
+     for i = 0 to Array.length sets - 1 do
+       for j = i + 1 to Array.length sets - 1 do
+         if Int_set.is_empty (Int_set.inter sets.(i) sets.(j)) then begin
+           violation := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !violation
+
+let pairwise_intersecting q ~n ~slots = first_violation q ~n ~slots = None

@@ -1,0 +1,74 @@
+type t = { n : int; rows : int list list; widths : int array }
+
+let name = "crumbling-wall"
+
+let describe = "Peleg-Wool crumbling wall (full row + representative below)"
+
+(* Default shape: triangle widths 2, 3, 4, ... (avoiding a width-1 top row,
+   which would be a universal hot spot). *)
+let triangle_widths n =
+  let rec go acc total w =
+    if total >= n then List.rev acc
+    else
+      let w = min w (n - total) in
+      go (w :: acc) (total + w) (w + 1)
+  in
+  if n <= 1 then [ 1 ] else go [] 0 2
+
+let supported_n n = max 1 n
+
+let build widths =
+  List.iter
+    (fun w -> if w < 1 then invalid_arg "Crumbling_wall: widths must be >= 1")
+    widths;
+  let _, rows_rev =
+    List.fold_left
+      (fun (next, acc) w ->
+        (next + w, List.init w (fun i -> next + i) :: acc))
+      (1, []) widths
+  in
+  let rows = List.rev rows_rev in
+  let n = List.fold_left ( + ) 0 widths in
+  { n; rows; widths = Array.of_list widths }
+
+let create_rows ~widths = build widths
+
+let create ~n =
+  if n < 1 then invalid_arg "Crumbling_wall.create: n must be >= 1";
+  build (triangle_widths n)
+
+let n t = t.n
+
+let rows t = t.rows
+
+(* Quorum for a slot: pick the full row round-robin among rows that have
+   rows below-or-equal... every row works: full row i plus one element of
+   each row j > i, the representative rotating with the slot. *)
+let quorum t ~slot =
+  if slot < 0 then invalid_arg "Crumbling_wall.quorum: slot must be >= 0";
+  let nrows = List.length t.rows in
+  let full = slot mod nrows in
+  let rep_seed = slot / nrows in
+  let members =
+    List.concat
+      (List.mapi
+         (fun i row ->
+           if i = full then row
+           else if i > full then
+             [ List.nth row (rep_seed mod List.length row) ]
+           else [])
+         t.rows)
+  in
+  List.sort_uniq compare members
+
+let distinct_quorums t =
+  let nrows = List.length t.rows in
+  let max_width = Array.fold_left max 1 t.widths in
+  nrows * max_width
+
+let quorum_size t =
+  let nrows = List.length t.rows in
+  let sizes =
+    List.mapi (fun i row -> List.length row + (nrows - i - 1)) t.rows
+  in
+  List.fold_left max 1 sizes

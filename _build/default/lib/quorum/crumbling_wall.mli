@@ -1,0 +1,21 @@
+(** Crumbling walls (Peleg & Wool, PODC 1995 — cited by the paper).
+
+    Elements are arranged in rows of (possibly different) widths; a
+    quorum is one full row plus one representative from every row below
+    it. Any two quorums intersect: if they use the same full row they
+    share it; otherwise the one with the higher full row contains a
+    representative in the other's full row. Small rows near the top give
+    small quorums; the classic CW(1, 2, 3, ...) triangle wall achieves
+    O(sqrt n) quorums with good load. Row 0 of width 1 would put that
+    single element in every quorum (a wall with a "crack" — degenerate to
+    a hot spot), so our default triangle starts at width 2 except for the
+    trivial universe. *)
+
+include Quorum_intf.S
+
+val rows : t -> int list list
+(** The wall's rows (top to bottom), each a list of element ids. *)
+
+val create_rows : widths:int list -> t
+(** Build a wall with explicit row widths (top to bottom); elements are
+    numbered row-major. Requires all widths [>= 1]. *)

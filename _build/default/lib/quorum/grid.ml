@@ -1,0 +1,34 @@
+type t = { n : int; side : int }
+
+let name = "grid"
+
+let describe = "Maekawa row+column quorums on a sqrt(n) x sqrt(n) grid"
+
+let supported_n n =
+  let n = max 1 n in
+  let r = int_of_float (ceil (sqrt (float_of_int n) -. 1e-9)) in
+  r * r
+
+let create ~n =
+  let r = int_of_float (ceil (sqrt (float_of_int n) -. 1e-9)) in
+  if r * r <> n then
+    invalid_arg "Grid.create: n must be a perfect square (use supported_n)";
+  { n; side = r }
+
+let n t = t.n
+
+let side t = t.side
+
+(* Element ids are 1-based; element e sits at row (e-1)/side, column
+   (e-1) mod side. *)
+let quorum t ~slot =
+  if slot < 0 then invalid_arg "Grid.quorum: slot must be >= 0";
+  let e = slot mod t.n in
+  let row = e / t.side and col = e mod t.side in
+  let row_members = List.init t.side (fun c -> (row * t.side) + c + 1) in
+  let col_members = List.init t.side (fun r -> (r * t.side) + col + 1) in
+  List.sort_uniq compare (row_members @ col_members)
+
+let distinct_quorums t = t.n
+
+let quorum_size t = (2 * t.side) - 1

@@ -1,0 +1,13 @@
+(** Grid (Maekawa-style) quorums: arrange the [n = r^2] elements in a
+    square grid; the quorum of element [e] is [e]'s full row plus [e]'s
+    full column ([2r - 1] elements). Any two row-plus-column sets
+    intersect (a row of one crosses a column of the other), giving
+    O(sqrt n) quorums — Maekawa's classic [sqrt N] mutual-exclusion
+    algorithm (Maekawa 1985, cited by the paper). The access strategy
+    cycles [e] through all [n] elements, which spreads load uniformly:
+    each element appears in [2r - 1] of the [n] quorums. *)
+
+include Quorum_intf.S
+
+val side : t -> int
+(** The grid side [r = sqrt n]. *)

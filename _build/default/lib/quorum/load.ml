@@ -1,0 +1,63 @@
+type profile = {
+  system_name : string;
+  n : int;
+  accesses : int;
+  quorum_size_max : int;
+  quorum_size_mean : float;
+  busiest_element : int;
+  busiest_count : int;
+  load : float;
+  mean_count : float;
+}
+
+let counts (module Q : Quorum_intf.S) ~n ~accesses =
+  let n = Q.supported_n n in
+  let q = Q.create ~n in
+  let counts = Array.make (n + 1) 0 in
+  for slot = 0 to accesses - 1 do
+    List.iter (fun e -> counts.(e) <- counts.(e) + 1) (Q.quorum q ~slot)
+  done;
+  counts
+
+let measure (module Q : Quorum_intf.S) ~n ?accesses () =
+  let n = Q.supported_n n in
+  let q = Q.create ~n in
+  let accesses =
+    match accesses with Some a -> a | None -> Q.distinct_quorums q
+  in
+  let counts = Array.make (n + 1) 0 in
+  let size_sum = ref 0 and size_max = ref 0 in
+  for slot = 0 to accesses - 1 do
+    let members = Q.quorum q ~slot in
+    let size = List.length members in
+    size_sum := !size_sum + size;
+    size_max := max !size_max size;
+    List.iter (fun e -> counts.(e) <- counts.(e) + 1) members
+  done;
+  let busiest_element = ref 0 and busiest_count = ref 0 in
+  let total = ref 0 in
+  for e = 1 to n do
+    total := !total + counts.(e);
+    if counts.(e) > !busiest_count then begin
+      busiest_count := counts.(e);
+      busiest_element := e
+    end
+  done;
+  {
+    system_name = Q.name;
+    n;
+    accesses;
+    quorum_size_max = !size_max;
+    quorum_size_mean = float_of_int !size_sum /. float_of_int (max 1 accesses);
+    busiest_element = !busiest_element;
+    busiest_count = !busiest_count;
+    load = float_of_int !busiest_count /. float_of_int (max 1 accesses);
+    mean_count = float_of_int !total /. float_of_int n;
+  }
+
+let pp_profile ppf p =
+  Format.fprintf ppf
+    "%-15s n=%4d accesses=%4d |Q|max=%3d |Q|mean=%6.2f busiest=e%d \
+     (%d times, load %.3f) mean-participation=%.2f"
+    p.system_name p.n p.accesses p.quorum_size_max p.quorum_size_mean
+    p.busiest_element p.busiest_count p.load p.mean_count

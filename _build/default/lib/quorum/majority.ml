@@ -1,0 +1,23 @@
+type t = { n : int; size : int }
+
+let name = "majority"
+
+let describe = "rotating majority blocks of size floor(n/2)+1"
+
+let supported_n n = max 1 n
+
+let create ~n =
+  if n < 1 then invalid_arg "Majority.create: n must be >= 1";
+  { n; size = (n / 2) + 1 }
+
+let n t = t.n
+
+let quorum t ~slot =
+  if slot < 0 then invalid_arg "Majority.quorum: slot must be >= 0";
+  let start = slot mod t.n in
+  List.sort compare
+    (List.init t.size (fun i -> ((start + i) mod t.n) + 1))
+
+let distinct_quorums t = t.n
+
+let quorum_size t = t.size

@@ -1,0 +1,10 @@
+(** Majority quorums: every set of [floor(n/2) + 1] elements.
+
+    The oldest quorum system (Thomas 1979 / Gifford 1979 vote counting,
+    foundations in Garcia-Molina & Barbara 1985). Optimal fault tolerance,
+    terrible load: every access touches half the universe, so over [n]
+    accesses every element carries Theta(n) messages. The access strategy
+    rotates contiguous blocks [slot, slot + m) (mod n) so the load is at
+    least spread evenly. *)
+
+include Quorum_intf.S

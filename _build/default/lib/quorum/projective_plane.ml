@@ -1,0 +1,77 @@
+type t = { q : int; n : int; lines : int array array }
+
+let name = "projective-plane"
+
+let describe = "lines of PG(2,q): |Q| = q+1 ~ sqrt(n), optimal load"
+
+let is_prime q =
+  q >= 2
+  &&
+  let rec check d = d * d > q || (q mod d <> 0 && check (d + 1)) in
+  check 2
+
+let plane_size q = (q * q) + q + 1
+
+let supported_n n =
+  let n = max 3 n in
+  let rec search q =
+    if is_prime q && plane_size q >= n then plane_size q else search (q + 1)
+  in
+  search 2
+
+(* Canonical homogeneous coordinates over GF(q): (1,a,b), (0,1,a) and
+   (0,0,1) enumerate each projective point exactly once. *)
+let points q =
+  let pts = ref [] in
+  pts := (0, 0, 1) :: !pts;
+  for a = 0 to q - 1 do
+    pts := (0, 1, a) :: !pts
+  done;
+  for a = 0 to q - 1 do
+    for b = 0 to q - 1 do
+      pts := (1, a, b) :: !pts
+    done
+  done;
+  Array.of_list (List.rev !pts)
+
+let create ~n =
+  let q =
+    let rec search q =
+      if is_prime q && plane_size q = n then q
+      else if plane_size q > n then
+        invalid_arg
+          "Projective_plane.create: n must be q^2+q+1, q prime (use \
+           supported_n)"
+      else search (q + 1)
+    in
+    search 2
+  in
+  let pts = points q in
+  let dot (a, b, c) (x, y, z) = ((a * x) + (b * y) + (c * z)) mod q in
+  (* Lines have the same canonical coordinates as points (duality);
+     point P lies on line L iff <P, L> = 0 (mod q). *)
+  let lines =
+    Array.map
+      (fun line ->
+        let members = ref [] in
+        Array.iteri
+          (fun i p -> if dot line p = 0 then members := (i + 1) :: !members)
+          pts;
+        Array.of_list (List.rev !members))
+      pts
+  in
+  { q; n; lines }
+
+let n t = t.n
+
+let order t = t.q
+
+let quorum t ~slot =
+  if slot < 0 then invalid_arg "Projective_plane.quorum: slot must be >= 0";
+  Array.to_list t.lines.(slot mod t.n)
+
+let distinct_quorums t = t.n
+
+let quorum_size t = t.q + 1
+
+let lines t = Array.to_list (Array.map Array.to_list t.lines)

@@ -1,0 +1,21 @@
+(** Finite-projective-plane quorums — the load-optimal construction.
+
+    The points of the projective plane PG(2, q) over GF(q) (q prime) form
+    a universe of [n = q^2 + q + 1] elements; the quorums are the plane's
+    lines. Every line has exactly [q + 1 ~ sqrt n] points, every point
+    lies on exactly [q + 1] lines, and {e any two distinct lines meet in
+    exactly one point} — the tightest possible intersection. Rotating
+    through all [n] lines gives load [(q+1)/n ~ 1/sqrt n], which is
+    optimal for any quorum system (Naor & Wool), making this the
+    strongest quorum baseline against the paper's counter in E5/E8.
+
+    Supported universe sizes are [q^2 + q + 1] for prime [q]
+    ({!supported_n} rounds up). *)
+
+include Quorum_intf.S
+
+val order : t -> int
+(** The plane's order [q]. *)
+
+val lines : t -> int list list
+(** All [n] lines (each sorted), for structural tests. *)

@@ -1,0 +1,63 @@
+type t = { n : int; levels : int }
+
+let name = "tree"
+
+let describe = "Agrawal-El Abbadi tree quorums (root-to-leaf paths)"
+
+(* Universe sizes are 2^h - 1 (complete binary trees). *)
+let supported_n n =
+  let n = max 1 n in
+  let rec grow size = if size >= n then size else grow ((2 * size) + 1) in
+  grow 1
+
+let create ~n =
+  if supported_n n <> n then
+    invalid_arg "Tree_quorum.create: n must be 2^h - 1 (use supported_n)";
+  let rec height size acc = if size <= 0 then acc else height (size / 2) (acc + 1) in
+  { n; levels = height n 0 }
+
+let n t = t.n
+
+let levels t = t.levels
+
+(* Heap layout: element e (1-based) has children 2e and 2e+1; leaves are
+   elements (n+1)/2 .. n. *)
+let num_leaves t = (t.n + 1) / 2
+
+let path_quorum t ~leaf =
+  if leaf < 0 || leaf >= num_leaves t then
+    invalid_arg "Tree_quorum.path_quorum: bad leaf";
+  let rec climb acc e = if e = 0 then acc else climb (e :: acc) (e / 2) in
+  climb [] (num_leaves t + leaf)
+
+let quorum t ~slot =
+  if slot < 0 then invalid_arg "Tree_quorum.quorum: slot must be >= 0";
+  path_quorum t ~leaf:(slot mod num_leaves t)
+
+let distinct_quorums t = num_leaves t
+
+let quorum_size t = t.levels
+
+let recovery_quorum t ~failed =
+  (* quorum(e): if e alive then {e} + quorum(child) for some child, else
+     quorum(left) + quorum(right); leaves: {e} if alive else None. *)
+  let rec build e =
+    let is_leaf = 2 * e > t.n in
+    if failed e then
+      if is_leaf then None
+      else
+        (* Replace the failed node by quorums of both children. *)
+        match (build (2 * e), build ((2 * e) + 1)) with
+        | Some l, Some r -> Some (l @ r)
+        | _ -> None
+    else if is_leaf then Some [ e ]
+    else
+      (* Prefer the left child's quorum, fall back to the right. *)
+      match build (2 * e) with
+      | Some q -> Some (e :: q)
+      | None -> (
+          match build ((2 * e) + 1) with
+          | Some q -> Some (e :: q)
+          | None -> None)
+  in
+  Option.map (List.sort_uniq compare) (build 1)

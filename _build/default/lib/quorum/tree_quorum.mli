@@ -1,0 +1,26 @@
+(** Tree quorums (Agrawal & El Abbadi 1990).
+
+    Elements are arranged in a complete binary tree. A quorum is obtained
+    by the recursive rule: the quorum of a subtree is either its root plus
+    a quorum of one child subtree, or quorums of both child subtrees
+    (replacing the root). In the failure-free case the cheapest quorums
+    are root-to-leaf paths of size [log2 (n+1)] — exponentially smaller
+    than majorities — but every cheap quorum contains the tree root, so
+    the root is a bottleneck carrying load Theta(1) per access: a nice
+    quorum-world illustration of the hot-spot phenomenon the paper
+    formalises. The access strategy rotates over the [ (n+1)/2 ]
+    root-to-leaf paths. *)
+
+include Quorum_intf.S
+
+val levels : t -> int
+(** Tree height: quorums (paths) have this size. *)
+
+val path_quorum : t -> leaf:int -> int list
+(** The root-to-leaf path quorum for a given leaf index (0-based among
+    leaves). *)
+
+val recovery_quorum : t -> failed:(int -> bool) -> int list option
+(** A quorum avoiding failed elements, per the recursive substitution
+    rule ([None] if the failures hit every quorum). Used by the probe
+    experiment. *)

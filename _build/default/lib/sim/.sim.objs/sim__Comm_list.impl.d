@@ -1,0 +1,1 @@
+lib/sim/comm_list.ml: Array Format List String Trace

@@ -1,0 +1,1 @@
+lib/sim/comm_list.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/sim/dag.ml: Array Buffer Hashtbl Printf Trace

@@ -1,0 +1,1 @@
+lib/sim/delay.ml: Format Printf Rng String

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Delay Hashtbl Heap Logs Metrics Option Printf Rng Trace

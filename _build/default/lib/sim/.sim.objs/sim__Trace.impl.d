@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Bytes Format Hashtbl Int List Printf Set String

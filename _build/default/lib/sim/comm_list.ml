@@ -1,0 +1,33 @@
+type t = { nodes : int array }
+
+let of_trace trace =
+  let origin = Trace.origin trace in
+  (* Delivery order is a topological order of the process DAG. Each message
+     adds its receiver as the next node; consecutive repeats of the same
+     processor collapse into one node. The sender of the first message is
+     the origin by construction of a process. *)
+  let rev =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+        match acc with
+        | last :: _ when last = e.dst -> acc
+        | _ -> e.dst :: acc)
+      [ origin ]
+      (Trace.events trace)
+  in
+  { nodes = Array.of_list (List.rev rev) }
+
+let nodes t = Array.to_list t.nodes
+
+let length t = Array.length t.nodes - 1
+
+let origin t = t.nodes.(0)
+
+let label t j =
+  if j < 1 || j > Array.length t.nodes then
+    invalid_arg "Comm_list.label: position out of range"
+  else t.nodes.(j - 1)
+
+let pp ppf t =
+  Format.pp_print_string ppf
+    (String.concat " -> " (List.map string_of_int (nodes t)))

@@ -1,0 +1,42 @@
+(** Communication lists — the linearised process DAGs of the lower-bound
+    proof (Fig. 2 of the paper).
+
+    The proof of the Lower Bound Theorem replaces the communication DAG of
+    an [inc] process by "a topologically sorted linear list of the nodes of
+    the DAG", so that each DAG arc corresponds to a path in the list and the
+    list's arc count lower-bounds nothing — it *equals* the number of list
+    arcs, which is what the weight function is defined over. The list starts
+    at the initiating processor (the source of the DAG).
+
+    We build the list from a {!Trace}: delivery order is a valid topological
+    order of the DAG, each delivered message contributes the receiving
+    processor as the next node, and consecutive duplicate labels are merged
+    (a processor performing several communications back-to-back is one DAG
+    node performing "some communication"). The length of the list — its
+    number of arcs — is what the adversary of {!Core.Adversary} maximises,
+    and the per-position processor labels [p_i_j] are what the weight
+    function [w_i = sum_j m(p_i_j) / 2^j] reads. *)
+
+type t
+
+val of_trace : Trace.t -> t
+(** Linearise a process trace. A trace with no messages yields the singleton
+    list [\[origin\]] of length 0. *)
+
+val nodes : t -> int list
+(** Processor labels [p_1; p_2; ...] in topological order. The head is the
+    initiating processor. *)
+
+val length : t -> int
+(** Number of arcs, i.e. [List.length (nodes t) - 1]. This is the quantity
+    called [l_i] / [L_i] in the proof. *)
+
+val origin : t -> int
+(** The initiating processor (head of {!nodes}). *)
+
+val label : t -> int -> int
+(** [label t j] is the processor at 1-based position [j] (the paper indexes
+    list nodes from 1). Raises [Invalid_argument] if out of range. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders like the paper's Fig. 2: [11 -> 17 -> 7 -> 3 -> ...]. *)

@@ -1,0 +1,66 @@
+type t = {
+  origin : int;
+  events : Trace.event array;  (* delivery order *)
+  depths : int array;  (* causal depth of each event; source = 0 *)
+}
+
+let of_trace trace =
+  let events = Array.of_list (Trace.events trace) in
+  (* Map seq -> position for parent lookups. *)
+  let index = Hashtbl.create (Array.length events) in
+  Array.iteri (fun i (e : Trace.event) -> Hashtbl.replace index e.seq i) events;
+  let depths = Array.make (Array.length events) 1 in
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      match Hashtbl.find_opt index e.parent with
+      | Some p when p < i -> depths.(i) <- depths.(p) + 1
+      | Some _ | None -> depths.(i) <- 1)
+    events;
+  { origin = Trace.origin trace; events; depths }
+
+let event_count t = Array.length t.events
+
+let critical_path t = Array.fold_left max 0 t.depths
+
+let depth_profile t =
+  let deepest = critical_path t in
+  let profile = Array.make deepest 0 in
+  Array.iter (fun d -> profile.(d - 1) <- profile.(d - 1) + 1) t.depths;
+  profile
+
+let max_width t = Array.fold_left max 0 (depth_profile t)
+
+let consistent_with_delivery_order t =
+  let seen = Hashtbl.create (Array.length t.events) in
+  Array.for_all
+    (fun (e : Trace.event) ->
+      let ok = e.parent = 0 || Hashtbl.mem seen e.parent in
+      Hashtbl.replace seen e.seq ();
+      ok)
+    t.events
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph inc_process {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  source [label=\"%d\", shape=doublecircle];\n" t.origin);
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      Buffer.add_string buf (Printf.sprintf "  e%d [label=\"%d\"];\n" i e.dst))
+    t.events;
+  let index = Hashtbl.create (Array.length t.events) in
+  Array.iteri (fun i (e : Trace.event) -> Hashtbl.replace index e.seq i) t.events;
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      let parent_node =
+        match Hashtbl.find_opt index e.parent with
+        | Some p when p < i -> Printf.sprintf "e%d" p
+        | Some _ | None -> "source"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> e%d [label=\"%s@%.1f\"];\n" parent_node i
+           e.tag e.time))
+    t.events;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

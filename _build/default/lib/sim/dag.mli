@@ -1,0 +1,50 @@
+(** The exact process DAG of an operation (the paper's Fig. 1).
+
+    Every delivered message knows its causal parent — the delivery during
+    whose handling it was sent ({!Trace.event.parent}; local timers
+    propagate the parent of the event that armed them). That turns a
+    trace into the genuine partially-ordered set of events the paper
+    models an [inc] process as, rather than the linear delivery-order
+    approximation:
+
+    - nodes are the message deliveries plus a virtual source for the
+      initiating processor;
+    - arcs go from the event that caused a message to the message's
+      delivery;
+    - the {e depth} of an event is its causal distance from the source —
+      under the unit-delay convention, exactly the virtual time at which
+      it happens;
+    - the {!critical_path} is the longest causal message chain — the
+      operation's inherent latency no matter how parallel the network is;
+    - {!max_width} is the largest number of causally-incomparable
+      same-depth events — how much the process fans out (retirement
+      cascades do; a plain climb to the root does not).
+
+    {!to_dot} renders the exact Fig. 1; {!Trace.to_dot} remains the
+    occurrence-merging variant that needs no parent information. *)
+
+type t
+
+val of_trace : Trace.t -> t
+
+val event_count : t -> int
+(** Message deliveries in the process (the virtual source excluded). *)
+
+val critical_path : t -> int
+(** Length in messages of the longest causal chain ([0] for a local
+    operation). *)
+
+val max_width : t -> int
+(** Maximum number of events at the same causal depth ([0] for a local
+    operation): the process's peak parallelism. *)
+
+val depth_profile : t -> int array
+(** [depth_profile t].(d) = number of events at causal depth [d+1]. *)
+
+val consistent_with_delivery_order : t -> bool
+(** Every event's parent was delivered before it — the engine guarantees
+    this (delivery order is a topological order); asserted in tests. *)
+
+val to_dot : t -> string
+(** Exact Graphviz rendering: one node per delivery (labelled with the
+    receiving processor), the virtual source labelled with the origin. *)

@@ -1,0 +1,31 @@
+(** Binary min-heap keyed by float priority, with FIFO tie-breaking.
+
+    This is the event queue of the discrete-event engine. Ties are broken by
+    insertion order so that two messages scheduled for the same instant are
+    delivered in the order they were sent — which keeps runs deterministic
+    even under the [Constant] delay model where every delivery time
+    collides. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:float -> 'a -> unit
+(** [push t ~prio x] inserts [x] with priority [prio]. O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element (earliest inserted among
+    equals), or [None] when empty. O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Returns the element [pop] would return, without removing it. O(1). *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive: all elements in pop order. O(n log n); for tests and
+    debugging output. *)

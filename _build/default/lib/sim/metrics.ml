@@ -1,0 +1,106 @@
+type t = {
+  n : int;
+  mutable sent : int array;  (* index = processor id; slot 0 unused *)
+  mutable recv : int array;
+  mutable total : int;
+}
+
+let create ~n =
+  { n; sent = Array.make (n + 2) 0; recv = Array.make (n + 2) 0; total = 0 }
+
+let n t = t.n
+
+let grow t p =
+  let cap = Array.length t.sent in
+  if p >= cap then begin
+    let new_cap = max (p + 1) (2 * cap) in
+    let sent = Array.make new_cap 0 and recv = Array.make new_cap 0 in
+    Array.blit t.sent 0 sent 0 cap;
+    Array.blit t.recv 0 recv 0 cap;
+    t.sent <- sent;
+    t.recv <- recv
+  end
+
+let on_send t p =
+  if p < 1 then invalid_arg "Metrics.on_send: processor ids start at 1";
+  grow t p;
+  t.sent.(p) <- t.sent.(p) + 1;
+  t.total <- t.total + 1
+
+let on_recv t p =
+  if p < 1 then invalid_arg "Metrics.on_recv: processor ids start at 1";
+  grow t p;
+  t.recv.(p) <- t.recv.(p) + 1
+
+let sent t p = if p < Array.length t.sent then t.sent.(p) else 0
+
+let received t p = if p < Array.length t.recv then t.recv.(p) else 0
+
+let load t p = sent t p + received t p
+
+let total_messages t = t.total
+
+let total_load t =
+  let acc = ref 0 in
+  Array.iter (fun c -> acc := !acc + c) t.sent;
+  Array.iter (fun c -> acc := !acc + c) t.recv;
+  !acc
+
+let average_load t = if t.n = 0 then 0. else float_of_int (total_load t) /. float_of_int t.n
+
+let bottleneck t =
+  let best_p = ref 0 and best = ref 0 in
+  for p = 1 to Array.length t.sent - 1 do
+    let l = load t p in
+    if l > !best then begin
+      best := l;
+      best_p := p
+    end
+  done;
+  (!best_p, !best)
+
+let loads t =
+  let acc = ref [] in
+  for p = Array.length t.sent - 1 downto 1 do
+    let l = load t p in
+    if l > 0 then acc := (p, l) :: !acc
+  done;
+  !acc
+
+let load_array t =
+  Array.init (t.n + 1) (fun p -> if p = 0 then 0 else load t p)
+
+let overflow_processors t =
+  let count = ref 0 in
+  for p = t.n + 1 to Array.length t.sent - 1 do
+    if load t p > 0 then incr count
+  done;
+  !count
+
+let reset t =
+  Array.fill t.sent 0 (Array.length t.sent) 0;
+  Array.fill t.recv 0 (Array.length t.recv) 0;
+  t.total <- 0
+
+let copy t =
+  { n = t.n; sent = Array.copy t.sent; recv = Array.copy t.recv; total = t.total }
+
+let merge_into ~dst src =
+  for p = 1 to Array.length src.sent - 1 do
+    if src.sent.(p) > 0 then begin
+      grow dst p;
+      dst.sent.(p) <- dst.sent.(p) + src.sent.(p)
+    end;
+    if src.recv.(p) > 0 then begin
+      grow dst p;
+      dst.recv.(p) <- dst.recv.(p) + src.recv.(p)
+    end
+  done;
+  dst.total <- dst.total + src.total
+
+let pp_summary ppf t =
+  let p, b = bottleneck t in
+  Format.fprintf ppf
+    "messages=%d total_load=%d avg_load=%.2f bottleneck=p%d(load %d) overflow=%d"
+    (total_messages t) (total_load t) (average_load t) p b
+    (overflow_processors t)

@@ -1,0 +1,67 @@
+(** Per-processor message-load accounting.
+
+    Section 3 of the paper defines the message load [m_p] of processor [p]
+    as the number of messages [p] sends or receives over an operation
+    sequence, and the bottleneck processor as one maximising [m_p]. This
+    module is the ground truth for every experiment: {!Network} calls
+    {!on_send} and {!on_recv} for each message, attributed to *processor
+    identifiers* (not protocol roles), exactly as the paper counts.
+
+    The table auto-grows: protocols that hire replacement processors beyond
+    the initial [n] (see the discussion of replacement supply in DESIGN.md)
+    are still accounted for, and [overflow_processors] reports how many such
+    hires occurred. *)
+
+type t
+
+val create : n:int -> t
+(** Accounting table for processors [1 .. n] (auto-growing above [n]). *)
+
+val n : t -> int
+(** The declared number of processors. *)
+
+val on_send : t -> int -> unit
+
+val on_recv : t -> int -> unit
+
+val sent : t -> int -> int
+(** Messages sent by a processor so far. *)
+
+val received : t -> int -> int
+
+val load : t -> int -> int
+(** [m_p = sent + received]. *)
+
+val total_messages : t -> int
+(** Total messages exchanged (each message counted once). *)
+
+val total_load : t -> int
+(** [sum_p m_p = 2 * total_messages]. *)
+
+val average_load : t -> float
+(** [total_load / n] — the quantity [2L] guaranteeing a bottleneck
+    processor of load at least itself. *)
+
+val bottleneck : t -> int * int
+(** [(p, m_p)] for a processor maximising the load (smallest id wins
+    ties). [(0, 0)] when no message has flowed. *)
+
+val loads : t -> (int * int) list
+(** All [(p, m_p)] with [m_p > 0], ascending processor id. *)
+
+val load_array : t -> int array
+(** Dense array of loads for processors [1 .. n] (index 0 unused);
+    processors above [n] are *not* included — use {!loads} for those. *)
+
+val overflow_processors : t -> int
+(** Number of processors with id > n that exchanged at least one message. *)
+
+val reset : t -> unit
+
+val copy : t -> t
+(** Independent deep copy of the current counts. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add all counts of the source into [dst] (for aggregating repetitions). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,196 @@
+let log_src = Logs.Src.create "sim.network" ~doc:"Discrete-event network"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type 'msg envelope = { src : int; dst : int; payload : 'msg; parent : int }
+
+(* Pending events: message deliveries (charged to metrics and traces) and
+   local timer expirations (free — a processor consulting its own clock). *)
+type 'msg event =
+  | Deliver of 'msg envelope
+  | Local of int * (unit -> unit)
+      (* timer with the causal parent of the event that scheduled it *)
+
+type 'msg t = {
+  n : int;
+  rng : Rng.t;
+  delay : Delay.t;
+  label : 'msg -> string;
+  bits : 'msg -> int;
+  queue : 'msg event Heap.t;
+  metrics : Metrics.t;
+  mutable handler : (self:int -> src:int -> 'msg -> unit) option;
+  mutable clock : float;
+  mutable deliveries : int;
+  mutable trace : Trace.t option;
+  mutable op_count : int;
+  mutable total_bits : int;
+  mutable max_message_bits : int;
+  mutable current_event : int;
+      (* seq of the delivery being handled; 0 outside handlers *)
+  fifo_links : ((int * int), float) Hashtbl.t option;
+      (* when FIFO links are on: last scheduled arrival per (src, dst) *)
+}
+
+let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
+    ?(fifo = false) ~n () =
+  let label = match label with Some f -> f | None -> fun _ -> "msg" in
+  let bits = match bits with Some f -> f | None -> fun _ -> 0 in
+  {
+    n;
+    rng = Rng.create ~seed;
+    delay;
+    label;
+    bits;
+    queue = Heap.create ();
+    metrics = Metrics.create ~n;
+    handler = None;
+    clock = 0.;
+    deliveries = 0;
+    trace = None;
+    op_count = 0;
+    total_bits = 0;
+    max_message_bits = 0;
+    current_event = 0;
+    fifo_links = (if fifo then Some (Hashtbl.create 64) else None);
+  }
+
+let set_handler t h = t.handler <- Some h
+
+let n t = t.n
+
+let rng t = t.rng
+
+let now t = t.clock
+
+let metrics t = t.metrics
+
+let pending t = Heap.size t.queue
+
+let deliveries t = t.deliveries
+
+let send t ~src ~dst payload =
+  if src < 1 || dst < 1 then invalid_arg "Network.send: ids start at 1";
+  Metrics.on_send t.metrics src;
+  let size = t.bits payload in
+  t.total_bits <- t.total_bits + size;
+  if size > t.max_message_bits then t.max_message_bits <- size;
+  let arrival = t.clock +. Delay.sample t.delay t.rng in
+  let arrival =
+    match t.fifo_links with
+    | None -> arrival
+    | Some last ->
+        (* FIFO links: a message never overtakes an earlier one on the
+           same (src, dst) channel. *)
+        let a =
+          match Hashtbl.find_opt last (src, dst) with
+          | Some prev when prev >= arrival -> prev +. 1e-9
+          | _ -> arrival
+        in
+        Hashtbl.replace last (src, dst) a;
+        a
+  in
+  Heap.push t.queue ~prio:arrival
+    (Deliver { src; dst; payload; parent = t.current_event })
+
+let schedule_local t ~delay callback =
+  if delay < 0. then invalid_arg "Network.schedule_local: negative delay";
+  Heap.push t.queue ~prio:(t.clock +. delay) (Local (t.current_event, callback))
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, Local (parent, callback)) ->
+      t.clock <- max t.clock at;
+      (* The timer's effects are causal consequences of the event that
+         armed it. *)
+      let saved = t.current_event in
+      t.current_event <- parent;
+      callback ();
+      t.current_event <- saved;
+      true
+  | Some (arrival, Deliver env) ->
+      let handler =
+        match t.handler with
+        | Some h -> h
+        | None -> failwith "Network.step: no handler installed"
+      in
+      t.clock <- max t.clock arrival;
+      t.deliveries <- t.deliveries + 1;
+      Log.debug (fun m ->
+          m "t=%.3f deliver %d -> %d [%s]" t.clock env.src env.dst
+            (t.label env.payload));
+      Metrics.on_recv t.metrics env.dst;
+      (match t.trace with
+      | Some trace ->
+          Trace.record trace
+            {
+              Trace.seq = t.deliveries;
+              time = t.clock;
+              src = env.src;
+              dst = env.dst;
+              tag = t.label env.payload;
+              parent = env.parent;
+            }
+      | None -> ());
+      let saved = t.current_event in
+      t.current_event <- t.deliveries;
+      handler ~self:env.dst ~src:env.src env.payload;
+      t.current_event <- saved;
+      true
+
+let run_to_quiescence ?(max_steps = 100_000_000) t =
+  let rec loop count =
+    if count >= max_steps then
+      failwith
+        (Printf.sprintf
+           "Network.run_to_quiescence: exceeded %d deliveries; protocol \
+            probably diverges"
+           max_steps)
+    else if step t then loop (count + 1)
+    else count
+  in
+  loop 0
+
+let clone_quiescent t =
+  if Heap.size t.queue > 0 then
+    failwith "Network.clone_quiescent: messages pending";
+  if t.trace <> None then
+    failwith "Network.clone_quiescent: an operation is open";
+  {
+    n = t.n;
+    rng = Rng.copy t.rng;
+    delay = t.delay;
+    label = t.label;
+    bits = t.bits;
+    queue = Heap.create ();
+    metrics = Metrics.copy t.metrics;
+    handler = None;
+    clock = t.clock;
+    deliveries = t.deliveries;
+    trace = None;
+    op_count = t.op_count;
+    total_bits = t.total_bits;
+    max_message_bits = t.max_message_bits;
+    current_event = 0;
+    fifo_links = Option.map Hashtbl.copy t.fifo_links;
+  }
+
+let in_op t = t.trace <> None
+
+let begin_op t ~origin =
+  if in_op t then failwith "Network.begin_op: an operation is already open";
+  t.trace <-
+    Some (Trace.create ~start_time:t.clock ~op_index:t.op_count ~origin ());
+  t.op_count <- t.op_count + 1
+
+let total_bits t = t.total_bits
+
+let max_message_bits t = t.max_message_bits
+
+let end_op t =
+  match t.trace with
+  | None -> failwith "Network.end_op: no operation open"
+  | Some trace ->
+      t.trace <- None;
+      trace

@@ -1,0 +1,106 @@
+(** Discrete-event asynchronous message-passing network.
+
+    This is the paper's model (Section 2): [n] processors uniquely
+    identified by the integers [1 .. n], every pair can exchange messages
+    directly, no shared memory, no failures, and a message arrives an
+    unbounded but finite time after it was sent (here: a {!Delay} sample on
+    a deterministic {!Rng} stream). Message handling is event-driven: the
+    engine pops the earliest pending delivery, charges the receive to the
+    destination processor's {!Metrics}, records it on the active {!Trace}
+    (if an operation is open), and invokes the protocol handler, which may
+    send further messages.
+
+    One network instance hosts one protocol. Protocols with different
+    message types instantiate their own ['msg t]. *)
+
+type 'msg t
+
+val create :
+  ?seed:int ->
+  ?delay:Delay.t ->
+  ?label:('msg -> string) ->
+  ?bits:('msg -> int) ->
+  ?fifo:bool ->
+  n:int ->
+  unit ->
+  'msg t
+(** [create ~n ()] builds a quiescent network of processors [1 .. n].
+    [seed] (default 0xC0FFEE) seeds the private random stream; [delay]
+    (default {!Delay.default}) is the latency model; [label] renders
+    payloads for traces (default: ["msg"]); [bits] measures payload sizes
+    for the message-length accounting of {!total_bits} /
+    {!max_message_bits} (default: messages are unmeasured, size 0);
+    [fifo] (default false) makes each directed (src, dst) link deliver in
+    send order even under reordering delay models — the TCP-like
+    assumption many protocols quietly rely on. The paper's model does
+    not require it and neither do our protocols (tested both ways). *)
+
+val set_handler : 'msg t -> (self:int -> src:int -> 'msg -> unit) -> unit
+(** Install the protocol: [handler ~self ~src msg] runs when processor
+    [self] receives [msg] from [src]. Must be installed before the first
+    {!step}. The handler may call {!send}. *)
+
+val n : 'msg t -> int
+
+val rng : 'msg t -> Rng.t
+(** The network's private random stream (shared with delay sampling; draw
+    from a {!Rng.split} of it if the protocol needs its own stream). *)
+
+val now : 'msg t -> float
+(** Current virtual time. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueue a message. Charges a send to [src] immediately; the receive is
+    charged to [dst] at delivery. [src] and [dst] may be any positive ids
+    (ids above [n] model hired replacement processors and are tracked by
+    {!Metrics.overflow_processors}). Self-sends are allowed and still cost
+    two message charges — a processor talking to itself over the network
+    pays for it, which protocols avoid by handling locally instead. *)
+
+val schedule_local : 'msg t -> delay:float -> (unit -> unit) -> unit
+(** Schedule a local timer: [callback] runs at [now + delay]. Timers model
+    a processor consulting its own clock (combining windows, prism
+    timeouts) — they are not messages, so they charge no load and appear
+    in no trace. The engine stays non-quiescent until all timers fired. *)
+
+val pending : 'msg t -> int
+(** Number of undelivered messages and unfired timers. *)
+
+val step : 'msg t -> bool
+(** Deliver the earliest pending message. Returns [false] if none pending. *)
+
+val run_to_quiescence : ?max_steps:int -> 'msg t -> int
+(** Deliver until no message is pending; returns the number of deliveries.
+    Raises [Failure] after [max_steps] (default 100 million) deliveries —
+    a guard against protocol bugs that generate infinite message storms. *)
+
+val metrics : 'msg t -> Metrics.t
+
+val total_bits : 'msg t -> int
+(** Sum of payload sizes of all sent messages (per the [bits] function
+    given at {!create}). *)
+
+val max_message_bits : 'msg t -> int
+(** Largest single payload seen — the paper's "messages as short as
+    O(log n) bits" claim is checked against this. *)
+
+val begin_op : 'msg t -> origin:int -> unit
+(** Open an operation trace attributed to [origin]. Subsequent deliveries
+    are recorded until {!end_op}. Raises if an operation is already open. *)
+
+val end_op : 'msg t -> Trace.t
+(** Close the open operation and return its trace. Raises if none open. *)
+
+val in_op : 'msg t -> bool
+
+val deliveries : 'msg t -> int
+(** Total deliveries since creation. *)
+
+val clone_quiescent : 'msg t -> 'msg t
+(** Deep copy of a quiescent network (no pending messages, no open
+    operation): same metrics counts, clock, random-stream position and
+    operation counter, so the clone's future behaviour matches what the
+    original's would be. The protocol handler is NOT carried over — the
+    protocol must install a fresh handler (closing over its own cloned
+    state) via {!set_handler}. Raises [Failure] if messages are pending or
+    an operation is open. *)

@@ -1,0 +1,136 @@
+type event = {
+  seq : int;
+  time : float;
+  src : int;
+  dst : int;
+  tag : string;
+  parent : int;
+}
+
+type t = {
+  op_index : int;
+  origin : int;
+  start_time : float;
+  mutable rev_events : event list;
+  mutable count : int;
+}
+
+let create ?(start_time = 0.) ~op_index ~origin () =
+  { op_index; origin; start_time; rev_events = []; count = 0 }
+
+let op_index t = t.op_index
+
+let origin t = t.origin
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+
+let message_count t = t.count
+
+let duration t =
+  match t.rev_events with
+  | [] -> 0.
+  | last :: _ -> last.time -. t.start_time
+
+module Int_set = Set.Make (Int)
+
+let processor_set t =
+  List.fold_left
+    (fun acc e -> Int_set.add e.src (Int_set.add e.dst acc))
+    (Int_set.singleton t.origin) t.rev_events
+
+let processors t = Int_set.elements (processor_set t)
+
+let touches t q = Int_set.mem q (processor_set t)
+
+let intersects a b =
+  not (Int_set.is_empty (Int_set.inter (processor_set a) (processor_set b)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>op #%d initiated by processor %d (%d messages)@,"
+    t.op_index t.origin t.count;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %4d -(%s)-> %-4d @@ t=%.3f@," e.src e.tag e.dst
+        e.time)
+    (events t);
+  Format.fprintf ppf "@]"
+
+let pp_compact ppf t =
+  Format.fprintf ppf "op#%d p%d:" t.op_index t.origin;
+  List.iter (fun e -> Format.fprintf ppf " %d>%d" e.src e.dst) (events t)
+
+let pp_lanes ppf t =
+  let procs = processors t in
+  let lane_width = 8 in
+  let column =
+    let table = Hashtbl.create 16 in
+    List.iteri (fun i p -> Hashtbl.replace table p i) procs;
+    fun p -> Hashtbl.find table p
+  in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%s@,"
+    (String.concat ""
+       (List.map
+          (fun p -> Printf.sprintf "%-*s" lane_width ("p" ^ string_of_int p))
+          procs));
+  List.iter
+    (fun e ->
+      let a = column e.src and b = column e.dst in
+      let lo = min a b and hi = max a b in
+      let line = Bytes.make (lane_width * List.length procs) ' ' in
+      for i = (lo * lane_width) + 1 to (hi * lane_width) - 1 do
+        Bytes.set line i '-'
+      done;
+      Bytes.set line (a * lane_width) '*';
+      Bytes.set line (b * lane_width) (if b > a then '>' else '<');
+      (* Self-sends: both roles on one lane. *)
+      if a = b then Bytes.set line (a * lane_width) '@';
+      Format.fprintf ppf "%s %s t=%.1f@," (Bytes.to_string line) e.tag e.time)
+    (events t);
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  (* One DAG node per processor occurrence: a processor that receives a
+     message after it already sent from its current occurrence starts a
+     new occurrence (e.g. the initiator reappearing to receive the
+     value). *)
+  let buf = Buffer.create 512 in
+  let current : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let has_outgoing : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let next_occ = ref 0 in
+  let fresh proc =
+    let occ = !next_occ in
+    incr next_occ;
+    Hashtbl.replace current proc occ;
+    Buffer.add_string buf
+      (Printf.sprintf "  o%d [label=\"%d\"];\n" occ proc);
+    occ
+  in
+  let occurrence_for_send proc =
+    match Hashtbl.find_opt current proc with
+    | Some occ -> occ
+    | None -> fresh proc
+  in
+  let occurrence_for_receive proc =
+    match Hashtbl.find_opt current proc with
+    | Some occ when not (Hashtbl.mem has_outgoing occ) -> occ
+    | Some _ | None -> fresh proc
+  in
+  Buffer.add_string buf "digraph inc_process {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  ignore (fresh t.origin);
+  List.iter
+    (fun e ->
+      let src_occ = occurrence_for_send e.src in
+      Hashtbl.replace has_outgoing src_occ ();
+      let dst_occ = occurrence_for_receive e.dst in
+      Buffer.add_string buf
+        (Printf.sprintf "  o%d -> o%d [label=\"%s@%.1f\"];\n" src_occ dst_occ
+           e.tag e.time))
+    (events t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/structures/central_object.ml: List Sequential_object Sim

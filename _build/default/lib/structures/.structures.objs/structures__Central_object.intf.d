@@ -1,0 +1,1 @@
+lib/structures/central_object.mli: Sequential_object Sim

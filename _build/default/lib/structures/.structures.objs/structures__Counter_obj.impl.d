@@ -1,0 +1,1 @@
+lib/structures/counter_obj.ml:

@@ -1,0 +1,1 @@
+lib/structures/flip_bit.ml:

@@ -1,0 +1,1 @@
+lib/structures/leftist_heap.mli:

@@ -1,0 +1,1 @@
+lib/structures/max_register.ml: Printf

@@ -1,0 +1,1 @@
+lib/structures/priority_queue_obj.ml: Leftist_heap Printf

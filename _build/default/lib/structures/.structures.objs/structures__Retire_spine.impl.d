@@ -1,0 +1,1 @@
+lib/structures/retire_spine.ml: Array Core List Printf Sequential_object Sim

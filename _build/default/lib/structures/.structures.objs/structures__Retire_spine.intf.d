@@ -1,0 +1,1 @@
+lib/structures/retire_spine.mli: Core Sequential_object Sim

@@ -1,0 +1,1 @@
+lib/structures/sequential_object.ml:

@@ -1,0 +1,20 @@
+(** The distributed counter as a {!Sequential_object.OBJECT} — the
+    paper's structure, re-derived from the generic spine so the test
+    suite can confirm the generic machinery reproduces the hand-written
+    {!Core.Retire_counter} message for message. *)
+
+type state = int
+
+type operation = Inc
+
+type result = int
+
+let name = "counter"
+
+let initial = 0
+
+let apply state Inc = (state + 1, state)
+
+let operation_to_string Inc = "inc"
+
+let result_to_string = string_of_int

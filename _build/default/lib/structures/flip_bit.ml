@@ -1,0 +1,23 @@
+(** "A bit that can be accessed and flipped" — the paper's first example
+    of a data structure the lower bound extends to: whether a flip
+    returns [true] or [false] depends on every preceding flip, so
+    consecutive operations must communicate (Hot Spot Lemma) and the
+    Omega(k) bottleneck applies verbatim. *)
+
+type state = bool
+
+type operation = Flip | Read
+
+type result = bool
+
+let name = "flip-bit"
+
+let initial = false
+
+let apply state = function
+  | Flip -> (not state, state)  (* returns the pre-flip value *)
+  | Read -> (state, state)
+
+let operation_to_string = function Flip -> "flip" | Read -> "read"
+
+let result_to_string = string_of_bool

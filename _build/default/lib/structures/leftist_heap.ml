@@ -1,0 +1,55 @@
+type t = Leaf | Node of { rank : int; value : int; left : t; right : t; size : int }
+
+let empty = Leaf
+
+let is_empty t = t = Leaf
+
+let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+
+let size = function Leaf -> 0 | Node { size; _ } -> size
+
+(* Join a value with two heaps, putting the shorter right spine on the
+   right. *)
+let make value a b =
+  let ra = rank a and rb = rank b in
+  let size = 1 + size a + size b in
+  if ra >= rb then Node { rank = rb + 1; value; left = a; right = b; size }
+  else Node { rank = ra + 1; value; left = b; right = a; size }
+
+let rec merge a b =
+  match (a, b) with
+  | Leaf, t | t, Leaf -> t
+  | Node na, Node nb ->
+      if na.value <= nb.value then make na.value na.left (merge na.right b)
+      else make nb.value nb.left (merge a nb.right)
+
+let insert t v = merge t (Node { rank = 1; value = v; left = Leaf; right = Leaf; size = 1 })
+
+let find_min = function Leaf -> None | Node { value; _ } -> Some value
+
+let extract_min = function
+  | Leaf -> None
+  | Node { value; left; right; _ } -> Some (value, merge left right)
+
+let of_list l = List.fold_left insert empty l
+
+let to_sorted_list t =
+  let rec drain acc t =
+    match extract_min t with
+    | None -> List.rev acc
+    | Some (v, rest) -> drain (v :: acc) rest
+  in
+  drain [] t
+
+let rec check_invariants = function
+  | Leaf -> true
+  | Node { rank = r; value; left; right; size = s } ->
+      let heap_ordered = function
+        | Leaf -> true
+        | Node { value = child; _ } -> value <= child
+      in
+      r = rank right + 1
+      && rank left >= rank right
+      && s = 1 + size left + size right
+      && heap_ordered left && heap_ordered right
+      && check_invariants left && check_invariants right

@@ -1,0 +1,34 @@
+(** Persistent leftist min-heaps — the purely functional priority queue
+    backing {!Priority_queue_obj}.
+
+    A leftist heap is a heap-ordered binary tree in which every node's
+    right spine is at most as long as its left spine (the "rank"
+    invariant), so melding two heaps walks only right spines: O(log n)
+    [insert], [merge] and [extract_min]. Being persistent, states can be
+    snapshotted freely — which the retirement spine relies on when the
+    root hands its state to a successor. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val insert : t -> int -> t
+
+val merge : t -> t -> t
+
+val find_min : t -> int option
+
+val extract_min : t -> (int * t) option
+(** Minimum and the remaining heap, or [None] when empty. *)
+
+val of_list : int list -> t
+
+val to_sorted_list : t -> int list
+(** Ascending; O(n log n). *)
+
+val check_invariants : t -> bool
+(** Heap order plus the leftist rank invariant — for the test suite. *)

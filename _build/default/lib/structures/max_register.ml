@@ -1,0 +1,25 @@
+(** A max-register: [Write_max v] folds [max] into the state and returns
+    the previous maximum; [Read] returns the current one. Another member
+    of the "operation depends on its predecessor" family (a write's
+    return value reveals the history), included because max-registers are
+    the classical foil to counters in the shared-memory literature. *)
+
+type state = int
+
+type operation = Write_max of int | Read
+
+type result = int
+
+let name = "max-register"
+
+let initial = min_int
+
+let apply state = function
+  | Write_max v -> (max state v, state)
+  | Read -> (state, state)
+
+let operation_to_string = function
+  | Write_max v -> Printf.sprintf "write-max(%d)" v
+  | Read -> "read"
+
+let result_to_string v = if v = min_int then "-inf" else string_of_int v

@@ -1,0 +1,31 @@
+(** A priority queue — the paper's second example of a structure the
+    lower bound extends to. Backed by the persistent {!Leftist_heap} so
+    the root's state can be handed to a successor without copying. *)
+
+type state = Leftist_heap.t
+
+type operation = Insert of int | Extract_min | Find_min
+
+type result = Ack | Min of int option
+
+let name = "priority-queue"
+
+let initial = Leftist_heap.empty
+
+let apply state = function
+  | Insert v -> (Leftist_heap.insert state v, Ack)
+  | Find_min -> (state, Min (Leftist_heap.find_min state))
+  | Extract_min -> (
+      match Leftist_heap.extract_min state with
+      | None -> (state, Min None)
+      | Some (v, rest) -> (rest, Min (Some v)))
+
+let operation_to_string = function
+  | Insert v -> Printf.sprintf "insert(%d)" v
+  | Extract_min -> "extract-min"
+  | Find_min -> "find-min"
+
+let result_to_string = function
+  | Ack -> "ack"
+  | Min None -> "min(empty)"
+  | Min (Some v) -> Printf.sprintf "min(%d)" v

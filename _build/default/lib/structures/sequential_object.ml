@@ -1,0 +1,36 @@
+(** Sequential objects — the paper's generalisation target.
+
+    Section 2: "the argument in the Hot Spot Lemma can be made for the
+    family of all distributed data structures in which an operation
+    depends on the operation that immediately precedes it. Examples for
+    such data structures are a bit that can be accessed and flipped, and
+    a priority queue."
+
+    An [OBJECT] is a deterministic sequential specification: a state, an
+    operation type, and a transition function returning the new state and
+    the value handed back to the caller. {!Retire_spine.Make} turns any
+    such object into a distributed implementation with the paper's O(k)
+    bottleneck, and {!Central_object.Make} into the Theta(n)-bottleneck
+    strawman; the lower bound applies to both (and to anything else),
+    which experiment E12 demonstrates. *)
+
+module type OBJECT = sig
+  type state
+
+  type operation
+
+  type result
+
+  val name : string
+  (** Short identifier ("counter", "flip-bit", ...). *)
+
+  val initial : state
+
+  val apply : state -> operation -> state * result
+  (** The sequential specification. Must be pure. *)
+
+  val operation_to_string : operation -> string
+  (** For traces and debugging output. *)
+
+  val result_to_string : result -> string
+end

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Baselines Counter Format Fun List Printf QCheck2 QCheck_alcotest String

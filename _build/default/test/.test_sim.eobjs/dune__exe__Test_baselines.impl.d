@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Counter Float Fun List Printf QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_counters.ml: Alcotest Array Baselines Core Counter Format List Printf QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Baselines Core List Printf Seq

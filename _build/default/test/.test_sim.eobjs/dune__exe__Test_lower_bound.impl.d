@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Array Baselines Core Counter Lazy List Printf QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Core Fun List Printf QCheck2 QCheck_alcotest

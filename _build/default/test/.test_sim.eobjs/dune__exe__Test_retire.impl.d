@@ -1,0 +1,1 @@
+test/test_retire.ml: Alcotest Array Core Counter Format Fun List Printf QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format Fun List QCheck2 QCheck_alcotest Sim String

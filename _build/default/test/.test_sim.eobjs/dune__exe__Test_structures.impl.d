@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Core Counter List Printf QCheck2 QCheck_alcotest Sim Structures

@@ -1,0 +1,426 @@
+(* Generic conformance tests: every counter in the registry must count
+   correctly, obey the Hot Spot Lemma on executions, satisfy the lower
+   bound, clone faithfully, and be reproducible from its seed. Plus a
+   deliberately broken counter proving the Hot Spot checker has teeth. *)
+
+let check = Alcotest.check
+
+let small_n = 27 (* rounded up per counter as needed *)
+
+let all = Baselines.Registry.all
+
+let name_of (module C : Counter.Counter_intf.S) = C.name
+
+let for_all_counters f =
+  List.iter (fun ((module C : Counter.Counter_intf.S) as c) -> f C.name c) all
+
+let test_each_once_correct () =
+  for_all_counters (fun name c ->
+      let r = Counter.Driver.run_each_once c ~n:small_n in
+      Alcotest.(check bool) (name ^ " correct") true r.correct;
+      check Alcotest.int (name ^ " ops = n") r.n r.ops)
+
+let test_hotspot_lemma () =
+  for_all_counters (fun name c ->
+      let r = Counter.Driver.run_each_once c ~n:small_n in
+      Alcotest.(check bool) (name ^ " hot spot") true r.hotspot_ok)
+
+let test_lower_bound () =
+  for_all_counters (fun name c ->
+      let r = Counter.Driver.run_each_once c ~n:small_n in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s bottleneck %d >= k" name r.bottleneck_load)
+        true
+        (Core.Lower_bound.satisfied_by ~n:r.n
+           ~bottleneck_load:r.bottleneck_load))
+
+let test_deterministic_given_seed () =
+  for_all_counters (fun name c ->
+      let a = Counter.Driver.run_each_once ~seed:7 c ~n:small_n in
+      let b = Counter.Driver.run_each_once ~seed:7 c ~n:small_n in
+      check Alcotest.int (name ^ " same messages") a.total_messages
+        b.total_messages;
+      check Alcotest.int (name ^ " same bottleneck") a.bottleneck_load
+        b.bottleneck_load)
+
+let test_schedules_all_correct () =
+  let schedules =
+    [
+      Counter.Schedule.Each_once_shuffled;
+      Counter.Schedule.Round_robin 40;
+      Counter.Schedule.Random 40;
+      Counter.Schedule.Single_origin (1, 20);
+    ]
+  in
+  for_all_counters (fun name c ->
+      List.iter
+        (fun schedule ->
+          let r = Counter.Driver.run c ~n:small_n ~schedule in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s" name r.schedule)
+            true r.correct)
+        schedules)
+
+let test_clone_preserves_future () =
+  for_all_counters (fun name (module C : Counter.Counter_intf.S) ->
+      let n = C.supported_n 16 in
+      let c = C.create ~seed:3 ~n () in
+      for i = 1 to n / 2 do
+        ignore (C.inc c ~origin:i)
+      done;
+      let clone = C.clone c in
+      let a = C.inc c ~origin:1 in
+      let b = C.inc clone ~origin:1 in
+      check Alcotest.int (name ^ " clone next value") a b)
+
+let test_supported_n_idempotent () =
+  for_all_counters (fun name (module C : Counter.Counter_intf.S) ->
+      List.iter
+        (fun n ->
+          let s = C.supported_n n in
+          Alcotest.(check bool) (name ^ " >= n") true (s >= n);
+          check Alcotest.int (name ^ " idempotent") s (C.supported_n s))
+        [ 1; 2; 7; 16; 27; 100 ])
+
+let test_values_monotone_across_origins () =
+  (* Sequential semantics: regardless of who asks, values only grow. *)
+  for_all_counters (fun name (module C : Counter.Counter_intf.S) ->
+      let n = C.supported_n 16 in
+      let c = C.create ~n () in
+      let rng = Sim.Rng.create ~seed:11 in
+      let prev = ref (-1) in
+      for _ = 1 to 2 * n do
+        let origin = 1 + Sim.Rng.int rng n in
+        let v = C.inc c ~origin in
+        Alcotest.(check bool) (name ^ " monotone") true (v = !prev + 1);
+        prev := v
+      done)
+
+let test_correct_under_async_delays () =
+  (* Sequential operations are delay-independent: every counter must
+     return exact values under reordering delivery too. *)
+  List.iter
+    (fun delay ->
+      for_all_counters (fun name c ->
+          let r = Counter.Driver.run ~delay c ~n:16 ~schedule:Counter.Schedule.Each_once in
+          Alcotest.(check bool)
+            (Format.asprintf "%s under %a" name Sim.Delay.pp delay)
+            true r.correct))
+    [ Sim.Delay.Exponential 1.0; Sim.Delay.Uniform (0.1, 3.0) ]
+
+let test_latency_fields_sane () =
+  for_all_counters (fun name c ->
+      let r = Counter.Driver.run_each_once c ~n:16 in
+      Alcotest.(check bool) (name ^ " mean <= max") true
+        (r.mean_op_latency <= r.max_op_latency +. 1e-9);
+      Alcotest.(check bool) (name ^ " non-negative") true
+        (r.mean_op_latency >= 0.))
+
+let test_latency_central_is_two_hops () =
+  let r = Counter.Driver.run_each_once Baselines.Registry.central ~n:20 in
+  (* Unit delays: request + reply = 2.0 for every remote op; the holder's
+     own op is instantaneous. *)
+  check (Alcotest.float 1e-9) "max latency" 2.0 r.max_op_latency;
+  Alcotest.(check bool) "mean slightly below 2" true
+    (r.mean_op_latency < 2.0 && r.mean_op_latency > 1.8)
+
+let test_duration_equals_critical_path () =
+  (* Cross-validation of the causal machinery: under the unit-delay model
+     an operation's virtual-time duration must equal the length of the
+     longest causal message chain in its process DAG (for protocols
+     without local timers). *)
+  List.iter
+    (fun c ->
+      let (module C : Counter.Counter_intf.S) = c in
+      let n = C.supported_n 27 in
+      let counter = C.create ~delay:(Sim.Delay.Constant 1.0) ~n () in
+      for i = 1 to n do
+        ignore (C.inc counter ~origin:i)
+      done;
+      List.iter
+        (fun trace ->
+          let dag = Sim.Dag.of_trace trace in
+          Alcotest.(check (float 1e-9))
+            (C.name ^ " duration = critical path")
+            (float_of_int (Sim.Dag.critical_path dag))
+            (Sim.Trace.duration trace))
+        (C.traces counter))
+    [
+      Baselines.Registry.retire_tree;
+      Baselines.Registry.retire_tree_local;
+      Baselines.Registry.central;
+      Baselines.Registry.counting_network;
+      Baselines.Registry.quorum_grid;
+    ]
+
+let test_dags_topologically_delivered () =
+  (* The engine's delivery order must be a topological order of every
+     process DAG, for every counter — the assumption behind using
+     delivery order for the communication lists. *)
+  for_all_counters (fun name (module C : Counter.Counter_intf.S) ->
+      let n = C.supported_n 16 in
+      let counter = C.create ~n () in
+      for i = 1 to n do
+        ignore (C.inc counter ~origin:i)
+      done;
+      List.iter
+        (fun trace ->
+          Alcotest.(check bool) (name ^ " topological") true
+            (Sim.Dag.consistent_with_delivery_order (Sim.Dag.of_trace trace)))
+        (C.traces counter))
+
+(* ------------------------------------------------------------------ *)
+(* History / linearizability *)
+
+let hist_op origin value invoked_at completed_at =
+  { Counter.History.origin; value; invoked_at; completed_at }
+
+let test_history_linearizable () =
+  (* Sequential history: trivially linearizable. *)
+  let h = [ hist_op 1 0 0. 1.; hist_op 2 1 2. 3.; hist_op 3 2 4. 5. ] in
+  Alcotest.(check bool) "sequential" true (Counter.History.is_linearizable h);
+  Alcotest.(check bool) "contiguous" true (Counter.History.values_contiguous h);
+  Alcotest.(check int) "no overlap" 1 (Counter.History.concurrency_profile h)
+
+let test_history_violation_detected () =
+  (* a completes (t=1) before b starts (t=2), yet a got the larger
+     value. *)
+  let a = hist_op 1 5 0. 1. and b = hist_op 2 4 2. 3. in
+  (match Counter.History.check [ a; b ] with
+  | Counter.History.Violation (x, y) ->
+      Alcotest.(check int) "violating pair a" a.Counter.History.value
+        x.Counter.History.value;
+      Alcotest.(check int) "violating pair b" b.Counter.History.value
+        y.Counter.History.value
+  | Counter.History.Linearizable -> Alcotest.fail "expected violation");
+  Alcotest.(check bool) "not linearizable" false
+    (Counter.History.is_linearizable [ a; b ])
+
+let test_history_overlap_permits_any_order () =
+  (* Overlapping ops may take values in either order. *)
+  let h = [ hist_op 1 1 0. 10.; hist_op 2 0 1. 9. ] in
+  Alcotest.(check bool) "overlap ok" true (Counter.History.is_linearizable h);
+  Alcotest.(check int) "peak 2" 2 (Counter.History.concurrency_profile h)
+
+let test_history_contiguity () =
+  Alcotest.(check bool) "gap detected" false
+    (Counter.History.values_contiguous [ hist_op 1 0 0. 1.; hist_op 2 2 1. 2. ])
+
+let test_retire_tree_staggered_always_linearizable () =
+  (* The root serialises arrivals, so real-time order is preserved. *)
+  List.iter
+    (fun seed ->
+      let c =
+        Core.Retire_counter.create ~n:81
+          ~delay:(Sim.Delay.Exponential 1.0) ~seed ()
+      in
+      let h =
+        Core.Retire_counter.run_batch_timed c ~stagger:0.5
+          ~origins:(List.init 81 (fun i -> i + 1))
+          ()
+      in
+      Alcotest.(check bool) "contiguous" true
+        (Counter.History.values_contiguous h);
+      Alcotest.(check bool) "linearizable" true
+        (Counter.History.is_linearizable h))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_counting_network_violates_under_overlap () =
+  (* The HSW phenomenon: seed 5, stagger 0.5 yields a real-time
+     inversion (pinned deterministic counterexample). *)
+  let c =
+    Baselines.Counting_network.create_width ~n:64 ~width:8
+      ~delay:(Sim.Delay.Exponential 1.0) ~seed:5 ()
+  in
+  let h =
+    Baselines.Counting_network.run_batch_timed c ~stagger:0.5
+      ~origins:(List.init 64 (fun i -> i + 1))
+      ()
+  in
+  Alcotest.(check bool) "still contiguous (quiescent consistency)" true
+    (Counter.History.values_contiguous h);
+  Alcotest.(check bool) "but not linearizable" false
+    (Counter.History.is_linearizable h)
+
+let test_registry_lookup () =
+  check Alcotest.int "thirteen counters" 13 (List.length all);
+  List.iter
+    (fun name ->
+      match Baselines.Registry.find name with
+      | Some (module C : Counter.Counter_intf.S) ->
+          check Alcotest.string "found right module" name C.name
+      | None -> Alcotest.failf "missing %s" name)
+    (Baselines.Registry.names ());
+  Alcotest.(check bool)
+    "unknown name" true
+    (Baselines.Registry.find "no-such-counter" = None)
+
+let test_names_unique () =
+  let names = List.sort compare (Baselines.Registry.names ()) in
+  Alcotest.(check bool)
+    "names unique" true
+    (List.sort_uniq compare names = names)
+
+(* ------------------------------------------------------------------ *)
+(* A deliberately broken counter: each processor counts locally and
+   exchanges no messages. It violates the Hot Spot Lemma's premise and
+   returns wrong values — proving our checkers detect real breakage. *)
+
+module Amnesiac : Counter.Counter_intf.S = struct
+  type t = {
+    net : unit Sim.Network.t;
+    n : int;
+    locals : int array;
+    mutable traces_rev : Sim.Trace.t list;
+    mutable ops : int;
+  }
+
+  let name = "amnesiac"
+
+  let describe = "broken: purely local counting, no communication"
+
+  let supported_n n = max 1 n
+
+  let create ?(seed = 42) ?delay ~n () =
+    {
+      net = Sim.Network.create ~seed ?delay ~n ();
+      n;
+      locals = Array.make (n + 1) 0;
+      traces_rev = [];
+      ops = 0;
+    }
+
+  let n t = t.n
+
+  let value t = t.ops
+
+  let metrics t = Sim.Network.metrics t.net
+
+  let traces t = List.rev t.traces_rev
+
+  let inc t ~origin =
+    Sim.Network.begin_op t.net ~origin;
+    let v = t.locals.(origin) in
+    t.locals.(origin) <- v + 1;
+    t.ops <- t.ops + 1;
+    t.traces_rev <- Sim.Network.end_op t.net :: t.traces_rev;
+    v
+
+  let clone t =
+    {
+      net = Sim.Network.clone_quiescent t.net;
+      n = t.n;
+      locals = Array.copy t.locals;
+      traces_rev = t.traces_rev;
+      ops = t.ops;
+    }
+end
+
+let test_broken_counter_fails_checks () =
+  let r =
+    Counter.Driver.run (module Amnesiac) ~n:8
+      ~schedule:(Counter.Schedule.Round_robin 16)
+  in
+  Alcotest.(check bool) "wrong values detected" false r.correct;
+  Alcotest.(check bool) "hot spot violation detected" false r.hotspot_ok;
+  Alcotest.(check bool) "violations counted" true (r.hotspot_violations > 0)
+
+let test_broken_counter_violates_lower_bound () =
+  (* Zero messages: the lower bound is unsatisfiable — which is exactly
+     why no correct counter can work this way. *)
+  let r = Counter.Driver.run_each_once (module Amnesiac) ~n:8 in
+  Alcotest.(check bool) "bound violated" false
+    (Core.Lower_bound.satisfied_by ~n:r.n ~bottleneck_load:r.bottleneck_load)
+
+(* ------------------------------------------------------------------ *)
+(* Schedules *)
+
+let test_schedule_each_once () =
+  let rng = Sim.Rng.create ~seed:1 in
+  Alcotest.(check (list int))
+    "identity order" [ 1; 2; 3; 4 ]
+    (Counter.Schedule.origins Counter.Schedule.Each_once rng ~n:4)
+
+let test_schedule_shuffled_is_permutation () =
+  let rng = Sim.Rng.create ~seed:1 in
+  let o = Counter.Schedule.origins Counter.Schedule.Each_once_shuffled rng ~n:20 in
+  Alcotest.(check (list int))
+    "permutation" (List.init 20 (fun i -> i + 1))
+    (List.sort compare o)
+
+let test_schedule_round_robin () =
+  let rng = Sim.Rng.create ~seed:1 in
+  Alcotest.(check (list int))
+    "wraps" [ 1; 2; 3; 1; 2 ]
+    (Counter.Schedule.origins (Counter.Schedule.Round_robin 5) rng ~n:3)
+
+let test_schedule_explicit_range_checked () =
+  let rng = Sim.Rng.create ~seed:1 in
+  match
+    Counter.Schedule.origins (Counter.Schedule.Explicit [ 1; 9 ]) rng ~n:4
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected range check"
+
+let test_schedule_ops () =
+  check Alcotest.int "each once" 7 (Counter.Schedule.ops Counter.Schedule.Each_once ~n:7);
+  check Alcotest.int "random" 30 (Counter.Schedule.ops (Counter.Schedule.Random 30) ~n:7)
+
+let prop_random_schedule_in_range =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random schedules stay in range" ~count:100
+       QCheck2.Gen.(pair (int_range 1 50) (int_range 0 100))
+       (fun (n, ops) ->
+         let rng = Sim.Rng.create ~seed:(n + ops) in
+         let o = Counter.Schedule.origins (Counter.Schedule.Random ops) rng ~n in
+         List.for_all (fun p -> p >= 1 && p <= n) o))
+
+let () =
+  ignore name_of;
+  Alcotest.run "counters"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "each-once correct" `Quick test_each_once_correct;
+          Alcotest.test_case "hot spot lemma" `Quick test_hotspot_lemma;
+          Alcotest.test_case "lower bound satisfied" `Quick test_lower_bound;
+          Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+          Alcotest.test_case "all schedules correct" `Slow test_schedules_all_correct;
+          Alcotest.test_case "clone preserves future" `Quick test_clone_preserves_future;
+          Alcotest.test_case "supported_n idempotent" `Quick test_supported_n_idempotent;
+          Alcotest.test_case "values monotone" `Quick test_values_monotone_across_origins;
+          Alcotest.test_case "correct under async delays" `Slow test_correct_under_async_delays;
+          Alcotest.test_case "latency fields sane" `Quick test_latency_fields_sane;
+          Alcotest.test_case "central latency = 2 hops" `Quick test_latency_central_is_two_hops;
+          Alcotest.test_case "duration = critical path" `Quick test_duration_equals_critical_path;
+          Alcotest.test_case "delivery order topological" `Quick test_dags_topologically_delivered;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "sequential history" `Quick test_history_linearizable;
+          Alcotest.test_case "violation detected" `Quick test_history_violation_detected;
+          Alcotest.test_case "overlap permits any order" `Quick test_history_overlap_permits_any_order;
+          Alcotest.test_case "contiguity" `Quick test_history_contiguity;
+          Alcotest.test_case "retire tree always linearizable" `Quick test_retire_tree_staggered_always_linearizable;
+          Alcotest.test_case "counting net violates (HSW)" `Quick test_counting_network_violates_under_overlap;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "lookup" `Quick test_registry_lookup;
+          Alcotest.test_case "names unique" `Quick test_names_unique;
+        ] );
+      ( "negative-control",
+        [
+          Alcotest.test_case "broken counter detected" `Quick test_broken_counter_fails_checks;
+          Alcotest.test_case "broken counter misses bound" `Quick test_broken_counter_violates_lower_bound;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "each once" `Quick test_schedule_each_once;
+          Alcotest.test_case "shuffled permutation" `Quick test_schedule_shuffled_is_permutation;
+          Alcotest.test_case "round robin" `Quick test_schedule_round_robin;
+          Alcotest.test_case "explicit range check" `Quick test_schedule_explicit_range_checked;
+          Alcotest.test_case "ops" `Quick test_schedule_ops;
+          prop_random_schedule_in_range;
+        ] );
+    ]

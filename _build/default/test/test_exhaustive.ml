@@ -1,0 +1,92 @@
+(* Tests for the exhaustive-order verifier — including the full 40320
+   -order sweep at k = 2 (a `Slow test; ~2 s). *)
+
+let check = Alcotest.check
+
+module E = Core.Exhaustive
+
+let test_permutations_count () =
+  check Alcotest.int "4! = 24" 24 (Seq.length (E.permutations 4));
+  check Alcotest.int "1" 1 (Seq.length (E.permutations 1));
+  check Alcotest.int "0! = 1" 1 (Seq.length (E.permutations 0))
+
+let test_permutations_lexicographic_and_distinct () =
+  let perms = List.of_seq (E.permutations 4) in
+  (* First and last in lexicographic order. *)
+  Alcotest.(check (list int)) "first" [ 1; 2; 3; 4 ] (List.hd perms);
+  Alcotest.(check (list int)) "last" [ 4; 3; 2; 1 ]
+    (List.nth perms (List.length perms - 1));
+  (* All distinct, all permutations of 1..4. *)
+  check Alcotest.int "distinct" 24
+    (List.length (List.sort_uniq compare perms));
+  List.iter
+    (fun p ->
+      Alcotest.(check (list int)) "is a permutation" [ 1; 2; 3; 4 ]
+        (List.sort compare p))
+    perms
+
+let test_permutations_sorted_sequence () =
+  let perms = List.of_seq (E.permutations 5) in
+  Alcotest.(check bool) "lexicographically increasing" true
+    (List.sort compare perms = perms)
+
+let test_limited_verification () =
+  let s = E.verify_counter ~limit:100 Baselines.Registry.retire_tree ~n:8 in
+  check Alcotest.int "orders" 100 s.E.orders;
+  Alcotest.(check bool) "correct" true s.E.all_correct;
+  Alcotest.(check bool) "hotspot" true s.E.all_hotspot;
+  Alcotest.(check bool) "bound" true s.E.all_bound;
+  Alcotest.(check bool) "ranges sane" true
+    (s.E.min_bottleneck <= s.E.max_bottleneck
+    && s.E.min_messages <= s.E.max_messages)
+
+let test_big_n_requires_limit () =
+  match E.verify_counter Baselines.Registry.central ~n:10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected guard"
+
+let test_full_sweep_retire_tree () =
+  (* Every one of the 40320 each-once orders at the paper's k = 2 design
+     point: correct values, Hot Spot Lemma, and the lower bound, with no
+     sampling gap. *)
+  let s = E.verify_counter Baselines.Registry.retire_tree ~n:8 in
+  check Alcotest.int "all orders" 40320 s.E.orders;
+  Alcotest.(check bool) "all correct" true s.E.all_correct;
+  Alcotest.(check bool) "hotspot everywhere" true s.E.all_hotspot;
+  Alcotest.(check bool) "bound everywhere" true s.E.all_bound;
+  (* Even the most favourable order keeps the bottleneck well above k:
+     the lower bound is comfortably non-vacuous. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "best case %d >= k" s.E.min_bottleneck)
+    true
+    (s.E.min_bottleneck >= Core.Lower_bound.k_of_n 8)
+
+let test_full_sweep_central () =
+  let s = E.verify_counter Baselines.Registry.central ~n:8 in
+  check Alcotest.int "all orders" 40320 s.E.orders;
+  Alcotest.(check bool) "all correct" true s.E.all_correct;
+  (* The holder's load is schedule-independent: 2(n-1) on every order. *)
+  check Alcotest.int "min = max bottleneck" s.E.min_bottleneck
+    s.E.max_bottleneck;
+  check Alcotest.int "= 2(n-1)" 14 s.E.max_bottleneck
+
+let () =
+  Alcotest.run "exhaustive"
+    [
+      ( "permutations",
+        [
+          Alcotest.test_case "count" `Quick test_permutations_count;
+          Alcotest.test_case "lexicographic distinct" `Quick
+            test_permutations_lexicographic_and_distinct;
+          Alcotest.test_case "sorted sequence" `Quick
+            test_permutations_sorted_sequence;
+        ] );
+      ( "verification",
+        [
+          Alcotest.test_case "limited sweep" `Quick test_limited_verification;
+          Alcotest.test_case "big n guard" `Quick test_big_n_requires_limit;
+          Alcotest.test_case "FULL sweep: retire tree" `Slow
+            test_full_sweep_retire_tree;
+          Alcotest.test_case "FULL sweep: central" `Slow test_full_sweep_central;
+        ] );
+    ]

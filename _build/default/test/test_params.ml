@@ -1,0 +1,302 @@
+(* Tests for Core.Params, Core.Tree and Core.Ids — the pure arithmetic
+   underlying the paper's construction. *)
+
+let check = Alcotest.check
+
+module P = Core.Params
+module T = Core.Tree
+module I = Core.Ids
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_pow () =
+  check Alcotest.int "3^4" 81 (P.pow 3 4);
+  check Alcotest.int "x^0" 1 (P.pow 7 0);
+  check Alcotest.int "0^5" 0 (P.pow 0 5);
+  check Alcotest.int "1^big" 1 (P.pow 1 1000);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Params.pow: negative exponent") (fun () ->
+      ignore (P.pow 2 (-1)))
+
+let test_pow_overflow () =
+  match P.pow 10 30 with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "expected overflow, got %d" v
+
+let test_n_of_k_table () =
+  (* The paper's grid: k * k^k = k^(k+1). *)
+  List.iter
+    (fun (k, n) -> check Alcotest.int (Printf.sprintf "k=%d" k) n (P.n_of_k k))
+    [ (1, 1); (2, 8); (3, 81); (4, 1024); (5, 15625); (6, 279936) ]
+
+let test_k_of_n_exact () =
+  check (Alcotest.option Alcotest.int) "81 -> 3" (Some 3) (P.k_of_n_exact 81);
+  check (Alcotest.option Alcotest.int) "1024 -> 4" (Some 4) (P.k_of_n_exact 1024);
+  check (Alcotest.option Alcotest.int) "100 -> none" None (P.k_of_n_exact 100);
+  check (Alcotest.option Alcotest.int) "0 -> none" None (P.k_of_n_exact 0)
+
+let test_k_of_n_floor () =
+  check Alcotest.int "n=81" 3 (P.k_of_n_floor 81);
+  check Alcotest.int "n=82" 3 (P.k_of_n_floor 82);
+  check Alcotest.int "n=1023" 3 (P.k_of_n_floor 1023);
+  check Alcotest.int "n=1024" 4 (P.k_of_n_floor 1024);
+  check Alcotest.int "n=1" 1 (P.k_of_n_floor 1);
+  check Alcotest.int "n=7" 1 (P.k_of_n_floor 7)
+
+let test_round_up_n () =
+  check Alcotest.int "100 -> 1024" 1024 (P.round_up_n 100);
+  check Alcotest.int "81 -> 81" 81 (P.round_up_n 81);
+  check Alcotest.int "1 -> 1" 1 (P.round_up_n 1);
+  check Alcotest.int "2 -> 8" 8 (P.round_up_n 2)
+
+let test_k_continuous () =
+  (* At exact grid points the continuous solution equals k. *)
+  List.iter
+    (fun k ->
+      let x = P.k_continuous (float_of_int (P.n_of_k k)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "k_continuous(%d^(%d+1)) ~ %d" k k k)
+        true
+        (abs_float (x -. float_of_int k) < 1e-6))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_inner_nodes () =
+  (* sum_{i=0..k} k^i *)
+  check Alcotest.int "k=2" 7 (P.inner_nodes 2);
+  check Alcotest.int "k=3" 40 (P.inner_nodes 3);
+  check Alcotest.int "k=1" 2 (P.inner_nodes 1)
+
+let prop_floor_consistent =
+  QCheck2.Test.make ~name:"k_of_n_floor k satisfies k^(k+1) <= n < (k+1)^(k+2)"
+    ~count:500
+    QCheck2.Gen.(int_range 1 10_000_000)
+    (fun n ->
+      let k = P.k_of_n_floor n in
+      P.n_of_k k <= n
+      && (match P.n_of_k (k + 1) with
+         | nk -> nk > n
+         | exception Invalid_argument _ -> true))
+
+let prop_round_up_minimal =
+  QCheck2.Test.make ~name:"round_up_n returns the smallest grid point >= n"
+    ~count:500
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun n ->
+      let m = P.round_up_n n in
+      m >= n
+      && P.k_of_n_exact m <> None
+      &&
+      match P.k_of_n_exact m with
+      | Some k -> k = 1 || P.n_of_k (k - 1) < n
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Tree *)
+
+let test_tree_sizes () =
+  let t = T.create_paper ~k:3 in
+  check Alcotest.int "n" 81 (T.n t);
+  check Alcotest.int "inner" 40 (T.inner_count t);
+  check Alcotest.int "arity" 3 (T.arity t);
+  check Alcotest.int "depth" 3 (T.depth t);
+  check Alcotest.int "level 0" 1 (T.nodes_at_level t 0);
+  check Alcotest.int "level 2" 9 (T.nodes_at_level t 2);
+  check Alcotest.int "level 3" 27 (T.nodes_at_level t 3)
+
+let test_tree_flat_roundtrip () =
+  let t = T.create_paper ~k:3 in
+  for level = 0 to T.depth t do
+    for index = 0 to T.nodes_at_level t level - 1 do
+      let id = T.flat_id t ~level ~index in
+      check Alcotest.int "level roundtrip" level (T.level_of t id);
+      check Alcotest.int "index roundtrip" index (T.index_of t id)
+    done
+  done
+
+let test_tree_parent_child () =
+  let t = T.create_paper ~k:2 in
+  (* Root's children are the two level-1 nodes. *)
+  let c = T.children t T.root in
+  Alcotest.(check (list int))
+    "root children"
+    [ T.flat_id t ~level:1 ~index:0; T.flat_id t ~level:1 ~index:1 ]
+    c;
+  List.iter
+    (fun id ->
+      check (Alcotest.option Alcotest.int) "parent" (Some T.root)
+        (T.parent t id))
+    c;
+  check (Alcotest.option Alcotest.int) "root has no parent" None
+    (T.parent t T.root)
+
+let test_tree_bottom_level () =
+  let t = T.create_paper ~k:2 in
+  let bottom = T.flat_id t ~level:2 ~index:1 in
+  Alcotest.(check (list int)) "no inner children" [] (T.children t bottom);
+  Alcotest.(check (list int)) "leaf children" [ 3; 4 ] (T.leaf_children t bottom)
+
+let test_tree_leaf_parent () =
+  let t = T.create_paper ~k:2 in
+  (* n = 8; leaves 1,2 belong to bottom node 0; 3,4 to node 1; ... *)
+  check Alcotest.int "leaf 1" (T.flat_id t ~level:2 ~index:0) (T.leaf_parent t ~leaf:1);
+  check Alcotest.int "leaf 2" (T.flat_id t ~level:2 ~index:0) (T.leaf_parent t ~leaf:2);
+  check Alcotest.int "leaf 3" (T.flat_id t ~level:2 ~index:1) (T.leaf_parent t ~leaf:3);
+  check Alcotest.int "leaf 8" (T.flat_id t ~level:2 ~index:3) (T.leaf_parent t ~leaf:8)
+
+let test_tree_path_to_root () =
+  let t = T.create_paper ~k:3 in
+  let path = T.path_to_root t ~leaf:81 in
+  check Alcotest.int "path length = depth+1" 4 (List.length path);
+  (match List.rev path with
+  | root :: _ -> check Alcotest.int "ends at root" T.root root
+  | [] -> Alcotest.fail "empty path");
+  (* Each consecutive pair is child -> parent. *)
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        check (Alcotest.option Alcotest.int) "parent link" (Some b)
+          (T.parent t a);
+        walk rest
+    | _ -> ()
+  in
+  walk path
+
+let test_tree_generalised () =
+  let t = T.create ~arity:2 ~depth:4 in
+  check Alcotest.int "n = 2^5" 32 (T.n t);
+  check Alcotest.int "inner = 31" 31 (T.inner_count t);
+  let t0 = T.create ~arity:5 ~depth:0 in
+  check Alcotest.int "depth 0: n = arity" 5 (T.n t0);
+  check Alcotest.int "depth 0: only the root" 1 (T.inner_count t0);
+  check Alcotest.int "leaf parent is root" T.root (T.leaf_parent t0 ~leaf:3)
+
+let prop_tree_children_partition_leaves =
+  QCheck2.Test.make
+    ~name:"bottom-level leaf children partition the processors" ~count:20
+    QCheck2.Gen.(int_range 1 4)
+    (fun k ->
+      let t = T.create_paper ~k in
+      let bottom = T.depth t in
+      let all =
+        List.concat_map
+          (fun index ->
+            T.leaf_children t (T.flat_id t ~level:bottom ~index))
+          (List.init (T.nodes_at_level t bottom) Fun.id)
+      in
+      List.sort compare all = List.init (T.n t) (fun i -> i + 1))
+
+let prop_tree_parent_of_child =
+  QCheck2.Test.make ~name:"children's parent is the node" ~count:20
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 0 1000))
+    (fun (k, salt) ->
+      let t = T.create_paper ~k in
+      let id = salt mod T.inner_count t in
+      List.for_all (fun c -> T.parent t c = Some id) (T.children t id))
+
+(* ------------------------------------------------------------------ *)
+(* Ids *)
+
+let test_ids_paper_example () =
+  (* k = 3, n = 81: the largest identifier used must be exactly n. *)
+  let t = T.create_paper ~k:3 in
+  check Alcotest.int "max id = n" 81 (I.max_identifier t);
+  check Alcotest.int "root" 1 I.root_initial_worker;
+  (* Level 1 node 0 starts at 1 with capacity 3^2 = 9. *)
+  check Alcotest.int "initial L1.0" 1 (I.initial_worker t ~level:1 ~index:0);
+  check Alcotest.int "capacity L1" 9 (I.capacity t ~level:1);
+  (* Level 3 (bottom) capacity 3^0 = 1: no replacements. *)
+  check Alcotest.int "capacity L3" 1 (I.capacity t ~level:3)
+
+let test_ids_intervals_disjoint () =
+  (* Within levels 1..k, all intervals are pairwise disjoint and lie in
+     [1, n]. *)
+  List.iter
+    (fun k ->
+      let t = T.create_paper ~k in
+      let intervals = ref [] in
+      for level = 1 to T.depth t do
+        for index = 0 to T.nodes_at_level t level - 1 do
+          intervals := I.interval t ~level ~index :: !intervals
+        done
+      done;
+      let sorted = List.sort compare !intervals in
+      let rec disjoint = function
+        | (_, hi1) :: ((lo2, _) :: _ as rest) ->
+            Alcotest.(check bool) "disjoint" true (hi1 < lo2);
+            disjoint rest
+        | _ -> ()
+      in
+      disjoint sorted;
+      List.iter
+        (fun (lo, hi) ->
+          Alcotest.(check bool) "within universe" true (lo >= 1 && hi <= T.n t))
+        sorted)
+    [ 2; 3; 4 ]
+
+let test_ids_interval_count () =
+  (* Levels 1..k intervals exactly tile [1, n] for the paper's shape. *)
+  let t = T.create_paper ~k:3 in
+  let covered = ref 0 in
+  for level = 1 to T.depth t do
+    for index = 0 to T.nodes_at_level t level - 1 do
+      let lo, hi = I.interval t ~level ~index in
+      covered := !covered + (hi - lo + 1)
+    done
+  done;
+  check Alcotest.int "tiles n exactly" (T.n t) !covered
+
+let test_ids_level_is_special () =
+  let t = T.create_paper ~k:3 in
+  Alcotest.check_raises "level 0 rejected"
+    (Invalid_argument "Ids: level must be within 1 .. depth (the root is special)")
+    (fun () -> ignore (I.capacity t ~level:0))
+
+let prop_ids_initial_worker_in_interval =
+  QCheck2.Test.make ~name:"initial worker = interval low end" ~count:50
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 0 10_000))
+    (fun (k, salt) ->
+      let t = T.create_paper ~k in
+      let level = 1 + (salt mod T.depth t) in
+      let index = salt mod T.nodes_at_level t level in
+      let lo, hi = I.interval t ~level ~index in
+      lo = I.initial_worker t ~level ~index
+      && hi - lo + 1 = I.capacity t ~level)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "params-tree-ids"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "pow overflow" `Quick test_pow_overflow;
+          Alcotest.test_case "n_of_k table" `Quick test_n_of_k_table;
+          Alcotest.test_case "k_of_n_exact" `Quick test_k_of_n_exact;
+          Alcotest.test_case "k_of_n_floor" `Quick test_k_of_n_floor;
+          Alcotest.test_case "round_up_n" `Quick test_round_up_n;
+          Alcotest.test_case "k_continuous" `Quick test_k_continuous;
+          Alcotest.test_case "inner_nodes" `Quick test_inner_nodes;
+          q prop_floor_consistent;
+          q prop_round_up_minimal;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "sizes" `Quick test_tree_sizes;
+          Alcotest.test_case "flat id roundtrip" `Quick test_tree_flat_roundtrip;
+          Alcotest.test_case "parent/child" `Quick test_tree_parent_child;
+          Alcotest.test_case "bottom level" `Quick test_tree_bottom_level;
+          Alcotest.test_case "leaf parent" `Quick test_tree_leaf_parent;
+          Alcotest.test_case "path to root" `Quick test_tree_path_to_root;
+          Alcotest.test_case "generalised shapes" `Quick test_tree_generalised;
+          q prop_tree_children_partition_leaves;
+          q prop_tree_parent_of_child;
+        ] );
+      ( "ids",
+        [
+          Alcotest.test_case "paper example" `Quick test_ids_paper_example;
+          Alcotest.test_case "intervals disjoint" `Quick test_ids_intervals_disjoint;
+          Alcotest.test_case "intervals tile universe" `Quick test_ids_interval_count;
+          Alcotest.test_case "root level special" `Quick test_ids_level_is_special;
+          q prop_ids_initial_worker_in_interval;
+        ] );
+    ]

@@ -1,0 +1,473 @@
+(* Tests for the paper's retirement-tree counter: protocol correctness,
+   the Section 4 lemmas in their asymptotic form, and protocol
+   invariants. *)
+
+let check = Alcotest.check
+
+module R = Core.Retire_counter
+
+let run_each_once ?(seed = 42) k =
+  let n = Core.Params.n_of_k k in
+  let c = R.create ~seed ~n () in
+  let values = List.init n (fun i -> R.inc c ~origin:(i + 1)) in
+  (c, values)
+
+let test_values_sequential () =
+  List.iter
+    (fun k ->
+      let n = Core.Params.n_of_k k in
+      let _, values = run_each_once k in
+      Alcotest.(check (list int))
+        (Printf.sprintf "k=%d values" k)
+        (List.init n Fun.id) values)
+    [ 1; 2; 3 ]
+
+let test_value_matches_ops () =
+  let c, _ = run_each_once 2 in
+  check Alcotest.int "counter value" 8 (R.value c)
+
+let test_shuffled_origins_still_correct () =
+  let n = 81 in
+  let c = R.create ~seed:1 ~n () in
+  let rng = Sim.Rng.create ~seed:5 in
+  let order = Sim.Rng.permutation rng n in
+  Array.iteri
+    (fun i origin -> check Alcotest.int "value" i (R.inc c ~origin:(origin + 1)))
+    order
+
+let test_repeated_origin () =
+  (* The paper's lower-bound sequence has each processor inc once, but the
+     counter itself must serve any sequential request pattern. *)
+  let c = R.create ~n:8 () in
+  for i = 0 to 19 do
+    check Alcotest.int "same origin repeats" i (R.inc c ~origin:3)
+  done
+
+let test_bottleneck_o_k () =
+  (* The Bottleneck Theorem: every processor's load is O(k). Empirically
+     the constant is ~15 (EXPERIMENTS.md E4); assert a generous 25k + 10
+     so regressions that break the asymptotics (e.g. disabling
+     retirement) fail loudly. *)
+  List.iter
+    (fun k ->
+      let c, _ = run_each_once k in
+      let _, bottleneck = Sim.Metrics.bottleneck (R.metrics c) in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d bottleneck %d <= 25k+10" k bottleneck)
+        true
+        (bottleneck <= (25 * k) + 10))
+    [ 2; 3; 4 ]
+
+let test_bottleneck_beats_static_tree () =
+  let k = 3 in
+  let n = Core.Params.n_of_k k in
+  let retire, _ = run_each_once k in
+  let static =
+    R.create_with { (R.paper_config ~k) with retire_threshold = max_int }
+  in
+  for i = 1 to n do
+    ignore (R.inc static ~origin:i)
+  done;
+  let _, b_retire = Sim.Metrics.bottleneck (R.metrics retire) in
+  let _, b_static = Sim.Metrics.bottleneck (R.metrics static) in
+  Alcotest.(check bool)
+    (Printf.sprintf "retired %d < static %d" b_retire b_static)
+    true
+    (b_retire * 3 < b_static)
+
+let test_hotspot_lemma_holds () =
+  let c, _ = run_each_once 3 in
+  Alcotest.(check bool) "hot spot lemma" true (Counter.Hotspot.holds (R.traces c))
+
+let test_load_distribution_flat () =
+  (* The whole point of the construction: no processor stands out. Every
+     processor pays its leaf role (>= 2 messages: the inc request and the
+     value reply) and at most a bounded number of O(k) worker stints, so
+     the maximum load is within a small factor of the median — unlike
+     central/static counters where the maximum is Theta(n) above it. *)
+  let c, _ = run_each_once 3 in
+  let m = R.metrics c in
+  let loads = Array.init 81 (fun i -> Sim.Metrics.load m (i + 1)) in
+  Array.sort compare loads;
+  let median = loads.(40) and lowest = loads.(0) and highest = loads.(80) in
+  Alcotest.(check bool) "every processor pays its leaf role" true (lowest >= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d <= 6 * median %d" highest median)
+    true
+    (highest <= 6 * median)
+
+let test_retirements_by_level_shape () =
+  (* Number of Retirements Lemma (asymptotic form): per-node retirements
+     fall geometrically with the level — a level-i node retires
+     Theta(k^(k-i)) times. Check monotone decrease of the per-node
+     maximum down the levels, and that the root retires the most. *)
+  let c, _ = run_each_once 4 in
+  let per_level =
+    List.init 5 (fun level -> R.max_retirements_at_level c level)
+  in
+  (match per_level with
+  | root :: rest ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "root retires most" true (root >= r))
+        rest
+  | [] -> Alcotest.fail "no levels");
+  let rec decreasing = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "levels decrease: %d >= %d" a b)
+          true (a >= b);
+        decreasing rest
+    | _ -> ()
+  in
+  decreasing per_level
+
+let test_retirement_constants_documented () =
+  (* The measured per-node retirement counts stay within a small constant
+     of the paper's replacement supply k^(k-i) (EXPERIMENTS.md discusses
+     the constant; here we pin the factor 3 so drift is caught). *)
+  let c, _ = run_each_once 4 in
+  let t = R.tree c in
+  for level = 1 to Core.Tree.depth t do
+    let cap = Core.Ids.capacity t ~level in
+    let worst = R.max_retirements_at_level c level in
+    Alcotest.(check bool)
+      (Printf.sprintf "level %d: %d <= 3 * %d" level worst cap)
+      true
+      (worst <= 3 * cap)
+  done
+
+let test_no_retirement_before_any_op () =
+  let c = R.create ~n:81 () in
+  check Alcotest.int "no retirements" 0 (R.total_retirements c);
+  check Alcotest.int "no messages" 0
+    (Sim.Metrics.total_messages (R.metrics c))
+
+let test_believed_ids_consistent_at_quiescence () =
+  let c, _ = run_each_once 3 in
+  Alcotest.(check bool) "believed = actual" true (R.believed_consistent c)
+
+let test_workers_stay_in_interval_or_overflow () =
+  (* Every inner node's current worker is either inside its reserved
+     interval or an overflow hire (> n). *)
+  let c, _ = run_each_once 4 in
+  let t = R.tree c in
+  let n = Core.Tree.n t in
+  for flat = 1 to Core.Tree.inner_count t - 1 do
+    let w = R.node_worker c flat in
+    let lo, hi = Core.Ids.interval_of_flat t flat in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d worker %d in [%d,%d] or > n" flat w lo hi)
+      true
+      ((w >= lo && w <= hi) || w > n)
+  done
+
+let test_root_worker_walks_up () =
+  let c, _ = run_each_once 3 in
+  let root_worker = R.node_worker c Core.Tree.root in
+  let retirements = R.retirements_of_node c Core.Tree.root in
+  check Alcotest.int "root worker = 1 + retirements"
+    (1 + retirements) root_worker
+
+let test_trace_has_value_reply () =
+  let c = R.create ~n:8 () in
+  ignore (R.inc c ~origin:5);
+  match R.traces c with
+  | [ trace ] ->
+      (* First and last events: the leaf's request leaves processor 5 and
+         the value arrives back at processor 5. *)
+      let events = Sim.Trace.events trace in
+      (match events with
+      | first :: _ -> check Alcotest.int "starts at origin" 5 first.Sim.Trace.src
+      | [] -> Alcotest.fail "no events");
+      let last = List.nth events (List.length events - 1) in
+      Alcotest.(check bool)
+        "value reply reaches origin eventually" true
+        (List.exists
+           (fun (e : Sim.Trace.event) -> e.dst = 5 && e.tag = "val")
+           events);
+      ignore last
+  | l -> Alcotest.failf "expected 1 trace, got %d" (List.length l)
+
+let test_inc_cost_o_k () =
+  (* Grow Old Lemma aggregate: an inc's own process is O(k) messages when
+     no retirement cascades, and retirement costs amortise. The *first*
+     operation has no retirements: exactly depth+1 hops + 1 value
+     message. *)
+  List.iter
+    (fun k ->
+      let n = Core.Params.n_of_k k in
+      let c = R.create ~n () in
+      ignore (R.inc c ~origin:n);
+      match R.traces c with
+      | [ trace ] ->
+          check Alcotest.int
+            (Printf.sprintf "k=%d first op costs depth+2" k)
+            (k + 2)
+            (Sim.Trace.message_count trace)
+      | _ -> Alcotest.fail "expected 1 trace")
+    [ 2; 3; 4 ]
+
+let test_message_bits_logarithmic () =
+  (* "We are able to keep the length of messages as short as O(log n)
+     bits": the largest message must stay within a few identifiers. *)
+  List.iter
+    (fun k ->
+      let n = Core.Params.n_of_k k in
+      let c = R.create ~n () in
+      for i = 1 to n do
+        ignore (R.inc c ~origin:i)
+      done;
+      let log2n = log (float_of_int n) /. log 2. in
+      let max_bits = float_of_int (R.max_message_bits c) in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: %.0f bits <= 5*log2(n)+8" k max_bits)
+        true
+        (max_bits <= (5. *. log2n) +. 8.))
+    [ 2; 3; 4 ]
+
+let test_correct_under_async_delays () =
+  (* The counter's results are delay-independent: exponential and
+     heavy-jitter delivery reorder messages (retirement announcements vs
+     in-flight requests) yet every value must still be exact. *)
+  List.iter
+    (fun delay ->
+      let c = R.create ~delay ~n:81 () in
+      for i = 0 to 80 do
+        check Alcotest.int
+          (Format.asprintf "value under %a" Sim.Delay.pp delay)
+          i
+          (R.inc c ~origin:(i + 1))
+      done)
+    [ Sim.Delay.Exponential 1.0; Sim.Delay.Adversarial_jitter 0.5 ]
+
+let test_load_similar_across_delay_models () =
+  (* Message counts barely move with the delay model (only stale-forward
+     handshakes differ): the bound is about counting, not timing. *)
+  let bottleneck delay =
+    let c = R.create ~delay ~n:81 () in
+    for i = 1 to 81 do
+      ignore (R.inc c ~origin:i)
+    done;
+    snd (Sim.Metrics.bottleneck (R.metrics c))
+  in
+  let b_const = bottleneck (Sim.Delay.Constant 1.0) in
+  let b_exp = bottleneck (Sim.Delay.Exponential 1.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 2x: %d vs %d" b_const b_exp)
+    true
+    (b_exp <= 2 * b_const && b_const <= 2 * b_exp)
+
+let test_batch_values_contiguous () =
+  let n = 81 in
+  let c = R.create ~n () in
+  let results = R.run_batch c ~origins:(List.init n (fun i -> i + 1)) in
+  check Alcotest.int "all completed" n (List.length results);
+  let values = List.sort compare (List.map snd results) in
+  Alcotest.(check (list int)) "contiguous block" (List.init n Fun.id) values;
+  (* Every origin got exactly one value. *)
+  let origins = List.sort compare (List.map fst results) in
+  Alcotest.(check (list int)) "each origin once" (List.init n (fun i -> i + 1)) origins
+
+let test_batch_then_sequential () =
+  let c = R.create ~n:81 () in
+  ignore (R.run_batch c ~origins:[ 1; 2; 3 ]);
+  (* The counter keeps working sequentially afterwards. *)
+  check Alcotest.int "next value" 3 (R.inc c ~origin:50);
+  check Alcotest.int "value" 4 (R.value c)
+
+let test_batch_empty_rejected () =
+  let c = R.create ~n:8 () in
+  match R.run_batch c ~origins:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_clone_independence () =
+  let c = R.create ~n:81 () in
+  for i = 1 to 40 do
+    ignore (R.inc c ~origin:i)
+  done;
+  let clone = R.clone c in
+  (* Advancing the clone must not affect the original. *)
+  check Alcotest.int "clone continues" 40 (R.inc clone ~origin:41);
+  check Alcotest.int "clone again" 41 (R.inc clone ~origin:42);
+  check Alcotest.int "original unaffected" 40 (R.inc c ~origin:41);
+  check Alcotest.int "original value counts only its own ops" 41 (R.value c);
+  check Alcotest.int "clone value counts its own ops" 42 (R.value clone)
+
+let test_clone_equivalent_future () =
+  (* Determinism: original and clone perform identical future runs. *)
+  let c = R.create ~n:81 () in
+  for i = 1 to 30 do
+    ignore (R.inc c ~origin:i)
+  done;
+  let clone = R.clone c in
+  for i = 31 to 81 do
+    let a = R.inc c ~origin:i and b = R.inc clone ~origin:i in
+    check Alcotest.int "same values" a b
+  done;
+  let ma = R.metrics c and mb = R.metrics clone in
+  check Alcotest.int "same total messages"
+    (Sim.Metrics.total_messages ma)
+    (Sim.Metrics.total_messages mb);
+  check Alcotest.int "same bottleneck"
+    (snd (Sim.Metrics.bottleneck ma))
+    (snd (Sim.Metrics.bottleneck mb))
+
+let test_threshold_ablation_reduces_retirements () =
+  let k = 3 in
+  let n = Core.Params.n_of_k k in
+  let run threshold =
+    let c =
+      R.create_with { (R.paper_config ~k) with retire_threshold = threshold }
+    in
+    for i = 1 to n do
+      ignore (R.inc c ~origin:i)
+    done;
+    R.total_retirements c
+  in
+  let low = run (2 * k) and high = run (8 * k) in
+  Alcotest.(check bool)
+    (Printf.sprintf "higher threshold retires less: %d > %d" low high)
+    true (low > high)
+
+let test_generalised_arity_correct () =
+  (* Arity ablation shapes still count correctly. *)
+  List.iter
+    (fun (arity, depth) ->
+      let cfg =
+        {
+          R.arity;
+          depth;
+          retire_threshold = max (2 * arity) (arity + 2);
+        }
+      in
+      let n = R.config_n cfg in
+      let c = R.create_with cfg in
+      for i = 0 to n - 1 do
+        check Alcotest.int
+          (Printf.sprintf "a=%d d=%d op %d" arity depth i)
+          i
+          (R.inc c ~origin:(i + 1))
+      done)
+    [ (2, 4); (4, 2); (8, 1); (3, 0) ]
+
+let test_create_rejects_non_grid_n () =
+  match R.create ~n:100 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of n=100"
+
+let test_supported_n () =
+  check Alcotest.int "rounds up" 1024 (R.supported_n 100);
+  check Alcotest.int "exact point" 81 (R.supported_n 81)
+
+let test_threshold_guard () =
+  match
+    R.create_with { R.arity = 3; depth = 3; retire_threshold = 2 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected threshold guard"
+
+let test_origin_range_checked () =
+  let c = R.create ~n:8 () in
+  Alcotest.check_raises "origin 0"
+    (Invalid_argument "Retire_counter: origin out of range") (fun () ->
+      ignore (R.inc c ~origin:0));
+  Alcotest.check_raises "origin n+1"
+    (Invalid_argument "Retire_counter: origin out of range") (fun () ->
+      ignore (R.inc c ~origin:9))
+
+let prop_generalised_shapes_correct =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"random (arity, depth, threshold) shapes count correctly"
+       ~count:25
+       QCheck2.Gen.(tup3 (int_range 2 5) (int_range 0 3) (int_range 0 10))
+       (fun (arity, depth, extra) ->
+         let cfg =
+           {
+             R.arity;
+             depth;
+             retire_threshold = max (2 * arity) (arity + 2) + extra;
+           }
+         in
+         let n = R.config_n cfg in
+         n <= 1024
+         &&
+         let c = R.create_with cfg in
+         let ok = ref true in
+         for i = 0 to min n 200 - 1 do
+           if R.inc c ~origin:((i mod n) + 1) <> i then ok := false
+         done;
+         !ok && R.believed_consistent c))
+
+let prop_correct_on_random_prefix =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random origin sequences count correctly"
+       ~count:25
+       QCheck2.Gen.(list_size (int_range 1 60) (int_range 1 81))
+       (fun origins ->
+         let c = R.create ~n:81 () in
+         List.for_all2
+           (fun origin expected -> R.inc c ~origin = expected)
+           origins
+           (List.init (List.length origins) Fun.id)))
+
+let prop_hotspot_on_random_schedules =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"hot spot lemma on random schedules" ~count:15
+       QCheck2.Gen.(list_size (int_range 2 40) (int_range 1 81))
+       (fun origins ->
+         let c = R.create ~n:81 () in
+         List.iter (fun origin -> ignore (R.inc c ~origin)) origins;
+         Counter.Hotspot.holds (R.traces c)))
+
+let () =
+  Alcotest.run "retire-counter"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "each-once values" `Quick test_values_sequential;
+          Alcotest.test_case "value matches ops" `Quick test_value_matches_ops;
+          Alcotest.test_case "shuffled origins" `Quick test_shuffled_origins_still_correct;
+          Alcotest.test_case "repeated origin" `Quick test_repeated_origin;
+          Alcotest.test_case "generalised arity" `Quick test_generalised_arity_correct;
+          prop_correct_on_random_prefix;
+          prop_generalised_shapes_correct;
+        ] );
+      ( "lemmas",
+        [
+          Alcotest.test_case "bottleneck O(k)" `Quick test_bottleneck_o_k;
+          Alcotest.test_case "beats static tree" `Quick test_bottleneck_beats_static_tree;
+          Alcotest.test_case "hot spot lemma" `Quick test_hotspot_lemma_holds;
+          Alcotest.test_case "load distribution flat" `Quick test_load_distribution_flat;
+          Alcotest.test_case "retirements decrease by level" `Quick test_retirements_by_level_shape;
+          Alcotest.test_case "retirement constants pinned" `Quick test_retirement_constants_documented;
+          Alcotest.test_case "first op costs k+2" `Quick test_inc_cost_o_k;
+          prop_hotspot_on_random_schedules;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "fresh counter is idle" `Quick test_no_retirement_before_any_op;
+          Alcotest.test_case "believed ids consistent" `Quick test_believed_ids_consistent_at_quiescence;
+          Alcotest.test_case "workers in interval or overflow" `Quick test_workers_stay_in_interval_or_overflow;
+          Alcotest.test_case "root id walk" `Quick test_root_worker_walks_up;
+          Alcotest.test_case "trace shape" `Quick test_trace_has_value_reply;
+          Alcotest.test_case "threshold ablation" `Quick test_threshold_ablation_reduces_retirements;
+          Alcotest.test_case "messages O(log n) bits" `Quick test_message_bits_logarithmic;
+          Alcotest.test_case "correct under async delays" `Quick test_correct_under_async_delays;
+          Alcotest.test_case "load stable across delay models" `Quick test_load_similar_across_delay_models;
+          Alcotest.test_case "batch values contiguous" `Quick test_batch_values_contiguous;
+          Alcotest.test_case "batch then sequential" `Quick test_batch_then_sequential;
+          Alcotest.test_case "batch empty rejected" `Quick test_batch_empty_rejected;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "clone independence" `Quick test_clone_independence;
+          Alcotest.test_case "clone equivalent future" `Quick test_clone_equivalent_future;
+          Alcotest.test_case "rejects non-grid n" `Quick test_create_rejects_non_grid_n;
+          Alcotest.test_case "supported_n" `Quick test_supported_n;
+          Alcotest.test_case "threshold guard" `Quick test_threshold_guard;
+          Alcotest.test_case "origin range" `Quick test_origin_range_checked;
+        ] );
+    ]
