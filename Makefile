@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-big examples doc clean outputs
+.PHONY: all build test bench bench-big bench-perf bench-smoke examples doc clean outputs
 
 all: build
 
@@ -15,6 +15,18 @@ bench:
 
 bench-big:
 	dune exec bench/main.exe -- --big
+
+# Full engine-throughput suite; writes BENCH_1.json (docs/PERFORMANCE.md).
+bench-perf:
+	dune build --profile release bench/perf.exe
+	./_build/default/bench/perf.exe --json --out BENCH_1.json
+
+# Seconds-scale CI gate: tiny benchmark run, then re-parse and validate
+# the emitted artefact.
+bench-smoke:
+	dune build bench/perf.exe
+	dune exec bench/perf.exe -- --smoke --json --out BENCH_smoke.json
+	dune exec bench/perf.exe -- --validate BENCH_smoke.json
 
 examples:
 	dune exec examples/quickstart.exe

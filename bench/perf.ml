@@ -1,0 +1,411 @@
+(* Throughput benchmark suite for the simulation engine.
+
+   Four sections, each reported as events (or ops) per second plus words
+   allocated per event (from [Gc] counters):
+
+   1. heap      — raw push/pop on the frozen seed binary heap
+                  (bench/seed_heap.ml) vs the structure-of-arrays 4-ary
+                  [Sim.Heap], identical priority streams. The headline
+                  regression number: the rewrite must stay >= 2x.
+   2. network   — end-to-end engine throughput: a message-relay protocol on
+                  [Sim.Network] at n in {10^3, 10^4, 10^5}.
+   3. counters  — sequential increments/second for a representative counter
+                  subset at the same three scales.
+   4. parallel  — a multi-seed sweep through [Analysis.Replicate], timed
+                  sequentially and across domains.
+
+   [--json] additionally writes a machine-readable artefact (default
+   BENCH_1.json; schema in docs/PERFORMANCE.md). [--smoke] shrinks every
+   section to seconds of total runtime for CI. [--validate FILE] re-parses
+   an artefact and checks the schema instead of benchmarking. *)
+
+module Json = Analysis.Json
+
+let now () = Unix.gettimeofday ()
+
+(* Total words allocated so far by this domain. [promoted_words] is
+   subtracted because promotion would otherwise count an allocation twice
+   (once minor, once major). *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* Run [f] once as warm-up, then once measured. Returns
+   (result, seconds, words allocated). *)
+let measure f =
+  ignore (f ());
+  Gc.full_major ();
+  let w0 = allocated_words () in
+  let t0 = now () in
+  let r = f () in
+  let dt = now () -. t0 in
+  let dw = allocated_words () -. w0 in
+  (r, dt, dw)
+
+let rate count seconds = float_of_int count /. seconds
+
+let pr fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Section 1: raw heap push/pop.
+
+   Workload: pre-fill to a working set of [w] pending events, then for each
+   remaining priority pop the minimum and push the next — the steady state
+   of a discrete-event loop — and finally drain. Both heaps consume the
+   same pre-generated priority array, so the comparison is purely the data
+   structure. One "event" = one push + one pop. *)
+
+(* Each benchmark folds the popped values into an order-sensitive integer
+   checksum. Because (prio, seq) is a total order, both heaps must pop the
+   exact same value sequence — a mismatch means one of them is broken.
+   Values are immediate ints so the checksum itself allocates nothing;
+   each heap pays only its own API's allocation (the seed heap's [pop]
+   option/tuple is intrinsic — it is what the old engine called). *)
+
+let bench_seed_heap prios w =
+  let h = Seed_heap.create () in
+  let total = Array.length prios in
+  let acc = ref 0 in
+  for i = 0 to w - 1 do
+    Seed_heap.push h ~prio:prios.(i) i
+  done;
+  for i = w to total - 1 do
+    (match Seed_heap.pop h with
+    | Some (_, v) -> acc := (!acc * 31) + v
+    | None -> assert false);
+    Seed_heap.push h ~prio:prios.(i) i
+  done;
+  while Seed_heap.size h > 0 do
+    match Seed_heap.pop h with
+    | Some (_, v) -> acc := (!acc * 31) + v
+    | None -> assert false
+  done;
+  !acc
+
+let bench_soa_heap prios w =
+  let h = Sim.Heap.create ~capacity:w () in
+  let total = Array.length prios in
+  let acc = ref 0 in
+  for i = 0 to w - 1 do
+    Sim.Heap.push h ~prio:prios.(i) i
+  done;
+  for i = w to total - 1 do
+    let v = Sim.Heap.pop_top h in
+    acc := (!acc * 31) + v;
+    Sim.Heap.push h ~prio:prios.(i) i
+  done;
+  while not (Sim.Heap.is_empty h) do
+    let v = Sim.Heap.pop_top h in
+    acc := (!acc * 31) + v
+  done;
+  !acc
+
+let heap_section ~smoke =
+  let working_set = if smoke then 512 else 16_384 in
+  let events = if smoke then 100_000 else 2_000_000 in
+  let rng = Sim.Rng.create ~seed:2026 in
+  let prios = Array.init events (fun _ -> Sim.Rng.float rng 1_000.0) in
+  let seed_sum, seed_t, seed_w = measure (fun () -> bench_seed_heap prios working_set) in
+  let soa_sum, soa_t, soa_w = measure (fun () -> bench_soa_heap prios working_set) in
+  (* Same priorities + stable (prio, seq) order => identical pop streams. *)
+  if seed_sum <> soa_sum then
+    failwith "heap benchmark: seed and SoA heaps popped different streams";
+  let per_event words = words /. float_of_int events in
+  let speedup = seed_t /. soa_t in
+  pr "== heap: %d events through a %d-entry working set ==\n" events
+    working_set;
+  pr "  seed (boxed binary):   %10.0f events/s  %6.2f words/event\n"
+    (rate events seed_t) (per_event seed_w);
+  pr "  SoA (unboxed 4-ary):   %10.0f events/s  %6.2f words/event\n"
+    (rate events soa_t) (per_event soa_w);
+  pr "  speedup: %.2fx   allocation: %.2f -> %.2f words/event\n\n" speedup
+    (per_event seed_w) (per_event soa_w);
+  Json.Obj
+    [
+      ("working_set", Json.int working_set);
+      ("events", Json.int events);
+      ( "seed_heap",
+        Json.Obj
+          [
+            ("events_per_sec", Json.Num (rate events seed_t));
+            ("words_per_event", Json.Num (per_event seed_w));
+          ] );
+      ( "soa_heap",
+        Json.Obj
+          [
+            ("events_per_sec", Json.Num (rate events soa_t));
+            ("words_per_event", Json.Num (per_event soa_w));
+          ] );
+      ("speedup", Json.Num speedup);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: engine throughput.
+
+   A relay protocol: each message carries a hop budget; on delivery the
+   receiver forwards it (hops - 1) to a deterministically scrambled next
+   destination until the budget is spent. Measures the full delivery path:
+   heap pop, FIFO bookkeeping, metrics charge, handler dispatch, re-send. *)
+
+let bench_network ~n ~target_events =
+  let net = Sim.Network.create ~seed:99 ~fifo:true ~n () in
+  let injections = min n 256 in
+  let hops = max 1 (target_events / injections) in
+  Sim.Network.set_handler net (fun ~self ~src:_ hops ->
+      if hops > 0 then
+        let dst = 1 + (((self * 2654435761) + hops) mod n) in
+        Sim.Network.send net ~src:self ~dst (hops - 1));
+  for i = 1 to injections do
+    Sim.Network.send net ~src:i ~dst:(1 + (i * 7919 mod n)) hops
+  done;
+  Sim.Network.run_to_quiescence net
+
+let network_section ~smoke ~sizes =
+  let target_events = if smoke then 20_000 else 400_000 in
+  pr "== network: relay protocol, ~%d deliveries per scale ==\n"
+    target_events;
+  let rows =
+    List.map
+      (fun n ->
+        let deliveries, t, w =
+          measure (fun () -> bench_network ~n ~target_events)
+        in
+        let per_event = w /. float_of_int deliveries in
+        pr "  n = %6d: %8d deliveries  %10.0f events/s  %6.2f words/event\n"
+          n deliveries (rate deliveries t) per_event;
+        Json.Obj
+          [
+            ("n", Json.int n);
+            ("deliveries", Json.int deliveries);
+            ("events_per_sec", Json.Num (rate deliveries t));
+            ("words_per_event", Json.Num per_event);
+          ])
+      sizes
+  in
+  pr "\n";
+  Json.List rows
+
+(* ------------------------------------------------------------------ *)
+(* Section 3: counters.
+
+   Sequential increments/second for a representative subset: the central
+   server (message-cheap, maximally contended), the paper's retire-tree,
+   the static tree, and the bitonic counting network. Creation cost is
+   excluded; the ops budget is capped so the largest scale stays seconds. *)
+
+let counter_subset =
+  [
+    Baselines.Registry.central;
+    Baselines.Registry.static_tree;
+    Baselines.Registry.retire_tree;
+    Baselines.Registry.counting_network;
+  ]
+
+let bench_counter (module C : Counter.Counter_intf.S) ~n ~ops =
+  let c = C.create ~seed:5 ~n () in
+  let out = ref 0 in
+  let run () =
+    for i = 0 to ops - 1 do
+      out := C.inc c ~origin:(1 + (i mod n))
+    done
+  in
+  (* No warm-up run here: a counter's value stream is stateful, so [measure]
+     would double-increment. Creation above is the warm-up. *)
+  Gc.full_major ();
+  let w0 = allocated_words () in
+  let t0 = now () in
+  run ();
+  let dt = now () -. t0 in
+  let dw = allocated_words () -. w0 in
+  let m = C.metrics c in
+  (dt, dw, Sim.Metrics.total_messages m)
+
+let counters_section ~smoke ~sizes =
+  let ops_budget = if smoke then 64 else 2_000 in
+  pr "== counters: sequential increments (ops budget %d) ==\n" ops_budget;
+  let rows =
+    List.concat_map
+      (fun (module C : Counter.Counter_intf.S) ->
+        List.map
+          (fun requested ->
+            let n = C.supported_n requested in
+            let ops = min n ops_budget in
+            let dt, dw, msgs = bench_counter (module C) ~n ~ops in
+            pr
+              "  %-14s n = %6d: %8.0f ops/s  %7.1f msgs/op  %8.0f \
+               words/op\n"
+              C.name n (rate ops dt)
+              (float_of_int msgs /. float_of_int ops)
+              (dw /. float_of_int ops);
+            Json.Obj
+              [
+                ("counter", Json.Str C.name);
+                ("requested_n", Json.int requested);
+                ("n", Json.int n);
+                ("ops", Json.int ops);
+                ("ops_per_sec", Json.Num (rate ops dt));
+                ( "messages_per_op",
+                  Json.Num (float_of_int msgs /. float_of_int ops) );
+                ("words_per_op", Json.Num (dw /. float_of_int ops));
+              ])
+          sizes)
+      counter_subset
+  in
+  pr "\n";
+  Json.List rows
+
+(* ------------------------------------------------------------------ *)
+(* Section 4: multi-seed sweep across domains. *)
+
+let sweep_run ~n seed =
+  let r =
+    Counter.Driver.run ~seed Baselines.Registry.retire_tree ~n
+      ~schedule:Counter.Schedule.Each_once_shuffled
+  in
+  float_of_int r.Counter.Driver.bottleneck_load
+
+let parallel_section ~smoke =
+  let n = if smoke then 81 else 2187 in
+  let seeds = List.init (if smoke then 2 else 8) (fun i -> i + 1) in
+  let runs = List.length seeds in
+  let f = sweep_run ~n in
+  ignore (f (List.hd seeds));
+  let t0 = now () in
+  let seq = Analysis.Replicate.across_seeds ~seeds f in
+  let seq_t = now () -. t0 in
+  let t0 = now () in
+  let par = Analysis.Replicate.across_seeds_parallel ~seeds f in
+  let par_t = now () -. t0 in
+  if seq.Analysis.Replicate.mean <> par.Analysis.Replicate.mean then
+    failwith "parallel sweep: sequential and parallel summaries disagree";
+  let speedup = seq_t /. par_t in
+  pr "== parallel: retire-tree each-once at n = %d, %d seeds ==\n" n runs;
+  pr "  sequential: %.3f s   parallel: %.3f s   speedup: %.2fx\n" seq_t par_t
+    speedup;
+  pr "  bottleneck load: %s\n\n"
+    (Format.asprintf "%a" Analysis.Replicate.pp_summary seq);
+  Json.Obj
+    [
+      ("n", Json.int n);
+      ("seeds", Json.int runs);
+      ("sequential_sec", Json.Num seq_t);
+      ("parallel_sec", Json.Num par_t);
+      ("speedup", Json.Num speedup);
+      ("mean_bottleneck", Json.Num seq.Analysis.Replicate.mean);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Artefact validation (the [make bench-smoke] gate). *)
+
+let validate_field doc path extract =
+  let rec walk v = function
+    | [] -> Some v
+    | key :: rest -> Option.bind (Json.member key v) (fun v -> walk v rest)
+  in
+  match Option.bind (walk doc path) extract with
+  | Some x -> x
+  | None ->
+      Printf.eprintf "invalid artefact: missing or ill-typed %s\n"
+        (String.concat "." path);
+      exit 1
+
+let validate file =
+  let contents =
+    match open_in_bin file with
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse contents with
+  | Error msg ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+      exit 1
+  | Ok doc ->
+      let schema = validate_field doc [ "schema" ] Json.to_str in
+      if schema <> "dcount-bench/1" then begin
+        Printf.eprintf "%s: unknown schema %S\n" file schema;
+        exit 1
+      end;
+      let speedup =
+        validate_field doc [ "heap"; "speedup" ] Json.to_float
+      in
+      let check_rows section required =
+        let rows = validate_field doc [ section ] Json.to_list in
+        if rows = [] then begin
+          Printf.eprintf "%s: empty %s section\n" file section;
+          exit 1
+        end;
+        List.iter
+          (fun row ->
+            List.iter
+              (fun key -> ignore (validate_field row [ key ] Json.to_float))
+              required)
+          rows
+      in
+      check_rows "network" [ "n"; "events_per_sec"; "words_per_event" ];
+      check_rows "counters" [ "n"; "ops_per_sec"; "messages_per_op" ];
+      ignore (validate_field doc [ "parallel"; "speedup" ] Json.to_float);
+      Printf.printf "%s: valid (heap speedup %.2fx)\n" file speedup;
+      if Float.is_nan speedup || speedup <= 0.0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: perf.exe [--smoke] [--json] [--out FILE] [--validate FILE]";
+  exit 2
+
+let () =
+  let smoke = ref false
+  and json = ref false
+  and out = ref "BENCH_1.json"
+  and to_validate = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | "--validate" :: file :: rest ->
+        to_validate := Some file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !to_validate with
+  | Some file -> validate file
+  | None ->
+      let smoke = !smoke in
+      let sizes = if smoke then [ 100; 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+      let heap = heap_section ~smoke in
+      let network = network_section ~smoke ~sizes in
+      let counters = counters_section ~smoke ~sizes in
+      let parallel = parallel_section ~smoke in
+      if !json then begin
+        let doc =
+          Json.Obj
+            [
+              ("schema", Json.Str "dcount-bench/1");
+              ("mode", Json.Str (if smoke then "smoke" else "full"));
+              ("heap", heap);
+              ("network", network);
+              ("counters", counters);
+              ("parallel", parallel);
+            ]
+        in
+        let oc = open_out !out in
+        output_string oc (Json.to_string doc);
+        close_out oc;
+        Printf.printf "wrote %s\n" !out
+      end

@@ -1,0 +1,73 @@
+(* The repository's ORIGINAL event queue, frozen verbatim as a benchmark
+   baseline: a binary min-heap of boxed {prio; seq; value} entry records.
+   bench/perf.ml races it against the structure-of-arrays Sim.Heap that
+   replaced it, so the speedup and allocation numbers in BENCH_*.json are
+   measured, not remembered. Do not "improve" this file — its whole value
+   is staying exactly as slow as the seed. *)
+
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let size t = t.len
+
+(* [a] sorts before [b]: smaller priority first, then smaller sequence. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let ensure_capacity t fill =
+  let cap = Array.length t.data in
+  if t.len >= cap then begin
+    let new_cap = if cap = 0 then 16 else 2 * cap in
+    let data = Array.make new_cap fill in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~prio value =
+  let entry = { prio; seq = t.next_seq; value } in
+  ensure_capacity t entry;
+  t.data.(t.len) <- entry;
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let e = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (e.prio, e.value)
+  end

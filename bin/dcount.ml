@@ -118,14 +118,54 @@ let schedule_conv =
   Arg.conv (parse, Counter.Schedule.pp)
 
 let run_cmd =
-  let run counter n seed delay schedule debug =
+  let run counter n seed delay schedule debug seeds domains =
     if debug then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
-    let r = Counter.Driver.run ~seed ?delay counter ~n ~schedule in
-    Format.printf "%a@." Counter.Driver.pp_report r;
-    if not r.Counter.Driver.correct then exit 1
+    if seeds <= 1 then begin
+      let r = Counter.Driver.run ~seed ?delay counter ~n ~schedule in
+      Format.printf "%a@." Counter.Driver.pp_report r;
+      if not r.Counter.Driver.correct then exit 1
+    end
+    else begin
+      (* Replicated mode: the same experiment across consecutive seeds,
+         fanned out over domains — every run is an independent simulation,
+         so this parallelises without sharing. *)
+      let seed_list = List.init seeds (fun i -> seed + i) in
+      let reports =
+        Analysis.Replicate.parallel_map ?domains
+          (fun s -> Counter.Driver.run ~seed:s ?delay counter ~n ~schedule)
+          seed_list
+      in
+      let by_seed = List.combine seed_list reports in
+      let summarize metric =
+        Analysis.Replicate.across_seeds ~seeds:seed_list (fun s ->
+            metric (List.assoc s by_seed))
+      in
+      let (module C : Counter.Counter_intf.S) = counter in
+      let first = List.hd reports in
+      Format.printf "%s: %d runs (seeds %d..%d), n = %d, schedule %a@."
+        C.name seeds seed
+        (seed + seeds - 1)
+        first.Counter.Driver.n Counter.Schedule.pp schedule;
+      let line label metric =
+        Format.printf "  %-18s %a@." label Analysis.Replicate.pp_summary
+          (summarize metric)
+      in
+      line "bottleneck load:" (fun r ->
+          float_of_int r.Counter.Driver.bottleneck_load);
+      line "total messages:" (fun r ->
+          float_of_int r.Counter.Driver.total_messages);
+      line "mean op latency:" (fun r -> r.Counter.Driver.mean_op_latency);
+      List.iter
+        (fun (s, r) ->
+          if not r.Counter.Driver.correct then
+            Format.printf "  seed %d: INCORRECT value sequence@." s)
+        by_seed;
+      if List.exists (fun (_, r) -> not r.Counter.Driver.correct) by_seed
+      then exit 1
+    end
   in
   let debug_arg =
     Arg.(
@@ -142,11 +182,28 @@ let run_cmd =
             "Operation schedule: each-once, shuffled, round-robin:OPS, \
              random:OPS or single:P:OPS.")
   in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:
+            "Replicate the run over K consecutive seeds (SEED .. SEED+K-1) \
+             and report mean / spread / 95% CI instead of a single report.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Number of domains for replicated runs (default: the runtime's \
+             recommended count). Only meaningful with $(b,--seeds).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a schedule against a counter and report loads.")
     Term.(
       const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ schedule_arg
-      $ debug_arg)
+      $ debug_arg $ seeds_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)

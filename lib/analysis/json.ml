@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let int i = Num (float_of_int i)
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else if Float.is_nan f || Float.abs f = infinity then
+    (* JSON has no NaN/inf; null is the conventional stand-in. *)
+    Buffer.add_string buf "null"
+  else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+
+let rec print_into buf ~indent ~level v =
+  let pad n = String.make (n * indent) ' ' in
+  let newline () = if indent > 0 then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          newline ();
+          Buffer.add_string buf (pad (level + 1));
+          print_into buf ~indent ~level:(level + 1) item)
+        items;
+      newline ();
+      Buffer.add_string buf (pad level);
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          newline ();
+          Buffer.add_string buf (pad (level + 1));
+          Buffer.add_char buf '"';
+          escape_into buf key;
+          Buffer.add_string buf "\": ";
+          print_into buf ~indent ~level:(level + 1) value)
+        fields;
+      newline ();
+      Buffer.add_string buf (pad level);
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 1024 in
+  print_into buf ~indent ~level:0 v;
+  if indent > 0 then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing — a plain recursive-descent parser, sufficient for the bench
+   artefacts this repository produces and consumes. *)
+
+exception Parse_error of string
+
+type parser_state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if
+    st.pos + n <= String.length st.s
+    && String.sub st.s st.pos n = lit
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" lit)
+
+let parse_string_raw st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; advance st; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st; go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance st; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance st; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance st; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance st; go ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.s then fail st "bad \\u escape";
+            let hex = String.sub st.s st.pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> fail st "bad \\u escape"
+            | Some code ->
+                (* Escaped codepoints below 0x80 decode exactly; others are
+                   replaced — the bench artefacts are plain ASCII. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_char buf '?');
+            st.pos <- st.pos + 4;
+            go ()
+        | _ -> fail st "bad escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail st (Printf.sprintf "bad number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> Str (parse_string_raw st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value st ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          items := parse_value st :: !items;
+          skip_ws st
+        done;
+        expect st ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          let key = parse_string_raw st in
+          skip_ws st;
+          expect st ':';
+          let value = parse_value st in
+          (key, value)
+        in
+        let fields = ref [ field () ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          fields := field () :: !fields;
+          skip_ws st
+        done;
+        expect st '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('0' .. '9' | '-') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

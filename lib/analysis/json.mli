@@ -1,0 +1,36 @@
+(** Minimal JSON tree, printer and parser.
+
+    The benchmark harness emits machine-readable [BENCH_*.json] artefacts
+    (see docs/PERFORMANCE.md for the schema) and the smoke target re-parses
+    them; this module is the whole dependency. It handles the JSON subset
+    those artefacts use: objects, arrays, double-quoted strings with the
+    standard escapes, numbers, booleans and null. Not a general-purpose
+    JSON library — no streaming, no full unicode escape decoding. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int i] is [Num (float_of_int i)]. *)
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] (default 2) of 0 produces a single line. NaN and
+    infinities print as [null] (JSON has no representation for them). *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the value bound to [key], if any. *)
+
+val to_float : t -> float option
+
+val to_list : t -> t list option
+
+val to_str : t -> string option

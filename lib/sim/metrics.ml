@@ -77,6 +77,24 @@ let overflow_processors t =
   done;
   !count
 
+let checksum t =
+  (* FNV-1a over the (p, sent, recv) triples of every processor that moved
+     a message, ascending id. Two runs agree iff their full load vectors
+     agree — the compact fingerprint the determinism regression pins. *)
+  let h = ref 0x1234_5678_9abc_def in
+  let mix v =
+    h := !h lxor v;
+    h := !h * 0x100000001b3
+  in
+  for p = 1 to Array.length t.sent - 1 do
+    if t.sent.(p) <> 0 || t.recv.(p) <> 0 then begin
+      mix p;
+      mix t.sent.(p);
+      mix t.recv.(p)
+    end
+  done;
+  !h land max_int
+
 let reset t =
   Array.fill t.sent 0 (Array.length t.sent) 0;
   Array.fill t.recv 0 (Array.length t.recv) 0;

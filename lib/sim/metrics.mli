@@ -56,6 +56,12 @@ val load_array : t -> int array
 val overflow_processors : t -> int
 (** Number of processors with id > n that exchanged at least one message. *)
 
+val checksum : t -> int
+(** Deterministic fingerprint (FNV-1a) of the full per-processor
+    (sent, received) vector, including overflow hires. Two runs have equal
+    checksums iff their complete load vectors are identical — the compact
+    golden value the determinism regression tests pin. *)
+
 val reset : t -> unit
 
 val copy : t -> t

@@ -2,14 +2,85 @@ let log_src = Logs.Src.create "sim.network" ~doc:"Discrete-event network"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type 'msg envelope = { src : int; dst : int; payload : 'msg; parent : int }
-
 (* Pending events: message deliveries (charged to metrics and traces) and
-   local timer expirations (free — a processor consulting its own clock). *)
+   local timer expirations (free — a processor consulting its own clock).
+   [Deliver] is an inline record: one block per queued message instead of
+   the envelope-behind-a-variant two blocks it used to be. *)
 type 'msg event =
-  | Deliver of 'msg envelope
+  | Deliver of { src : int; dst : int; payload : 'msg; parent : int }
   | Local of int * (unit -> unit)
       (* timer with the causal parent of the event that scheduled it *)
+
+(* Per-link last-scheduled-arrival table for FIFO links. Small networks get
+   a pre-sized flat array indexed by src * stride + dst (no hashing, no
+   allocation on the send path); ids beyond the pre-sized range — overflow
+   hires — spill into a hash table. Large networks use the hash table
+   only: a dense (n+1)^2 table at n = 10^5 would be 80 GB. *)
+type fifo_links =
+  | Dense of {
+      stride : int;  (* ids 1 .. stride - 1 are in the flat table *)
+      last : float array;  (* neg_infinity = no message on this link yet *)
+      mutable spill : (int * int, float) Hashtbl.t option;
+    }
+  | Sparse of (int * int, float) Hashtbl.t
+
+(* Flat tables up to this many entries (8 MB of floats): n <= 1023. *)
+let fifo_dense_limit = 1 lsl 20
+
+let make_fifo_links n =
+  let stride = n + 1 in
+  if stride * stride <= fifo_dense_limit then
+    Dense
+      {
+        stride;
+        last = Array.make (stride * stride) neg_infinity;
+        spill = None;
+      }
+  else Sparse (Hashtbl.create 4096)
+
+(* A message never overtakes an earlier one on the same (src, dst) link. *)
+let fifo_arrival links ~src ~dst arrival =
+  let bump prev = if prev >= arrival then prev +. 1e-9 else arrival in
+  match links with
+  | Dense d when src < d.stride && dst < d.stride ->
+      let idx = (src * d.stride) + dst in
+      let a = bump d.last.(idx) in
+      d.last.(idx) <- a;
+      a
+  | Dense d ->
+      let spill =
+        match d.spill with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 64 in
+            d.spill <- Some h;
+            h
+      in
+      let a =
+        match Hashtbl.find_opt spill (src, dst) with
+        | Some prev -> bump prev
+        | None -> arrival
+      in
+      Hashtbl.replace spill (src, dst) a;
+      a
+  | Sparse h ->
+      let a =
+        match Hashtbl.find_opt h (src, dst) with
+        | Some prev -> bump prev
+        | None -> arrival
+      in
+      Hashtbl.replace h (src, dst) a;
+      a
+
+let copy_fifo_links = function
+  | Dense d ->
+      Dense
+        {
+          d with
+          last = Array.copy d.last;
+          spill = Option.map Hashtbl.copy d.spill;
+        }
+  | Sparse h -> Sparse (Hashtbl.copy h)
 
 type 'msg t = {
   n : int;
@@ -17,10 +88,14 @@ type 'msg t = {
   delay : Delay.t;
   label : 'msg -> string;
   bits : 'msg -> int;
+  measure_bits : bool;
+      (* skip the [bits] call entirely when no measure was supplied *)
   queue : 'msg event Heap.t;
   metrics : Metrics.t;
   mutable handler : (self:int -> src:int -> 'msg -> unit) option;
-  mutable clock : float;
+  clock : float array;
+      (* length 1; a flat float slot so advancing the clock every step
+         does not re-box the float as a mutable record field would *)
   mutable deliveries : int;
   mutable trace : Trace.t option;
   mutable op_count : int;
@@ -28,12 +103,12 @@ type 'msg t = {
   mutable max_message_bits : int;
   mutable current_event : int;
       (* seq of the delivery being handled; 0 outside handlers *)
-  fifo_links : ((int * int), float) Hashtbl.t option;
-      (* when FIFO links are on: last scheduled arrival per (src, dst) *)
+  fifo_links : fifo_links option;
 }
 
 let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
     ?(fifo = false) ~n () =
+  let measure_bits = bits <> None in
   let label = match label with Some f -> f | None -> fun _ -> "msg" in
   let bits = match bits with Some f -> f | None -> fun _ -> 0 in
   {
@@ -42,17 +117,18 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
     delay;
     label;
     bits;
-    queue = Heap.create ();
+    measure_bits;
+    queue = Heap.create ~capacity:(max 16 (min (2 * n) (1 lsl 16))) ();
     metrics = Metrics.create ~n;
     handler = None;
-    clock = 0.;
+    clock = [| 0. |];
     deliveries = 0;
     trace = None;
     op_count = 0;
     total_bits = 0;
     max_message_bits = 0;
     current_event = 0;
-    fifo_links = (if fifo then Some (Hashtbl.create 64) else None);
+    fifo_links = (if fifo then Some (make_fifo_links n) else None);
   }
 
 let set_handler t h = t.handler <- Some h
@@ -61,7 +137,7 @@ let n t = t.n
 
 let rng t = t.rng
 
-let now t = t.clock
+let now t = t.clock.(0)
 
 let metrics t = t.metrics
 
@@ -72,72 +148,69 @@ let deliveries t = t.deliveries
 let send t ~src ~dst payload =
   if src < 1 || dst < 1 then invalid_arg "Network.send: ids start at 1";
   Metrics.on_send t.metrics src;
-  let size = t.bits payload in
-  t.total_bits <- t.total_bits + size;
-  if size > t.max_message_bits then t.max_message_bits <- size;
-  let arrival = t.clock +. Delay.sample t.delay t.rng in
+  if t.measure_bits then begin
+    let size = t.bits payload in
+    t.total_bits <- t.total_bits + size;
+    if size > t.max_message_bits then t.max_message_bits <- size
+  end;
+  let arrival = t.clock.(0) +. Delay.sample t.delay t.rng in
   let arrival =
     match t.fifo_links with
     | None -> arrival
-    | Some last ->
-        (* FIFO links: a message never overtakes an earlier one on the
-           same (src, dst) channel. *)
-        let a =
-          match Hashtbl.find_opt last (src, dst) with
-          | Some prev when prev >= arrival -> prev +. 1e-9
-          | _ -> arrival
-        in
-        Hashtbl.replace last (src, dst) a;
-        a
+    | Some links -> fifo_arrival links ~src ~dst arrival
   in
   Heap.push t.queue ~prio:arrival
     (Deliver { src; dst; payload; parent = t.current_event })
 
 let schedule_local t ~delay callback =
   if delay < 0. then invalid_arg "Network.schedule_local: negative delay";
-  Heap.push t.queue ~prio:(t.clock +. delay) (Local (t.current_event, callback))
+  Heap.push t.queue
+    ~prio:(t.clock.(0) +. delay)
+    (Local (t.current_event, callback))
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (at, Local (parent, callback)) ->
-      t.clock <- max t.clock at;
-      (* The timer's effects are causal consequences of the event that
-         armed it. *)
-      let saved = t.current_event in
-      t.current_event <- parent;
-      callback ();
-      t.current_event <- saved;
-      true
-  | Some (arrival, Deliver env) ->
-      let handler =
-        match t.handler with
-        | Some h -> h
-        | None -> failwith "Network.step: no handler installed"
-      in
-      t.clock <- max t.clock arrival;
-      t.deliveries <- t.deliveries + 1;
-      Log.debug (fun m ->
-          m "t=%.3f deliver %d -> %d [%s]" t.clock env.src env.dst
-            (t.label env.payload));
-      Metrics.on_recv t.metrics env.dst;
-      (match t.trace with
-      | Some trace ->
-          Trace.record trace
-            {
-              Trace.seq = t.deliveries;
-              time = t.clock;
-              src = env.src;
-              dst = env.dst;
-              tag = t.label env.payload;
-              parent = env.parent;
-            }
-      | None -> ());
-      let saved = t.current_event in
-      t.current_event <- t.deliveries;
-      handler ~self:env.dst ~src:env.src env.payload;
-      t.current_event <- saved;
-      true
+  if Heap.is_empty t.queue then false
+  else begin
+    let at = Heap.top_prio t.queue in
+    if at > t.clock.(0) then t.clock.(0) <- at;
+    match Heap.pop_top t.queue with
+    | Local (parent, callback) ->
+        (* The timer's effects are causal consequences of the event that
+           armed it. *)
+        let saved = t.current_event in
+        t.current_event <- parent;
+        callback ();
+        t.current_event <- saved;
+        true
+    | Deliver { src; dst; payload; parent } ->
+        let handler =
+          match t.handler with
+          | Some h -> h
+          | None -> failwith "Network.step: no handler installed"
+        in
+        t.deliveries <- t.deliveries + 1;
+        Log.debug (fun m ->
+            m "t=%.3f deliver %d -> %d [%s]" t.clock.(0) src dst
+              (t.label payload));
+        Metrics.on_recv t.metrics dst;
+        (match t.trace with
+        | Some trace ->
+            Trace.record trace
+              {
+                Trace.seq = t.deliveries;
+                time = t.clock.(0);
+                src;
+                dst;
+                tag = t.label payload;
+                parent;
+              }
+        | None -> ());
+        let saved = t.current_event in
+        t.current_event <- t.deliveries;
+        handler ~self:dst ~src payload;
+        t.current_event <- saved;
+        true
+  end
 
 let run_to_quiescence ?(max_steps = 100_000_000) t =
   let rec loop count =
@@ -163,17 +236,18 @@ let clone_quiescent t =
     delay = t.delay;
     label = t.label;
     bits = t.bits;
+    measure_bits = t.measure_bits;
     queue = Heap.create ();
     metrics = Metrics.copy t.metrics;
     handler = None;
-    clock = t.clock;
+    clock = Array.copy t.clock;
     deliveries = t.deliveries;
     trace = None;
     op_count = t.op_count;
     total_bits = t.total_bits;
     max_message_bits = t.max_message_bits;
     current_event = 0;
-    fifo_links = Option.map Hashtbl.copy t.fifo_links;
+    fifo_links = Option.map copy_fifo_links t.fifo_links;
   }
 
 let in_op t = t.trace <> None
@@ -181,7 +255,8 @@ let in_op t = t.trace <> None
 let begin_op t ~origin =
   if in_op t then failwith "Network.begin_op: an operation is already open";
   t.trace <-
-    Some (Trace.create ~start_time:t.clock ~op_index:t.op_count ~origin ());
+    Some
+      (Trace.create ~start_time:t.clock.(0) ~op_index:t.op_count ~origin ());
   t.op_count <- t.op_count + 1
 
 let total_bits t = t.total_bits

@@ -7,40 +7,50 @@ type event = {
   parent : int;
 }
 
+(* Events are stored in a growable array (chronological order, so no
+   List.rev pass): recording a message on the hot delivery path is one
+   array write, with a doubling copy only on growth. *)
 type t = {
   op_index : int;
   origin : int;
   start_time : float;
-  mutable rev_events : event list;
+  mutable events_arr : event array;
   mutable count : int;
 }
 
 let create ?(start_time = 0.) ~op_index ~origin () =
-  { op_index; origin; start_time; rev_events = []; count = 0 }
+  { op_index; origin; start_time; events_arr = [||]; count = 0 }
 
 let op_index t = t.op_index
 
 let origin t = t.origin
 
 let record t e =
-  t.rev_events <- e :: t.rev_events;
+  let cap = Array.length t.events_arr in
+  if t.count >= cap then begin
+    let arr = Array.make (if cap = 0 then 16 else 2 * cap) e in
+    Array.blit t.events_arr 0 arr 0 t.count;
+    t.events_arr <- arr
+  end;
+  t.events_arr.(t.count) <- e;
   t.count <- t.count + 1
 
-let events t = List.rev t.rev_events
+let events t = Array.to_list (Array.sub t.events_arr 0 t.count)
 
 let message_count t = t.count
 
 let duration t =
-  match t.rev_events with
-  | [] -> 0.
-  | last :: _ -> last.time -. t.start_time
+  if t.count = 0 then 0. else t.events_arr.(t.count - 1).time -. t.start_time
 
 module Int_set = Set.Make (Int)
 
 let processor_set t =
-  List.fold_left
-    (fun acc e -> Int_set.add e.src (Int_set.add e.dst acc))
-    (Int_set.singleton t.origin) t.rev_events
+  let acc = ref (Int_set.singleton t.origin) in
+  for i = 0 to t.count - 1 do
+    let e = t.events_arr.(i) in
+    acc := Int_set.add e.src (Int_set.add e.dst !acc)
+  done;
+  !acc
 
 let processors t = Int_set.elements (processor_set t)
 

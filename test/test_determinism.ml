@@ -1,0 +1,127 @@
+(* Golden determinism regression for the event-engine rewrite.
+
+   The golden values below were produced by the ORIGINAL boxed binary-heap
+   engine (the pre-rewrite seed of this repository) running the paper's
+   retirement counter at n = 81 with a seed-shuffled each-once order. The
+   structure-of-arrays 4-ary heap must deliver events in exactly the same
+   order — the (prio, seq) contract is a total order, so any conforming
+   implementation reproduces these runs bit-identically. If one of these
+   checks ever fails, an engine change silently altered delivery order and
+   every seeded experiment in EXPERIMENTS.md is invalidated.
+
+   The checksum is Sim.Metrics.checksum: an FNV-1a fingerprint of the full
+   per-processor (sent, received) load vector including overflow hires. *)
+
+let check = Alcotest.check
+
+type golden = {
+  name : string;
+  seed : int;
+  delay : Sim.Delay.t;
+  total_messages : int;
+  total_load : int;
+  bottleneck : int * int;
+  overflow : int;
+  checksum : int;
+}
+
+let goldens =
+  [
+    {
+      name = "constant delay";
+      seed = 42;
+      delay = Sim.Delay.Constant 1.0;
+      total_messages = 1627;
+      total_load = 3254;
+      bottleneck = (7, 44);
+      overflow = 76;
+      checksum = 1117116884259558886;
+    };
+    {
+      name = "exponential delay";
+      seed = 7;
+      delay = Sim.Delay.Exponential 1.0;
+      total_messages = 1636;
+      total_load = 3272;
+      bottleneck = (20, 44);
+      overflow = 79;
+      checksum = 2181917791483362687;
+    };
+    {
+      name = "adversarial jitter";
+      seed = 1;
+      delay = Sim.Delay.Adversarial_jitter 0.5;
+      total_messages = 1777;
+      total_load = 3554;
+      bottleneck = (25, 43);
+      overflow = 97;
+      checksum = 3112887691210187096;
+    };
+  ]
+
+let run_metrics g =
+  let module R = Core.Retire_counter in
+  let n = 81 in
+  let c = R.create ~n ~seed:g.seed ~delay:g.delay () in
+  let order = Sim.Rng.permutation (Sim.Rng.create ~seed:g.seed) n in
+  Array.iteri
+    (fun i p ->
+      let v = R.inc c ~origin:(p + 1) in
+      check Alcotest.int (Printf.sprintf "%s: value %d" g.name i) i v)
+    order;
+  R.metrics c
+
+let test_golden g () =
+  let m = run_metrics g in
+  check Alcotest.int "total messages" g.total_messages
+    (Sim.Metrics.total_messages m);
+  check Alcotest.int "total load" g.total_load (Sim.Metrics.total_load m);
+  check
+    Alcotest.(pair int int)
+    "bottleneck" g.bottleneck (Sim.Metrics.bottleneck m);
+  check Alcotest.int "overflow hires" g.overflow
+    (Sim.Metrics.overflow_processors m);
+  check Alcotest.int "load-vector checksum" g.checksum (Sim.Metrics.checksum m)
+
+(* Same-process reproducibility: two identical runs must agree exactly —
+   catches hidden global state (hash seeds, shared RNGs) leaking into the
+   engine. *)
+let test_repeat_runs_identical () =
+  let g = List.hd goldens in
+  let a = run_metrics g and b = run_metrics g in
+  check Alcotest.int "checksums agree" (Sim.Metrics.checksum a)
+    (Sim.Metrics.checksum b);
+  Alcotest.(check (array int))
+    "load vectors agree" (Sim.Metrics.load_array a)
+    (Sim.Metrics.load_array b)
+
+(* The driver's shuffled schedule must also be reproducible end-to-end. *)
+let test_driver_reports_reproducible () =
+  let run () =
+    Counter.Driver.run ~seed:1234 Baselines.Registry.retire_tree ~n:81
+      ~schedule:Counter.Schedule.Each_once_shuffled
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "correct" true a.Counter.Driver.correct;
+  check Alcotest.int "bottleneck load" a.Counter.Driver.bottleneck_load
+    b.Counter.Driver.bottleneck_load;
+  check Alcotest.int "bottleneck proc" a.Counter.Driver.bottleneck_proc
+    b.Counter.Driver.bottleneck_proc;
+  check Alcotest.int "messages" a.Counter.Driver.total_messages
+    b.Counter.Driver.total_messages
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "golden",
+        List.map
+          (fun g -> Alcotest.test_case g.name `Quick (test_golden g))
+          goldens );
+      ( "reproducibility",
+        [
+          Alcotest.test_case "repeat runs identical" `Quick
+            test_repeat_runs_identical;
+          Alcotest.test_case "driver reports reproducible" `Quick
+            test_driver_reports_reproducible;
+        ] );
+    ]
