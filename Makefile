@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-big bench-perf bench-smoke examples doc clean outputs
+.PHONY: all build test test-chaos bench bench-big bench-perf bench-smoke examples doc clean outputs
 
 all: build
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	dune runtest
+
+# Fault-injection smoke (docs/FAULTS.md): the failure-aware quorum
+# counter must complete every live-origin op under f < ceil(n/2)
+# crashes, and the retirement counter must stall cleanly (exit 0 means
+# both chaos checks passed).
+test-chaos:
+	dune exec bin/dcount.exe -- chaos -c quorum-majority -n 9 --crashes 0,1,2,3,4 --ops 18 --seed 42 --check
+	dune exec bin/dcount.exe -- chaos -c retire-tree -n 8 --crashes 0,1,2 --ops 16 --check
 
 bench:
 	dune exec bench/main.exe

@@ -3,6 +3,7 @@
    Subcommands:
      list        available counters and quorum systems
      run         execute a schedule against one counter, print the report
+     chaos       sweep crash/drop rates, report completion and load shift
      compare     bottleneck comparison table across counters and sizes
      adversary   run the lower-bound adversary against a counter
      trace       print the process DAG of the first operations
@@ -32,6 +33,20 @@ let counter_conv =
 let delay_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Sim.Delay.of_string s) in
   Arg.conv (parse, Sim.Delay.pp)
+
+let fault_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Sim.Fault.of_string s) in
+  Arg.conv (parse, Sim.Fault.pp)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault plan: clauses crash:P@T, crash:P@#D, drop:F, \
+           drop:S,D:F, dup:F and part:LO-HI@T0,T1 joined with '/', or \
+           $(b,none). Example: crash:3@1.5/drop:0.01.")
 
 let counter_arg =
   Arg.(
@@ -118,15 +133,21 @@ let schedule_conv =
   Arg.conv (parse, Counter.Schedule.pp)
 
 let run_cmd =
-  let run counter n seed delay schedule debug seeds domains =
+  let run counter n seed delay faults schedule debug seeds domains =
     if debug then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
+    (* Under an active fault plan stalls and value gaps are expected, so
+       the correctness verdict only gates the exit code on fault-free
+       runs. *)
+    let fault_free =
+      match faults with None -> true | Some f -> Sim.Fault.is_none f
+    in
     if seeds <= 1 then begin
-      let r = Counter.Driver.run ~seed ?delay counter ~n ~schedule in
+      let r = Counter.Driver.run ~seed ?delay ?faults counter ~n ~schedule in
       Format.printf "%a@." Counter.Driver.pp_report r;
-      if not r.Counter.Driver.correct then exit 1
+      if fault_free && not r.Counter.Driver.correct then exit 1
     end
     else begin
       (* Replicated mode: the same experiment across consecutive seeds,
@@ -135,7 +156,8 @@ let run_cmd =
       let seed_list = List.init seeds (fun i -> seed + i) in
       let reports =
         Analysis.Replicate.parallel_map ?domains
-          (fun s -> Counter.Driver.run ~seed:s ?delay counter ~n ~schedule)
+          (fun s ->
+            Counter.Driver.run ~seed:s ?delay ?faults counter ~n ~schedule)
           seed_list
       in
       let by_seed = List.combine seed_list reports in
@@ -158,12 +180,16 @@ let run_cmd =
       line "total messages:" (fun r ->
           float_of_int r.Counter.Driver.total_messages);
       line "mean op latency:" (fun r -> r.Counter.Driver.mean_op_latency);
+      (if not fault_free then
+         line "stalled ops:" (fun r -> float_of_int r.Counter.Driver.stalled));
       List.iter
         (fun (s, r) ->
-          if not r.Counter.Driver.correct then
+          if fault_free && not r.Counter.Driver.correct then
             Format.printf "  seed %d: INCORRECT value sequence@." s)
         by_seed;
-      if List.exists (fun (_, r) -> not r.Counter.Driver.correct) by_seed
+      if
+        fault_free
+        && List.exists (fun (_, r) -> not r.Counter.Driver.correct) by_seed
       then exit 1
     end
   in
@@ -202,8 +228,183 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a schedule against a counter and report loads.")
     Term.(
-      const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ schedule_arg
-      $ debug_arg $ seeds_arg $ domains_arg)
+      const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ faults_arg
+      $ schedule_arg $ debug_arg $ seeds_arg $ domains_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos *)
+
+let chaos_cmd =
+  let run counter n seed delay crash_counts drop_rates dup ops check =
+    let (module C : Counter.Counter_intf.S) = counter in
+    let n = C.supported_n n in
+    let ops = if ops <= 0 then 2 * n else ops in
+    (* One operation round: round-robin over the origins, skipping origins
+       already crashed when their turn comes (a dead client cannot issue a
+       request). [stalled_live] counts stalls whose origin was still alive
+       at the end of the operation — the stalls a fault-tolerant protocol
+       is supposed to avoid; an origin crashing mid-operation can never
+       see its own answer, so those stalls are inherent. *)
+    let run_ops c =
+      let completed = ref 0
+      and stalled = ref 0
+      and stalled_live = ref 0
+      and skipped = ref 0 in
+      let last_stall = ref "" in
+      let origin = ref 0 in
+      for _ = 1 to ops do
+        let rec advance tries =
+          origin := (!origin mod n) + 1;
+          if C.crashed c !origin && tries < n then advance (tries + 1)
+        in
+        advance 0;
+        if C.crashed c !origin then incr skipped
+        else
+          match C.inc_result c ~origin:!origin with
+          | Counter.Counter_intf.Completed _ -> incr completed
+          | Counter.Counter_intf.Stalled reason ->
+              incr stalled;
+              if not (C.crashed c !origin) then incr stalled_live;
+              last_stall := reason
+      done;
+      (!completed, !stalled, !stalled_live, !skipped, !last_stall)
+    in
+    (* Fault-free baseline: reference for added load, bottleneck shift and
+       the delivery-count horizon the crash triggers are drawn from. *)
+    let baseline = C.create ~seed ?delay ~n () in
+    let _ = run_ops baseline in
+    let base_metrics = C.metrics baseline in
+    let base_total = Sim.Metrics.total_messages base_metrics in
+    let base_bproc, base_bload = Sim.Metrics.bottleneck base_metrics in
+    let base_per_op = float_of_int base_total /. float_of_int (max 1 ops) in
+    Format.printf
+      "chaos sweep: counter=%s n=%d ops=%d seed=%d dup=%g@.baseline: %d \
+       msgs (%.1f/op), bottleneck p%d(%d)@.@."
+      C.name n ops seed dup base_total base_per_op base_bproc base_bload;
+    Format.printf
+      "%7s %6s  %-11s %7s %7s  %8s %8s  %-12s %s@." "crashes" "drop"
+      "done/req" "skipped" "stalled" "msgs/op" "load+%" "bottleneck" "notes";
+    let check_failures = ref [] in
+    let is_quorum =
+      String.length C.name >= 7 && String.sub C.name 0 7 = "quorum-"
+    in
+    List.iter
+      (fun f ->
+        List.iteri
+          (fun di d ->
+            (* Deterministic victim/trigger choice: a private stream per
+               (f, drop) cell so rows are independently reproducible. *)
+            let rng =
+              Sim.Rng.create
+                ~seed:(seed lxor (f * 7919) lxor ((di + 1) * 104729))
+            in
+            let perm = Sim.Rng.permutation rng n in
+            let crashes =
+              List.init (min f n) (fun i ->
+                  {
+                    Sim.Fault.processor = perm.(i) + 1;
+                    trigger =
+                      Sim.Fault.After (1 + Sim.Rng.int rng (max 1 base_total));
+                  })
+            in
+            let faults =
+              { Sim.Fault.none with Sim.Fault.crashes; drop = d; duplicate = dup }
+            in
+            let c = C.create ~seed ?delay ~faults ~n () in
+            let completed, stalled, stalled_live, skipped, last_stall =
+              run_ops c
+            in
+            let m = C.metrics c in
+            let total = Sim.Metrics.total_messages m in
+            let bproc, bload = Sim.Metrics.bottleneck m in
+            let attempted = ops - skipped in
+            let per_op = float_of_int total /. float_of_int (max 1 attempted) in
+            let added_pct =
+              if base_per_op > 0. then
+                100. *. ((per_op /. base_per_op) -. 1.)
+              else 0.
+            in
+            let shifted = bproc <> base_bproc in
+            Format.printf
+              "%7d %6.2f  %5d/%-5d %7d %7d  %8.1f %+7.0f%%  p%d(%d)%s %s@." f
+              d completed attempted skipped stalled per_op added_pct bproc
+              bload
+              (if shifted then "*" else " ")
+              (if stalled > 0 then "last stall: " ^ last_stall else "");
+            if check then begin
+              if f = 0 && d = 0. && dup = 0. && completed <> ops then
+                check_failures :=
+                  Printf.sprintf
+                    "fault-free row completed %d/%d operations" completed ops
+                  :: !check_failures;
+              if
+                is_quorum && d = 0. && dup = 0.
+                && f <= (n - 1) / 2
+                && stalled_live > 0
+              then
+                check_failures :=
+                  Printf.sprintf
+                    "%s: %d live-origin stalls with %d crashes (f < n/2 must \
+                     complete)"
+                    C.name stalled_live f
+                  :: !check_failures
+            end)
+          drop_rates)
+      crash_counts;
+    Format.printf
+      "@.(* = bottleneck moved off the fault-free bottleneck processor \
+       p%d)@."
+      base_bproc;
+    if check then
+      match !check_failures with
+      | [] -> Format.printf "chaos check: OK@."
+      | fs ->
+          List.iter (fun f -> Format.eprintf "chaos check FAILED: %s@." f) fs;
+          exit 1
+  in
+  let crashes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 0; 1; 2 ]
+      & info [ "crashes" ] ~docv:"F,F,..."
+          ~doc:"Crash counts to sweep (victims drawn deterministically).")
+  in
+  let drops_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0. ]
+      & info [ "drops" ] ~docv:"D,D,..."
+          ~doc:"Per-message drop probabilities to sweep.")
+  in
+  let dup_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup" ] ~docv:"F" ~doc:"Per-message duplication probability.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "ops" ] ~docv:"OPS"
+          ~doc:"Operations per configuration (default 2n), round-robin.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Assert completion bounds: the fault-free row completes every \
+             operation, and quorum counters complete every live-origin \
+             operation at drop 0 whenever fewer than half the processors \
+             crash. Exit 1 on violation.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep crash counts and drop rates against a counter; report \
+          completion rate, added message load and bottleneck shift.")
+    Term.(
+      const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ crashes_arg
+      $ drops_arg $ dup_arg $ ops_arg $ check_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)
@@ -456,6 +657,7 @@ let () =
           [
             list_cmd;
             run_cmd;
+            chaos_cmd;
             compare_cmd;
             adversary_cmd;
             trace_cmd;

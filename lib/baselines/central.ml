@@ -26,9 +26,9 @@ let handle st ~self ~src:_ = function
       st.value <- st.value + 1
   | Reply { value } -> st.last_returned <- value
 
-let create ?(seed = 42) ?delay ~n () =
+let create ?(seed = 42) ?delay ?faults ~n () =
   if n < 1 then invalid_arg "Central.create: n must be >= 1";
-  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let net = Sim.Network.create ~seed ?delay ?faults ~label ~n () in
   let st = { net; n; value = 0; last_returned = -1; traces_rev = [] } in
   Sim.Network.set_handler net (fun ~self ~src payload ->
       handle st ~self ~src payload);
@@ -62,7 +62,16 @@ let inc t ~origin =
   in
   let trace = Sim.Network.end_op t.net in
   t.traces_rev <- trace :: t.traces_rev;
+  if result < 0 then
+    raise
+      (Counter.Counter_intf.Stall
+         "Central.inc: no reply (holder crashed or message lost)");
   result
+
+let inc_result t ~origin =
+  Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
+
+let crashed t p = Sim.Network.crashed t.net p
 
 let clone t =
   let net = Sim.Network.clone_quiescent t.net in

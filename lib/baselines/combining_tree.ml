@@ -128,10 +128,10 @@ and park t ~self ~node ~side ~count =
             ascend t ~self ~node ~batch:[ first ] ~count:first.count
         | None -> ())
 
-let create_binary ?(seed = 42) ?delay ?(window = 1.5) ~n () =
+let create_binary ?(seed = 42) ?delay ?faults ?(window = 1.5) ~n () =
   if not (is_power_of_two n) then
     invalid_arg "Combining_tree: n must be a power of two (use supported_n)";
-  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let net = Sim.Network.create ~seed ?delay ?faults ~label ~n () in
   let t =
     {
       net;
@@ -151,7 +151,7 @@ let create_binary ?(seed = 42) ?delay ?(window = 1.5) ~n () =
       handle t ~self ~src payload);
   t
 
-let create ?seed ?delay ~n () = create_binary ?seed ?delay ~n ()
+let create ?seed ?delay ?faults ~n () = create_binary ?seed ?delay ?faults ~n ()
 
 let n t = t.n
 
@@ -195,9 +195,20 @@ let inc t ~origin =
   t.completed_rev <- [];
   launch t ~origin;
   finish_op t;
-  match t.completed_rev with
-  | [ (_, value) ] -> value
-  | _ -> failwith "Combining_tree.inc: expected exactly one completion"
+  (* Chronologically first completion: under duplication faults a value
+     can arrive twice; without faults there is exactly one. *)
+  match List.rev t.completed_rev with
+  | (_, value) :: _ -> value
+  | [] ->
+      raise
+        (Counter.Counter_intf.Stall
+           "Combining_tree.inc: no value returned (node host crashed or \
+            message lost)")
+
+let inc_result t ~origin =
+  Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
+
+let crashed t p = Sim.Network.crashed t.net p
 
 let run_batch t ~origins =
   (match origins with

@@ -26,6 +26,7 @@ type t
 val create_binary :
   ?seed:int ->
   ?delay:Sim.Delay.t ->
+  ?faults:Sim.Fault.t ->
   ?window:float ->
   n:int ->
   unit ->

@@ -66,9 +66,9 @@ let handle st ~self ~src:_ = function
             ~dst:(host_of_link st next)
             (Token { origin; at = next }))
 
-let create_custom ?(seed = 42) ?delay ~n ~network:bitonic () =
+let create_custom ?(seed = 42) ?delay ?faults ~n ~network:bitonic () =
   if n < 1 then invalid_arg "Counting_network: n must be >= 1";
-  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let net = Sim.Network.create ~seed ?delay ?faults ~label ~n () in
   let st =
     {
       net;
@@ -86,8 +86,8 @@ let create_custom ?(seed = 42) ?delay ~n ~network:bitonic () =
       handle st ~self ~src payload);
   st
 
-let create_width ?seed ?delay ~n ~width () =
-  create_custom ?seed ?delay ~n ~network:(Bitonic.build ~width) ()
+let create_width ?seed ?delay ?faults ~n ~width () =
+  create_custom ?seed ?delay ?faults ~n ~network:(Bitonic.build ~width) ()
 
 let default_width n =
   if n <= 1 then 1
@@ -97,7 +97,8 @@ let default_width n =
     max 2 (grow 1)
   end
 
-let create ?seed ?delay ~n () = create_width ?seed ?delay ~n ~width:(default_width n) ()
+let create ?seed ?delay ?faults ~n () =
+  create_width ?seed ?delay ?faults ~n ~width:(default_width n) ()
 
 let n t = t.n
 
@@ -129,9 +130,22 @@ let inc t ~origin =
   launch t ~origin;
   finish_op t;
   t.ops <- t.ops + 1;
-  match t.completed_rev with
-  | [ (o, value, _) ] when o = origin -> value
-  | _ -> failwith "Counting_network.inc: no value returned"
+  (* First completion for this origin (duplication faults can deliver the
+     value twice; without faults there is exactly one). *)
+  match
+    List.find_opt (fun (o, _, _) -> o = origin) (List.rev t.completed_rev)
+  with
+  | Some (_, value, _) -> value
+  | None ->
+      raise
+        (Counter.Counter_intf.Stall
+           "Counting_network.inc: no value returned (balancer host crashed \
+            or token lost)")
+
+let inc_result t ~origin =
+  Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
+
+let crashed t p = Sim.Network.crashed t.net p
 
 let run_batch t ~origins =
   (* Concurrent tokens — the regime counting networks were built for.

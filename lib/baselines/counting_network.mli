@@ -24,11 +24,23 @@
 type t
 
 val create_width :
-  ?seed:int -> ?delay:Sim.Delay.t -> n:int -> width:int -> unit -> t
+  ?seed:int ->
+  ?delay:Sim.Delay.t ->
+  ?faults:Sim.Fault.t ->
+  n:int ->
+  width:int ->
+  unit ->
+  t
 (** [width] must be a power of two. *)
 
 val create_custom :
-  ?seed:int -> ?delay:Sim.Delay.t -> n:int -> network:Bitonic.network -> unit -> t
+  ?seed:int ->
+  ?delay:Sim.Delay.t ->
+  ?faults:Sim.Fault.t ->
+  n:int ->
+  network:Bitonic.network ->
+  unit ->
+  t
 (** Run the counter over any prebuilt balancer network (e.g.
     {!Periodic.build}) — the wrapper is construction-agnostic. *)
 

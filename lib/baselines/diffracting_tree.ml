@@ -105,11 +105,11 @@ let handle st ~self ~src:_ = function
                 forward st ~src:self ~origin ~node ~dir
               end))
 
-let create_width ?(seed = 42) ?delay ?(prism_window = 1.5) ~n ~width () =
+let create_width ?(seed = 42) ?delay ?faults ?(prism_window = 1.5) ~n ~width () =
   if n < 1 then invalid_arg "Diffracting_tree: n must be >= 1";
   if not (is_power_of_two width) then
     invalid_arg "Diffracting_tree: width must be a power of two";
-  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let net = Sim.Network.create ~seed ?delay ?faults ~label ~n () in
   let nodes =
     Array.init (max 1 width) (fun _ ->
         { toggle = true; waiting = None; generation = 0 })
@@ -142,8 +142,8 @@ let default_width n =
     max 2 (grow 1)
   end
 
-let create ?seed ?delay ~n () =
-  create_width ?seed ?delay ~n ~width:(default_width n) ()
+let create ?seed ?delay ?faults ~n () =
+  create_width ?seed ?delay ?faults ~n ~width:(default_width n) ()
 
 let n t = t.n
 
@@ -186,9 +186,20 @@ let inc t ~origin =
   launch t ~origin;
   finish_op t;
   t.ops <- t.ops + 1;
-  match t.completed_rev with
-  | [ (_, value, _) ] -> value
-  | _ -> failwith "Diffracting_tree.inc: expected exactly one completion"
+  (* Chronologically first completion (duplication faults can deliver the
+     value twice; without faults there is exactly one). *)
+  match List.rev t.completed_rev with
+  | (_, value, _) :: _ -> value
+  | [] ->
+      raise
+        (Counter.Counter_intf.Stall
+           "Diffracting_tree.inc: no value returned (node host crashed or \
+            token lost)")
+
+let inc_result t ~origin =
+  Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
+
+let crashed t p = Sim.Network.crashed t.net p
 
 let run_batch t ~origins =
   (match origins with

@@ -24,6 +24,7 @@ type t
 val create_width :
   ?seed:int ->
   ?delay:Sim.Delay.t ->
+  ?faults:Sim.Fault.t ->
   ?prism_window:float ->
   n:int ->
   width:int ->

@@ -19,14 +19,18 @@ let default_width n =
     max 2 (grow 1)
   end
 
-let create ?seed ?delay ~n () =
-  Counting_network.create_custom ?seed ?delay ~n
+let create ?seed ?delay ?faults ~n () =
+  Counting_network.create_custom ?seed ?delay ?faults ~n
     ~network:(Periodic.build ~width:(default_width n))
     ()
 
 let n = Counting_network.n
 
 let inc = Counting_network.inc
+
+let inc_result = Counting_network.inc_result
+
+let crashed = Counting_network.crashed
 
 let value = Counting_network.value
 

@@ -5,4 +5,4 @@
 include Counter.Counter_intf.S
 
 val create :
-  ?seed:int -> ?delay:Sim.Delay.t -> n:int -> unit -> t
+  ?seed:int -> ?delay:Sim.Delay.t -> ?faults:Sim.Fault.t -> n:int -> unit -> t

@@ -21,12 +21,40 @@
 
     The functor takes the quorum system; {!Over_majority}, {!Over_grid},
     {!Over_tree} and {!Over_wall} are the instantiations used by the
-    registry. *)
+    registry.
+
+    {b Failure awareness} (only active when created with a {!Sim.Fault}
+    plan; without one, no timers are armed and behaviour is bit-identical
+    to the failure-oblivious protocol): each quorum attempt is stamped
+    with a round number and guarded by a local timeout timer. On timeout
+    the client suspects the silent members (in an origin-local suspicion
+    table, so quorum choice stays origin-local), doubles the timeout, and
+    retries on the next quorum of the rotation that avoids all suspects;
+    when suspicion blocks the entire rotation it falls back to asking
+    {e everyone} and waiting for a majority of answers. After a bounded
+    attempt budget the operation stalls ({!Counter.Counter_intf.Stall})
+    instead of hanging.
+
+    Completion guarantee: with the majority system, every operation by a
+    live origin completes under any [f < ceil(n/2)] crash-stop failures
+    (a live majority always exists and fallback waits for exactly a
+    majority). Correctness caveat for the {e other} geometries: a
+    fallback majority does not necessarily intersect a small structured
+    quorum (a grid row-plus-column, a tree path), so a counter over grid,
+    tree, wall or plane can lose linearizability once fallback engages —
+    completion, not correctness, is the guarantee there (see
+    docs/FAULTS.md). *)
 
 module Make (Q : Quorum.Quorum_intf.S) : sig
   include Counter.Counter_intf.S
 
   val quorum_size : t -> int
+
+  val retries : t -> int
+  (** Timed-out quorum attempts that were retried (all operations). *)
+
+  val fallbacks : t -> int
+  (** Times the client resorted to the ask-everyone majority fallback. *)
 end
 
 module Over_majority : Counter.Counter_intf.S

@@ -7,13 +7,13 @@ let describe =
 
 let supported_n = Core.Retire_counter.supported_n
 
-let create ?seed ?delay ~n () =
+let create ?seed ?delay ?faults ~n () =
   match Core.Params.k_of_n_exact n with
   | Some k ->
       let cfg =
         { (Core.Retire_counter.paper_config ~k) with retire_threshold = max_int }
       in
-      Core.Retire_counter.create_with ?seed ?delay cfg
+      Core.Retire_counter.create_with ?seed ?delay ?faults cfg
   | None ->
       invalid_arg
         (Printf.sprintf
@@ -24,6 +24,10 @@ let create ?seed ?delay ~n () =
 let n = Core.Retire_counter.n
 
 let inc = Core.Retire_counter.inc
+
+let inc_result = Core.Retire_counter.inc_result
+
+let crashed = Core.Retire_counter.crashed
 
 let value = Core.Retire_counter.value
 

@@ -264,7 +264,7 @@ and retire st nd =
 (* ------------------------------------------------------------------ *)
 (* Public construction                                                 *)
 
-let create_with ?(seed = 42) ?delay cfg =
+let create_with ?(seed = 42) ?delay ?faults cfg =
   if cfg.arity < 1 then invalid_arg "Retire_counter: arity must be >= 1";
   if cfg.depth < 0 then invalid_arg "Retire_counter: depth must be >= 0";
   if cfg.retire_threshold < min_threshold cfg.arity then
@@ -275,7 +275,9 @@ let create_with ?(seed = 42) ?delay cfg =
          (min_threshold cfg.arity));
   let tree = Tree.create ~arity:cfg.arity ~depth:cfg.depth in
   let n = Tree.n tree in
-  let net = Sim.Network.create ~seed ?delay ~label ~bits:payload_bits ~n () in
+  let net =
+    Sim.Network.create ~seed ?delay ?faults ~label ~bits:payload_bits ~n ()
+  in
   let nodes = make_nodes tree in
   let leaf_believed_parent =
     Array.init n (fun i ->
@@ -301,9 +303,9 @@ let create_with ?(seed = 42) ?delay cfg =
       handle st ~self ~src payload);
   st
 
-let create ?seed ?delay ~n () =
+let create ?seed ?delay ?faults ~n () =
   match Params.k_of_n_exact n with
-  | Some k -> create_with ?seed ?delay (paper_config ~k)
+  | Some k -> create_with ?seed ?delay ?faults (paper_config ~k)
   | None ->
       invalid_arg
         (Printf.sprintf
@@ -387,9 +389,22 @@ let inc t ~origin =
   ignore (Sim.Network.run_to_quiescence t.net);
   let trace = Sim.Network.end_op t.net in
   t.traces_rev <- trace :: t.traces_rev;
-  match t.completed_rev with
-  | [ (o, value, _) ] when o = origin -> value
-  | _ -> failwith "Retire_counter.inc: operation completed without a value"
+  (* First completion for this origin: under duplication faults the value
+     can arrive twice; without faults there is exactly one. *)
+  match
+    List.find_opt (fun (o, _, _) -> o = origin) (List.rev t.completed_rev)
+  with
+  | Some (_, value, _) -> value
+  | None ->
+      raise
+        (Counter.Counter_intf.Stall
+           "Retire_counter.inc: no value returned (a worker on the path \
+            crashed or a message was lost)")
+
+let inc_result t ~origin =
+  Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
+
+let crashed t p = Sim.Network.crashed t.net p
 
 let run_batch t ~origins =
   List.iter (check_origin t) origins;

@@ -60,7 +60,7 @@ val config_n : config -> int
 type t
 
 val create_with :
-  ?seed:int -> ?delay:Sim.Delay.t -> config -> t
+  ?seed:int -> ?delay:Sim.Delay.t -> ?faults:Sim.Fault.t -> config -> t
 (** Build a counter with an explicit configuration (for the threshold and
     arity ablations). *)
 

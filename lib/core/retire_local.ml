@@ -280,13 +280,13 @@ and retire t proc role =
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let create_with ?(seed = 42) ?delay (cfg : Retire_counter.config) =
+let create_with ?(seed = 42) ?delay ?faults (cfg : Retire_counter.config) =
   let arity = cfg.Retire_counter.arity in
   if cfg.Retire_counter.retire_threshold < arity + 2 then
     invalid_arg "Retire_local: retire_threshold must be >= arity + 2";
   let tree = Tree.create ~arity ~depth:cfg.Retire_counter.depth in
   let n = Tree.n tree in
-  let net = Sim.Network.create ~seed ?delay ~label ~n () in
+  let net = Sim.Network.create ~seed ?delay ?faults ~label ~n () in
   let procs = Hashtbl.create (n * 2) in
   let t =
     {
@@ -332,9 +332,9 @@ let create_with ?(seed = 42) ?delay (cfg : Retire_counter.config) =
       handle t ~self ~src payload);
   t
 
-let create ?seed ?delay ~n () =
+let create ?seed ?delay ?faults ~n () =
   match Params.k_of_n_exact n with
-  | Some k -> create_with ?seed ?delay (Retire_counter.paper_config ~k)
+  | Some k -> create_with ?seed ?delay ?faults (Retire_counter.paper_config ~k)
   | None ->
       invalid_arg
         (Printf.sprintf
@@ -369,9 +369,18 @@ let inc t ~origin =
   ignore (Sim.Network.run_to_quiescence t.net);
   let trace = Sim.Network.end_op t.net in
   t.traces_rev <- trace :: t.traces_rev;
-  match t.completed_rev with
-  | [ (o, value) ] when o = origin -> value
-  | _ -> failwith "Retire_local.inc: operation completed without a value"
+  match List.find_opt (fun (o, _) -> o = origin) (List.rev t.completed_rev) with
+  | Some (_, value) -> value
+  | None ->
+      raise
+        (Counter.Counter_intf.Stall
+           "Retire_local.inc: no value returned (a worker on the path \
+            crashed or a message was lost)")
+
+let inc_result t ~origin =
+  Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
+
+let crashed t p = Sim.Network.crashed t.net p
 
 let clone t =
   let net = Sim.Network.clone_quiescent t.net in

@@ -35,7 +35,8 @@
 
 include Counter.Counter_intf.S
 
-val create_with : ?seed:int -> ?delay:Sim.Delay.t -> Retire_counter.config -> t
+val create_with :
+  ?seed:int -> ?delay:Sim.Delay.t -> ?faults:Sim.Fault.t -> Retire_counter.config -> t
 
 val total_retirements : t -> int
 

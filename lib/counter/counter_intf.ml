@@ -10,7 +10,33 @@
 
     Implementations own a {!Sim.Network} instance, so per-processor message
     loads and per-operation traces come for free and are comparable across
-    counters. *)
+    counters.
+
+    The paper assumes no failures; counters honour that by default. When a
+    {!Sim.Fault} plan is supplied at creation, an operation may instead
+    {e stall}: the process reaches quiescence without delivering a value
+    (a crashed worker, a lost message). Stalls are a typed outcome
+    ({!Stalled}), never a hang and never an untyped exception. *)
+
+exception Stall of string
+(** Raised by [inc] when the operation's process reached quiescence
+    without returning a value — only possible under an active fault plan.
+    The string says what was detected ("holder crashed", "no value
+    returned", ...). The counter stays quiescent and usable: later
+    operations from surviving processors may still complete. *)
+
+type outcome = Completed of int | Stalled of string
+(** Result of one increment under faults: the value returned, or the
+    stall reason. *)
+
+let result_of_inc f =
+  match f () with v -> Completed v | exception Stall reason -> Stalled reason
+
+let outcome_value = function Completed v -> Some v | Stalled _ -> None
+
+let pp_outcome ppf = function
+  | Completed v -> Format.fprintf ppf "%d" v
+  | Stalled reason -> Format.fprintf ppf "stalled(%s)" reason
 
 module type S = sig
   type t
@@ -27,10 +53,15 @@ module type S = sig
       a power of two for counting networks, a square for grids). The result
       is always [>= max 1 n]. *)
 
-  val create : ?seed:int -> ?delay:Sim.Delay.t -> n:int -> unit -> t
+  val create :
+    ?seed:int -> ?delay:Sim.Delay.t -> ?faults:Sim.Fault.t -> n:int -> unit -> t
   (** Build the counter for exactly [n] processors; callers should pass a
       value accepted by {!supported_n} (implementations raise
-      [Invalid_argument] otherwise). [seed] makes runs reproducible. *)
+      [Invalid_argument] otherwise). [seed] makes runs reproducible.
+      [faults] (default {!Sim.Fault.none}) is the deterministic fault
+      plan handed to the underlying {!Sim.Network}; with [Fault.none]
+      behaviour is bit-identical to a counter built without the
+      parameter. *)
 
   val n : t -> int
   (** Number of processors. *)
@@ -38,7 +69,18 @@ module type S = sig
   val inc : t -> origin:int -> int
   (** [inc t ~origin] performs one test-and-increment initiated by
       processor [origin] (in [1 .. n t]), runs the resulting process to
-      quiescence, and returns the value the counter had. *)
+      quiescence, and returns the value the counter had. Raises {!Stall}
+      if the process quiesced without producing a value (possible only
+      under an active fault plan); the counter remains usable. *)
+
+  val inc_result : t -> origin:int -> outcome
+  (** {!inc} with the stall folded into a typed result — what fault
+      experiments consume. *)
+
+  val crashed : t -> int -> bool
+  (** Whether processor [p] has crash-stopped in the underlying network
+      (always [false] without a fault plan). Schedulers use this to route
+      operations around dead origins. *)
 
   val value : t -> int
   (** Current counter value = number of completed [inc]s. *)

@@ -4,6 +4,9 @@ type report = {
   ops : int;
   schedule : string;
   values : int array;
+  completed : int;
+  stalled : int;
+  stall_reasons : string list;
   correct : bool;
   hotspot_ok : bool;
   hotspot_violations : int;
@@ -22,13 +25,23 @@ let values_sequential values =
   Array.iteri (fun i v -> if v <> i then ok := false) values;
   !ok
 
-let run ?(seed = 42) ?delay (module C : Counter_intf.S) ~n ~schedule =
+let run ?(seed = 42) ?delay ?faults (module C : Counter_intf.S) ~n ~schedule =
   let n = C.supported_n n in
-  let counter = C.create ?delay ~seed ~n () in
+  let counter = C.create ?delay ?faults ~seed ~n () in
   let schedule_rng = Sim.Rng.create ~seed:(seed + 1) in
   let origins = Schedule.origins schedule schedule_rng ~n in
-  let values = List.map (fun origin -> C.inc counter ~origin) origins in
-  let values = Array.of_list values in
+  let outcomes = List.map (fun origin -> C.inc_result counter ~origin) origins in
+  let values =
+    Array.of_list (List.filter_map Counter_intf.outcome_value outcomes)
+  in
+  let stall_reasons =
+    List.filter_map
+      (function
+        | Counter_intf.Stalled reason -> Some reason
+        | Counter_intf.Completed _ -> None)
+      outcomes
+  in
+  let stalled = List.length stall_reasons in
   let traces = C.traces counter in
   let violations = Hotspot.check traces in
   let metrics = C.metrics counter in
@@ -51,10 +64,13 @@ let run ?(seed = 42) ?delay (module C : Counter_intf.S) ~n ~schedule =
   {
     counter_name = C.name;
     n;
-    ops = Array.length values;
+    ops = List.length outcomes;
     schedule = Format.asprintf "%a" Schedule.pp schedule;
     values;
-    correct = values_sequential values;
+    completed = Array.length values;
+    stalled;
+    stall_reasons;
+    correct = stalled = 0 && values_sequential values;
     hotspot_ok = violations = [];
     hotspot_violations = List.length violations;
     total_messages = Sim.Metrics.total_messages metrics;
@@ -86,4 +102,8 @@ let pp_report ppf r =
     r.counter_name r.n r.ops r.schedule r.correct r.hotspot_ok
     r.hotspot_violations r.total_messages r.bottleneck_proc r.bottleneck_load
     r.average_load r.max_op_messages r.overflow_processors r.mean_op_latency
-    r.max_op_latency
+    r.max_op_latency;
+  if r.stalled > 0 then
+    Format.fprintf ppf "@,completed=%d/%d stalled=%d (first: %s)" r.completed
+      r.ops r.stalled
+      (match r.stall_reasons with [] -> "-" | reason :: _ -> reason)

@@ -16,8 +16,15 @@ type report = {
   n : int;
   ops : int;
   schedule : string;
-  values : int array;  (** Value returned by each operation, in order. *)
-  correct : bool;  (** Values are exactly [0 .. ops-1] in order. *)
+  values : int array;
+      (** Value returned by each {e completed} operation, in order
+          (equals one entry per scheduled operation on fault-free runs). *)
+  completed : int;  (** Operations that returned a value. *)
+  stalled : int;
+      (** Operations that stalled (possible only under a fault plan). *)
+  stall_reasons : string list;  (** One reason per stalled operation. *)
+  correct : bool;
+      (** No stalls and values are exactly [0 .. ops-1] in order. *)
   hotspot_ok : bool;  (** Hot Spot Lemma holds on all consecutive pairs. *)
   hotspot_violations : int;
   total_messages : int;
@@ -37,13 +44,16 @@ type report = {
 val run :
   ?seed:int ->
   ?delay:Sim.Delay.t ->
+  ?faults:Sim.Fault.t ->
   Counter_intf.counter ->
   n:int ->
   schedule:Schedule.t ->
   report
 (** [run (module C) ~n ~schedule] creates a fresh counter for
     [C.supported_n n] processors and executes the schedule. [seed]
-    (default 42) seeds both the counter and the schedule's own draws. *)
+    (default 42) seeds both the counter and the schedule's own draws.
+    [faults] (default {!Sim.Fault.none}) is handed to the counter;
+    stalled operations are tallied in the report instead of raising. *)
 
 val run_each_once : ?seed:int -> ?delay:Sim.Delay.t -> Counter_intf.counter -> n:int -> report
 (** The lower-bound setting: each processor increments exactly once. *)

@@ -1,0 +1,218 @@
+type trigger = At of float | After of int
+
+type crash = { processor : int; trigger : trigger }
+
+type partition = {
+  lo : int;
+  hi : int;
+  from_time : float;
+  heal_time : float;
+}
+
+type t = {
+  crashes : crash list;
+  drop : float;
+  drop_links : ((int * int) * float) list;
+  duplicate : float;
+  partitions : partition list;
+}
+
+let none =
+  { crashes = []; drop = 0.; drop_links = []; duplicate = 0.; partitions = [] }
+
+let is_none t =
+  t.crashes = [] && t.drop = 0. && t.drop_links = [] && t.duplicate = 0.
+  && t.partitions = []
+
+let valid_prob p = Float.is_finite p && p >= 0. && p <= 1.
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec check_crashes = function
+    | [] -> Ok ()
+    | { processor; trigger } :: rest ->
+        if processor < 1 then err "crash: processor ids start at 1"
+        else begin
+          match trigger with
+          | At time when not (Float.is_finite time) || time < 0. ->
+              err "crash:%d: time must be finite and >= 0" processor
+          | After d when d < 0 ->
+              err "crash:%d: delivery count must be >= 0" processor
+          | At _ | After _ -> check_crashes rest
+        end
+  in
+  let rec check_links = function
+    | [] -> Ok ()
+    | ((src, dst), p) :: rest ->
+        if src < 1 || dst < 1 then err "drop: processor ids start at 1"
+        else if not (valid_prob p) then
+          err "drop:%d,%d: probability must be in [0, 1]" src dst
+        else check_links rest
+  in
+  let rec check_partitions = function
+    | [] -> Ok ()
+    | { lo; hi; from_time; heal_time } :: rest ->
+        if lo < 1 || hi < lo then err "part: need 1 <= LO <= HI"
+        else if
+          (not (Float.is_finite from_time))
+          || (not (Float.is_finite heal_time))
+          || from_time < 0.
+          || heal_time < from_time
+        then err "part:%d-%d: need 0 <= T0 <= T1" lo hi
+        else check_partitions rest
+  in
+  match check_crashes t.crashes with
+  | Error _ as e -> e
+  | Ok () -> (
+      if not (valid_prob t.drop) then err "drop: probability must be in [0, 1]"
+      else if not (valid_prob t.duplicate) then
+        err "dup: probability must be in [0, 1]"
+      else
+        match check_links t.drop_links with
+        | Error _ as e -> e
+        | Ok () -> (
+            match check_partitions t.partitions with
+            | Error _ as e -> e
+            | Ok () -> Ok t))
+
+let drop_on t ~src ~dst =
+  match List.assoc_opt (src, dst) t.drop_links with
+  | Some p -> p
+  | None -> t.drop
+
+let partitioned t ~src ~dst ~at =
+  List.exists
+    (fun { lo; hi; from_time; heal_time } ->
+      at >= from_time && at < heal_time
+      && (src >= lo && src <= hi) <> (dst >= lo && dst <= hi))
+    t.partitions
+
+module Int_set = Set.Make (Int)
+
+let crash_count t =
+  Int_set.cardinal
+    (List.fold_left
+       (fun acc c -> Int_set.add c.processor acc)
+       Int_set.empty t.crashes)
+
+(* ------------------------------------------------------------------ *)
+(* Textual form. Clause separator is '/', which %g float output never
+   contains (unlike '+', which appears in exponents such as 1e+06). *)
+
+let pp_clause ppf = function
+  | `Crash { processor; trigger = At time } ->
+      Format.fprintf ppf "crash:%d@@%g" processor time
+  | `Crash { processor; trigger = After d } ->
+      Format.fprintf ppf "crash:%d@@#%d" processor d
+  | `Drop p -> Format.fprintf ppf "drop:%g" p
+  | `Drop_link ((src, dst), p) -> Format.fprintf ppf "drop:%d,%d:%g" src dst p
+  | `Dup p -> Format.fprintf ppf "dup:%g" p
+  | `Part { lo; hi; from_time; heal_time } ->
+      Format.fprintf ppf "part:%d-%d@@%g,%g" lo hi from_time heal_time
+
+let clauses t =
+  List.map (fun c -> `Crash c) t.crashes
+  @ (if t.drop <> 0. then [ `Drop t.drop ] else [])
+  @ List.map (fun l -> `Drop_link l) t.drop_links
+  @ (if t.duplicate <> 0. then [ `Dup t.duplicate ] else [])
+  @ List.map (fun p -> `Part p) t.partitions
+
+let pp ppf t =
+  match clauses t with
+  | [] -> Format.pp_print_string ppf "none"
+  | cs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '/')
+        pp_clause ppf cs
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "cannot parse fault plan %S" s) in
+  let float_of x = float_of_string_opt (String.trim x) in
+  let int_of x = int_of_string_opt (String.trim x) in
+  let split2 c x =
+    match String.index_opt x c with
+    | None -> None
+    | Some i ->
+        Some (String.sub x 0 i, String.sub x (i + 1) (String.length x - i - 1))
+  in
+  let parse_clause acc clause =
+    match acc with
+    | Error _ as e -> e
+    | Ok t -> (
+        match split2 ':' clause with
+        | None -> fail ()
+        | Some (kind, rest) -> (
+            match kind with
+            | "crash" -> (
+                match split2 '@' rest with
+                | Some (p, at) -> (
+                    let trigger =
+                      if String.length at > 0 && at.[0] = '#' then
+                        Option.map
+                          (fun d -> After d)
+                          (int_of (String.sub at 1 (String.length at - 1)))
+                      else Option.map (fun x -> At x) (float_of at)
+                    in
+                    match (int_of p, trigger) with
+                    | Some processor, Some trigger ->
+                        Ok
+                          {
+                            t with
+                            crashes = t.crashes @ [ { processor; trigger } ];
+                          }
+                    | _ -> fail ())
+                | None -> fail ())
+            | "drop" -> (
+                match split2 ':' rest with
+                | Some (link, prob) -> (
+                    match (split2 ',' link, float_of prob) with
+                    | Some (src, dst), Some p -> (
+                        match (int_of src, int_of dst) with
+                        | Some src, Some dst ->
+                            Ok
+                              {
+                                t with
+                                drop_links = t.drop_links @ [ ((src, dst), p) ];
+                              }
+                        | _ -> fail ())
+                    | _ -> fail ())
+                | None -> (
+                    match float_of rest with
+                    | Some p -> Ok { t with drop = p }
+                    | None -> fail ()))
+            | "dup" -> (
+                match float_of rest with
+                | Some p -> Ok { t with duplicate = p }
+                | None -> fail ())
+            | "part" -> (
+                match split2 '@' rest with
+                | Some (range, times) -> (
+                    match (split2 '-' range, split2 ',' times) with
+                    | Some (lo, hi), Some (t0, t1) -> (
+                        match
+                          (int_of lo, int_of hi, float_of t0, float_of t1)
+                        with
+                        | Some lo, Some hi, Some from_time, Some heal_time ->
+                            Ok
+                              {
+                                t with
+                                partitions =
+                                  t.partitions
+                                  @ [ { lo; hi; from_time; heal_time } ];
+                              }
+                        | _ -> fail ())
+                    | _ -> fail ())
+                | None -> fail ())
+            | _ -> fail ()))
+  in
+  if String.trim s = "none" then Ok none
+  else if String.trim s = "" then fail ()
+  else
+    match
+      List.fold_left parse_clause (Ok none)
+        (String.split_on_char '/' (String.trim s))
+    with
+    | Error _ as e -> e
+    | Ok t -> validate t

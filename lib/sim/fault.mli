@@ -1,0 +1,81 @@
+(** Declarative, seed-deterministic fault plans.
+
+    The paper's model assumes "no failures whatsoever occur"; this module
+    is the engine's deliberate step outside that assumption (see
+    docs/FAULTS.md). A plan is pure data describing {e what goes wrong
+    when}: crash-stop processor failures triggered at a virtual time or a
+    delivery count, per-message drop and duplication probabilities
+    (globally or per directed link), and temporary network partitions that
+    heal. {!Network.create} takes a plan via [?faults]; every probabilistic
+    fault decision is sampled from the network's existing {!Rng} stream, so
+    a run remains a pure function of [(protocol, n, seed, delay, faults,
+    schedule)] — and the empty plan {!none} makes no draw at all, keeping
+    fault-free runs bit-identical to an engine without the layer.
+
+    Plans have a compact textual form for the CLI ([dcount run --faults]),
+    parsed by {!of_string} in the spirit of {!Delay.of_string}:
+
+    {v
+    none                    the empty plan
+    crash:P@T               crash processor P at virtual time T
+    crash:P@#D              crash processor P after D total deliveries
+    drop:F                  drop every message with probability F
+    drop:S,D:F              drop messages on link S->D with probability F
+    dup:F                   duplicate every message with probability F
+    part:LO-HI@T0,T1        cut processors LO..HI off from the rest
+                            during the half-open interval [T0, T1)
+    v}
+
+    Clauses combine with ['/']: ["crash:3@1.5/drop:0.01/part:1-4@2,10"]. *)
+
+type trigger =
+  | At of float  (** at a virtual time *)
+  | After of int  (** once total deliveries reach this count *)
+
+type crash = { processor : int; trigger : trigger }
+
+type partition = {
+  lo : int;
+  hi : int;  (** one side of the cut: processors [lo .. hi] inclusive *)
+  from_time : float;
+  heal_time : float;  (** active during [[from_time, heal_time)) *)
+}
+
+type t = {
+  crashes : crash list;
+  drop : float;  (** global per-message drop probability *)
+  drop_links : ((int * int) * float) list;
+      (** per-link overrides of [drop], keyed by (src, dst) *)
+  duplicate : float;  (** per-message duplication probability *)
+  partitions : partition list;
+}
+
+val none : t
+(** The empty plan: no crashes, no drops, no duplication, no partitions. *)
+
+val is_none : t -> bool
+(** [is_none t] iff [t] can never inject a fault. A plan with only
+    zero-probability drop/duplication clauses still counts as active
+    (it is not [none] structurally) — build plans from {!none}. *)
+
+val validate : t -> (t, string) result
+(** Check the plan is well-formed: probabilities within [0, 1], processor
+    ids positive, partition ranges non-empty with [from_time <= heal_time],
+    triggers non-negative. {!of_string} validates automatically. *)
+
+val drop_on : t -> src:int -> dst:int -> float
+(** Effective drop probability for one message on a directed link: the
+    per-link override if present, the global [drop] otherwise. *)
+
+val partitioned : t -> src:int -> dst:int -> at:float -> bool
+(** Whether a message sent at virtual time [at] crosses an active cut. *)
+
+val crash_count : t -> int
+(** Number of distinct processors the plan eventually crashes. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Canonical textual form; [of_string (to_string t)] reproduces [t]. *)
+
+val of_string : string -> (t, string) result

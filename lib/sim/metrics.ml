@@ -3,10 +3,21 @@ type t = {
   mutable sent : int array;  (* index = processor id; slot 0 unused *)
   mutable recv : int array;
   mutable total : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable crashes : int;
 }
 
 let create ~n =
-  { n; sent = Array.make (n + 2) 0; recv = Array.make (n + 2) 0; total = 0 }
+  {
+    n;
+    sent = Array.make (n + 2) 0;
+    recv = Array.make (n + 2) 0;
+    total = 0;
+    dropped = 0;
+    duplicated = 0;
+    crashes = 0;
+  }
 
 let n t = t.n
 
@@ -31,6 +42,18 @@ let on_recv t p =
   if p < 1 then invalid_arg "Metrics.on_recv: processor ids start at 1";
   grow t p;
   t.recv.(p) <- t.recv.(p) + 1
+
+let on_drop t = t.dropped <- t.dropped + 1
+
+let on_duplicate t = t.duplicated <- t.duplicated + 1
+
+let on_crash t = t.crashes <- t.crashes + 1
+
+let dropped t = t.dropped
+
+let duplicated t = t.duplicated
+
+let crashes t = t.crashes
 
 let sent t p = if p < Array.length t.sent then t.sent.(p) else 0
 
@@ -93,15 +116,34 @@ let checksum t =
       mix t.recv.(p)
     end
   done;
+  (* Fault counters join the fingerprint only when a fault actually fired,
+     so fault-free runs keep their pre-fault-layer golden checksums. *)
+  if t.dropped <> 0 || t.duplicated <> 0 || t.crashes <> 0 then begin
+    mix 0x6661756c74;  (* "fault" *)
+    mix t.dropped;
+    mix t.duplicated;
+    mix t.crashes
+  end;
   !h land max_int
 
 let reset t =
   Array.fill t.sent 0 (Array.length t.sent) 0;
   Array.fill t.recv 0 (Array.length t.recv) 0;
-  t.total <- 0
+  t.total <- 0;
+  t.dropped <- 0;
+  t.duplicated <- 0;
+  t.crashes <- 0
 
 let copy t =
-  { n = t.n; sent = Array.copy t.sent; recv = Array.copy t.recv; total = t.total }
+  {
+    n = t.n;
+    sent = Array.copy t.sent;
+    recv = Array.copy t.recv;
+    total = t.total;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    crashes = t.crashes;
+  }
 
 let merge_into ~dst src =
   for p = 1 to Array.length src.sent - 1 do
@@ -114,11 +156,17 @@ let merge_into ~dst src =
       dst.recv.(p) <- dst.recv.(p) + src.recv.(p)
     end
   done;
-  dst.total <- dst.total + src.total
+  dst.total <- dst.total + src.total;
+  dst.dropped <- dst.dropped + src.dropped;
+  dst.duplicated <- dst.duplicated + src.duplicated;
+  dst.crashes <- dst.crashes + src.crashes
 
 let pp_summary ppf t =
   let p, b = bottleneck t in
   Format.fprintf ppf
     "messages=%d total_load=%d avg_load=%.2f bottleneck=p%d(load %d) overflow=%d"
     (total_messages t) (total_load t) (average_load t) p b
-    (overflow_processors t)
+    (overflow_processors t);
+  if t.dropped <> 0 || t.duplicated <> 0 || t.crashes <> 0 then
+    Format.fprintf ppf " dropped=%d duplicated=%d crashed=%d" t.dropped
+      t.duplicated t.crashes

@@ -24,6 +24,28 @@ val on_send : t -> int -> unit
 
 val on_recv : t -> int -> unit
 
+val on_drop : t -> unit
+(** Charge one lost message (random drop, partition cut, delivery to or
+    send from a crashed processor). Fault accounting is global, not
+    per-processor: a dropped message has no receive to attribute. *)
+
+val on_duplicate : t -> unit
+(** Charge one spurious extra delivery injected by the fault layer. *)
+
+val on_crash : t -> unit
+(** Record one processor crash (each processor crashes at most once). *)
+
+val dropped : t -> int
+(** Messages the fault layer discarded (never delivered). Their sends are
+    still charged to the sender — the message left the processor. *)
+
+val duplicated : t -> int
+(** Extra copies the fault layer injected. Each copy's receive is charged
+    to the destination on delivery. *)
+
+val crashes : t -> int
+(** Processors crash-stopped so far. *)
+
 val sent : t -> int -> int
 (** Messages sent by a processor so far. *)
 
@@ -60,7 +82,9 @@ val checksum : t -> int
 (** Deterministic fingerprint (FNV-1a) of the full per-processor
     (sent, received) vector, including overflow hires. Two runs have equal
     checksums iff their complete load vectors are identical — the compact
-    golden value the determinism regression tests pin. *)
+    golden value the determinism regression tests pin. The fault counters
+    ({!dropped}, {!duplicated}, {!crashes}) are mixed in only when one of
+    them is non-zero, so fault-free runs keep their historical values. *)
 
 val reset : t -> unit
 

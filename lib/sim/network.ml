@@ -104,32 +104,120 @@ type 'msg t = {
   mutable current_event : int;
       (* seq of the delivery being handled; 0 outside handlers *)
   fifo_links : fifo_links option;
+  faults : Fault.t;
+  mutable faults_active : bool;
+      (* false = the entire fault layer is skipped on the hot path (and
+         zero Rng draws are made), keeping Fault.none runs bit-identical;
+         flipped on by a plan or by a manual [crash] *)
+  mutable crashed_tbl : bool array;  (* index = processor id; grows *)
+  time_crashes : (float * int) array;  (* (At trigger, processor), sorted *)
+  mutable time_crash_idx : int;
+  count_crashes : (int * int) array;  (* (After trigger, processor), sorted *)
+  mutable count_crash_idx : int;
 }
 
+let record_fault t ~src ~dst kind =
+  match t.trace with
+  | Some trace ->
+      Trace.record_fault trace
+        {
+          Trace.fault_time = t.clock.(0);
+          fault_src = src;
+          fault_dst = dst;
+          kind;
+        }
+  | None -> ()
+
+let crashed t p = p >= 0 && p < Array.length t.crashed_tbl && t.crashed_tbl.(p)
+
+let crash t p =
+  if p < 1 then invalid_arg "Network.crash: ids start at 1";
+  if not (crashed t p) then begin
+    t.faults_active <- true;
+    let cap = Array.length t.crashed_tbl in
+    if p >= cap then begin
+      let tbl = Array.make (max (p + 1) (2 * max cap 8)) false in
+      Array.blit t.crashed_tbl 0 tbl 0 cap;
+      t.crashed_tbl <- tbl
+    end;
+    t.crashed_tbl.(p) <- true;
+    Metrics.on_crash t.metrics;
+    record_fault t ~src:p ~dst:p Trace.Crashed
+  end
+
+(* Crash triggers are applied between deliveries: time triggers fire
+   before the first event at or past their instant, count triggers once
+   the delivery total reaches them. *)
+let apply_due_crashes t ~at =
+  while
+    t.time_crash_idx < Array.length t.time_crashes
+    && fst t.time_crashes.(t.time_crash_idx) <= at
+  do
+    let _, p = t.time_crashes.(t.time_crash_idx) in
+    t.time_crash_idx <- t.time_crash_idx + 1;
+    crash t p
+  done;
+  while
+    t.count_crash_idx < Array.length t.count_crashes
+    && fst t.count_crashes.(t.count_crash_idx) <= t.deliveries
+  do
+    let _, p = t.count_crashes.(t.count_crash_idx) in
+    t.count_crash_idx <- t.count_crash_idx + 1;
+    crash t p
+  done
+
 let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
-    ?(fifo = false) ~n () =
+    ?(fifo = false) ?(faults = Fault.none) ~n () =
   let measure_bits = bits <> None in
   let label = match label with Some f -> f | None -> fun _ -> "msg" in
   let bits = match bits with Some f -> f | None -> fun _ -> 0 in
-  {
-    n;
-    rng = Rng.create ~seed;
-    delay;
-    label;
-    bits;
-    measure_bits;
-    queue = Heap.create ~capacity:(max 16 (min (2 * n) (1 lsl 16))) ();
-    metrics = Metrics.create ~n;
-    handler = None;
-    clock = [| 0. |];
-    deliveries = 0;
-    trace = None;
-    op_count = 0;
-    total_bits = 0;
-    max_message_bits = 0;
-    current_event = 0;
-    fifo_links = (if fifo then Some (make_fifo_links n) else None);
-  }
+  (match Fault.validate faults with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Network.create: bad fault plan: " ^ e));
+  let time_crashes, count_crashes =
+    let at, after =
+      List.partition_map
+        (fun { Fault.processor; trigger } ->
+          match trigger with
+          | Fault.At time -> Either.Left (time, processor)
+          | Fault.After d -> Either.Right (d, processor))
+        faults.Fault.crashes
+    in
+    let sort l = List.sort compare l in
+    (Array.of_list (sort at), Array.of_list (sort after))
+  in
+  let t =
+    {
+      n;
+      rng = Rng.create ~seed;
+      delay;
+      label;
+      bits;
+      measure_bits;
+      queue = Heap.create ~capacity:(max 16 (min (2 * n) (1 lsl 16))) ();
+      metrics = Metrics.create ~n;
+      handler = None;
+      clock = [| 0. |];
+      deliveries = 0;
+      trace = None;
+      op_count = 0;
+      total_bits = 0;
+      max_message_bits = 0;
+      current_event = 0;
+      fifo_links = (if fifo then Some (make_fifo_links n) else None);
+      faults;
+      faults_active = not (Fault.is_none faults);
+      crashed_tbl = [||];
+      time_crashes;
+      time_crash_idx = 0;
+      count_crashes;
+      count_crash_idx = 0;
+    }
+  in
+  (* "Crashed from the start" triggers (At 0. / After 0) apply before any
+     send, not lazily at the first delivery. *)
+  if t.faults_active then apply_due_crashes t ~at:0.;
+  t
 
 let set_handler t h = t.handler <- Some h
 
@@ -141,18 +229,13 @@ let now t = t.clock.(0)
 
 let metrics t = t.metrics
 
+let faults t = t.faults
+
 let pending t = Heap.size t.queue
 
 let deliveries t = t.deliveries
 
-let send t ~src ~dst payload =
-  if src < 1 || dst < 1 then invalid_arg "Network.send: ids start at 1";
-  Metrics.on_send t.metrics src;
-  if t.measure_bits then begin
-    let size = t.bits payload in
-    t.total_bits <- t.total_bits + size;
-    if size > t.max_message_bits then t.max_message_bits <- size
-  end;
+let enqueue_delivery t ~src ~dst payload =
   let arrival = t.clock.(0) +. Delay.sample t.delay t.rng in
   let arrival =
     match t.fifo_links with
@@ -161,6 +244,62 @@ let send t ~src ~dst payload =
   in
   Heap.push t.queue ~prio:arrival
     (Deliver { src; dst; payload; parent = t.current_event })
+
+let send t ~src ~dst payload =
+  if src < 1 || dst < 1 then invalid_arg "Network.send: ids start at 1";
+  if t.faults_active && crashed t src then begin
+    (* A crash-stopped processor emits nothing: the send is suppressed
+       before any charge (it never happened at the sender). This arm is
+       only reachable from driver-level code and timers — the handler of
+       a crashed processor never runs. *)
+    Metrics.on_drop t.metrics;
+    record_fault t ~src ~dst Trace.Dropped
+  end
+  else begin
+    Metrics.on_send t.metrics src;
+    if t.measure_bits then begin
+      let size = t.bits payload in
+      t.total_bits <- t.total_bits + size;
+      if size > t.max_message_bits then t.max_message_bits <- size
+    end;
+    if
+      t.faults_active
+      && Fault.partitioned t.faults ~src ~dst ~at:t.clock.(0)
+    then begin
+      (* Deterministic loss, no Rng draw: the cut is evaluated at send
+         time, so a message "enters the dead link" and vanishes. *)
+      Metrics.on_drop t.metrics;
+      record_fault t ~src ~dst Trace.Dropped
+    end
+    else begin
+      (* Rng draw order is part of the determinism contract: drop test
+         (only when this link has a non-zero drop probability), then the
+         delay sample, then the duplication test (only when the plan
+         duplicates), then the duplicate's own delay sample. *)
+      let dropped =
+        t.faults_active
+        &&
+        let p = Fault.drop_on t.faults ~src ~dst in
+        p > 0. && Rng.float t.rng 1.0 < p
+      in
+      if dropped then begin
+        Metrics.on_drop t.metrics;
+        record_fault t ~src ~dst Trace.Dropped
+      end
+      else begin
+        enqueue_delivery t ~src ~dst payload;
+        if
+          t.faults_active
+          && t.faults.Fault.duplicate > 0.
+          && Rng.float t.rng 1.0 < t.faults.Fault.duplicate
+        then begin
+          Metrics.on_duplicate t.metrics;
+          record_fault t ~src ~dst Trace.Duplicated;
+          enqueue_delivery t ~src ~dst payload
+        end
+      end
+    end
+  end
 
 let schedule_local t ~delay callback =
   if delay < 0. then invalid_arg "Network.schedule_local: negative delay";
@@ -173,6 +312,7 @@ let step t =
   else begin
     let at = Heap.top_prio t.queue in
     if at > t.clock.(0) then t.clock.(0) <- at;
+    if t.faults_active then apply_due_crashes t ~at;
     match Heap.pop_top t.queue with
     | Local (parent, callback) ->
         (* The timer's effects are causal consequences of the event that
@@ -181,6 +321,14 @@ let step t =
         t.current_event <- parent;
         callback ();
         t.current_event <- saved;
+        true
+    | Deliver { src; dst; payload = _; parent = _ }
+      when t.faults_active && crashed t dst ->
+        (* Crash-stop: a dead processor receives nothing. The send was
+           charged when the message left [src]; the message itself is
+           lost here, with no receive charge and no trace event. *)
+        Metrics.on_drop t.metrics;
+        record_fault t ~src ~dst Trace.Dropped;
         true
     | Deliver { src; dst; payload; parent } ->
         let handler =
@@ -212,14 +360,30 @@ let step t =
         true
   end
 
+exception
+  Storm of { max_steps : int; pending : int; now : float; deliveries : int }
+
+let () =
+  Printexc.register_printer (function
+    | Storm { max_steps; pending; now; deliveries } ->
+        Some
+          (Printf.sprintf
+             "Network.Storm { max_steps = %d; pending = %d; now = %g; \
+              deliveries = %d } — protocol probably diverges"
+             max_steps pending now deliveries)
+    | _ -> None)
+
 let run_to_quiescence ?(max_steps = 100_000_000) t =
   let rec loop count =
     if count >= max_steps then
-      failwith
-        (Printf.sprintf
-           "Network.run_to_quiescence: exceeded %d deliveries; protocol \
-            probably diverges"
-           max_steps)
+      raise
+        (Storm
+           {
+             max_steps;
+             pending = Heap.size t.queue;
+             now = t.clock.(0);
+             deliveries = t.deliveries;
+           })
     else if step t then loop (count + 1)
     else count
   in
@@ -248,6 +412,13 @@ let clone_quiescent t =
     max_message_bits = t.max_message_bits;
     current_event = 0;
     fifo_links = Option.map copy_fifo_links t.fifo_links;
+    faults = t.faults;
+    faults_active = t.faults_active;
+    crashed_tbl = Array.copy t.crashed_tbl;
+    time_crashes = t.time_crashes;
+    time_crash_idx = t.time_crash_idx;
+    count_crashes = t.count_crashes;
+    count_crash_idx = t.count_crash_idx;
   }
 
 let in_op t = t.trace <> None

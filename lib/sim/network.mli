@@ -2,18 +2,33 @@
 
     This is the paper's model (Section 2): [n] processors uniquely
     identified by the integers [1 .. n], every pair can exchange messages
-    directly, no shared memory, no failures, and a message arrives an
-    unbounded but finite time after it was sent (here: a {!Delay} sample on
-    a deterministic {!Rng} stream). Message handling is event-driven: the
+    directly, no shared memory, and a message arrives an unbounded but
+    finite time after it was sent (here: a {!Delay} sample on a
+    deterministic {!Rng} stream). Message handling is event-driven: the
     engine pops the earliest pending delivery, charges the receive to the
     destination processor's {!Metrics}, records it on the active {!Trace}
     (if an operation is open), and invokes the protocol handler, which may
     send further messages.
 
+    The paper additionally assumes "no failures whatsoever occur"; the
+    engine honours that by default, and steps outside it only when a
+    {!Fault} plan is supplied at creation (see docs/FAULTS.md): crash-stop
+    processors, message drops and duplications sampled from the network's
+    own {!Rng} stream, and healing partitions. With [Fault.none] the fault
+    layer makes zero draws and runs are bit-identical to a fault-free
+    engine.
+
     One network instance hosts one protocol. Protocols with different
     message types instantiate their own ['msg t]. *)
 
 type 'msg t
+
+exception
+  Storm of { max_steps : int; pending : int; now : float; deliveries : int }
+(** Raised by {!run_to_quiescence} when the step guard trips: [pending]
+    events were still queued at virtual time [now] after [deliveries]
+    total deliveries — a protocol bug generating an infinite message
+    storm, caught after [max_steps] steps. *)
 
 val create :
   ?seed:int ->
@@ -21,6 +36,7 @@ val create :
   ?label:('msg -> string) ->
   ?bits:('msg -> int) ->
   ?fifo:bool ->
+  ?faults:Fault.t ->
   n:int ->
   unit ->
   'msg t
@@ -33,7 +49,12 @@ val create :
     [fifo] (default false) makes each directed (src, dst) link deliver in
     send order even under reordering delay models — the TCP-like
     assumption many protocols quietly rely on. The paper's model does
-    not require it and neither do our protocols (tested both ways). *)
+    not require it and neither do our protocols (tested both ways).
+    [faults] (default {!Fault.none}) is the deterministic fault plan:
+    crash triggers apply between deliveries, per-message drop and
+    duplication decisions draw from the network's own random stream, and
+    partition cuts are evaluated at send time. Raises [Invalid_argument]
+    if the plan fails {!Fault.validate}. *)
 
 val set_handler : 'msg t -> (self:int -> src:int -> 'msg -> unit) -> unit
 (** Install the protocol: [handler ~self ~src msg] runs when processor
@@ -55,7 +76,15 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     (ids above [n] model hired replacement processors and are tracked by
     {!Metrics.overflow_processors}). Self-sends are allowed and still cost
     two message charges — a processor talking to itself over the network
-    pays for it, which protocols avoid by handling locally instead. *)
+    pays for it, which protocols avoid by handling locally instead.
+
+    Under an active fault plan: a send from a crashed processor is
+    suppressed (no send charge — it never happened); a message crossing an
+    active partition cut, or losing its drop coin-flip, is charged to the
+    sender but never delivered; a message winning the duplication
+    coin-flip is delivered twice (each copy's receive charged at
+    delivery). All losses and duplications count in {!Metrics.dropped} /
+    {!Metrics.duplicated} and annotate the open trace. *)
 
 val schedule_local : 'msg t -> delay:float -> (unit -> unit) -> unit
 (** Schedule a local timer: [callback] runs at [now + delay]. Timers model
@@ -70,11 +99,24 @@ val step : 'msg t -> bool
 (** Deliver the earliest pending message. Returns [false] if none pending. *)
 
 val run_to_quiescence : ?max_steps:int -> 'msg t -> int
-(** Deliver until no message is pending; returns the number of deliveries.
-    Raises [Failure] after [max_steps] (default 100 million) deliveries —
-    a guard against protocol bugs that generate infinite message storms. *)
+(** Deliver until no message is pending; returns the number of steps
+    taken. Raises {!Storm} — carrying the pending count, virtual time and
+    delivery total — after [max_steps] (default 100 million) steps, a
+    guard against protocol bugs that generate infinite message storms. *)
 
 val metrics : 'msg t -> Metrics.t
+
+val faults : 'msg t -> Fault.t
+(** The fault plan this network was created with ({!Fault.none} if none). *)
+
+val crashed : 'msg t -> int -> bool
+(** Whether a processor has crash-stopped (by plan trigger or {!crash}). *)
+
+val crash : 'msg t -> int -> unit
+(** Crash-stop a processor immediately: from now on its handler never
+    runs, messages to it are lost, and sends from it are suppressed.
+    Idempotent. Counted in {!Metrics.crashes} and annotated on the open
+    trace. Works even on a network created without a fault plan. *)
 
 val total_bits : 'msg t -> int
 (** Sum of payload sizes of all sent messages (per the [bits] function

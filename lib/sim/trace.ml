@@ -7,19 +7,25 @@ type event = {
   parent : int;
 }
 
+type fault_kind = Dropped | Duplicated | Crashed
+
+type fault = { fault_time : float; fault_src : int; fault_dst : int; kind : fault_kind }
+
 (* Events are stored in a growable array (chronological order, so no
    List.rev pass): recording a message on the hot delivery path is one
-   array write, with a doubling copy only on growth. *)
+   array write, with a doubling copy only on growth. Fault annotations are
+   rare, so a list is fine there. *)
 type t = {
   op_index : int;
   origin : int;
   start_time : float;
   mutable events_arr : event array;
   mutable count : int;
+  mutable faults_rev : fault list;
 }
 
 let create ?(start_time = 0.) ~op_index ~origin () =
-  { op_index; origin; start_time; events_arr = [||]; count = 0 }
+  { op_index; origin; start_time; events_arr = [||]; count = 0; faults_rev = [] }
 
 let op_index t = t.op_index
 
@@ -38,6 +44,17 @@ let record t e =
 let events t = Array.to_list (Array.sub t.events_arr 0 t.count)
 
 let message_count t = t.count
+
+let record_fault t f = t.faults_rev <- f :: t.faults_rev
+
+let faults t = List.rev t.faults_rev
+
+let fault_count t = List.length t.faults_rev
+
+let fault_kind_label = function
+  | Dropped -> "dropped"
+  | Duplicated -> "duplicated"
+  | Crashed -> "crashed"
 
 let duration t =
   if t.count = 0 then 0. else t.events_arr.(t.count - 1).time -. t.start_time
@@ -67,6 +84,11 @@ let pp ppf t =
       Format.fprintf ppf "  %4d -(%s)-> %-4d @@ t=%.3f@," e.src e.tag e.dst
         e.time)
     (events t);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  %4d ~(%s)~> %-4d @@ t=%.3f@," f.fault_src
+        (fault_kind_label f.kind) f.fault_dst f.fault_time)
+    (faults t);
   Format.fprintf ppf "@]"
 
 let pp_compact ppf t =

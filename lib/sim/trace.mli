@@ -27,6 +27,21 @@ type event = {
           causal parent of the event that scheduled them. *)
 }
 
+type fault_kind =
+  | Dropped  (** lost in transit (random drop, partition cut, dead peer) *)
+  | Duplicated  (** a spurious extra copy was injected *)
+  | Crashed  (** a processor crash-stopped ([fault_src = fault_dst]) *)
+
+type fault = {
+  fault_time : float;
+  fault_src : int;
+  fault_dst : int;
+  kind : fault_kind;
+}
+(** A fault the {!Fault} layer injected while this operation was open.
+    Faults are side annotations: they are {e not} events, so they never
+    perturb {!message_count}, {!processors}, or the DAG. *)
+
 type t
 
 val create : ?start_time:float -> op_index:int -> origin:int -> unit -> t
@@ -46,6 +61,15 @@ val events : t -> event list
 
 val message_count : t -> int
 (** Number of messages in the process (= number of DAG arcs). *)
+
+val record_fault : t -> fault -> unit
+(** Append a fault annotation (recorded by {!Network} when a fault fires
+    while this operation is open). *)
+
+val faults : t -> fault list
+(** Fault annotations, chronological. Empty for fault-free runs. *)
+
+val fault_count : t -> int
 
 val duration : t -> float
 (** Virtual time from the operation's start to its last delivery — the

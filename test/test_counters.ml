@@ -281,9 +281,9 @@ module Amnesiac : Counter.Counter_intf.S = struct
 
   let supported_n n = max 1 n
 
-  let create ?(seed = 42) ?delay ~n () =
+  let create ?(seed = 42) ?delay ?faults ~n () =
     {
-      net = Sim.Network.create ~seed ?delay ~n ();
+      net = Sim.Network.create ~seed ?delay ?faults ~n ();
       n;
       locals = Array.make (n + 1) 0;
       traces_rev = [];
@@ -305,6 +305,11 @@ module Amnesiac : Counter.Counter_intf.S = struct
     t.ops <- t.ops + 1;
     t.traces_rev <- Sim.Network.end_op t.net :: t.traces_rev;
     v
+
+  let inc_result t ~origin =
+    Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
+
+  let crashed t p = Sim.Network.crashed t.net p
 
   let clone t =
     {

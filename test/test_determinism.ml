@@ -59,10 +59,10 @@ let goldens =
     };
   ]
 
-let run_metrics g =
+let run_metrics ?faults g =
   let module R = Core.Retire_counter in
   let n = 81 in
-  let c = R.create ~n ~seed:g.seed ~delay:g.delay () in
+  let c = R.create ?faults ~n ~seed:g.seed ~delay:g.delay () in
   let order = Sim.Rng.permutation (Sim.Rng.create ~seed:g.seed) n in
   Array.iteri
     (fun i p ->
@@ -95,6 +95,44 @@ let test_repeat_runs_identical () =
     "load vectors agree" (Sim.Metrics.load_array a)
     (Sim.Metrics.load_array b)
 
+(* The fault layer's zero-overhead contract: an explicit empty plan makes
+   no Rng draw and mixes nothing into the checksum, so every golden must
+   reproduce bit-identically with [~faults:Sim.Fault.none]. *)
+let test_fault_none_bit_identical () =
+  List.iter
+    (fun g ->
+      let m = run_metrics ~faults:Sim.Fault.none g in
+      check Alcotest.int
+        (Printf.sprintf "%s: checksum under Fault.none" g.name)
+        g.checksum (Sim.Metrics.checksum m))
+    goldens
+
+(* Fault runs are seeded like everything else: the same plan twice must
+   reproduce the same load vector exactly. *)
+let test_fault_plan_reproducible () =
+  let faults =
+    match Sim.Fault.of_string "drop:0.02/dup:0.01/part:1-9@3,20" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "bad plan: %s" e
+  in
+  let run () =
+    let module R = Core.Retire_counter in
+    let c = R.create ~faults ~n:81 ~seed:42 () in
+    let order = Sim.Rng.permutation (Sim.Rng.create ~seed:42) 81 in
+    Array.iter
+      (fun p -> ignore (R.inc_result c ~origin:(p + 1)))
+      order;
+    R.metrics c
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "fault-run checksums agree" (Sim.Metrics.checksum a)
+    (Sim.Metrics.checksum b);
+  check Alcotest.int "fault counters agree" (Sim.Metrics.dropped a)
+    (Sim.Metrics.dropped b);
+  (* The plan above genuinely injects faults under this seed — otherwise
+     this test would silently degenerate into the Fault.none case. *)
+  check Alcotest.bool "plan actually fired" true (Sim.Metrics.dropped a > 0)
+
 (* The driver's shuffled schedule must also be reproducible end-to-end. *)
 let test_driver_reports_reproducible () =
   let run () =
@@ -121,6 +159,10 @@ let () =
         [
           Alcotest.test_case "repeat runs identical" `Quick
             test_repeat_runs_identical;
+          Alcotest.test_case "Fault.none bit-identical to goldens" `Quick
+            test_fault_none_bit_identical;
+          Alcotest.test_case "fault plan reproducible" `Quick
+            test_fault_plan_reproducible;
           Alcotest.test_case "driver reports reproducible" `Quick
             test_driver_reports_reproducible;
         ] );

@@ -1,0 +1,469 @@
+(* Tests for the deterministic fault-injection layer (Sim.Fault) and the
+   failure-aware counter behaviour built on it.
+
+   Structure:
+   - plan grammar: of_string / to_string round-trips, validation errors;
+   - qcheck: string-level round-trip fixpoints for Delay and Fault — for
+     any plan [t], [to_string (of_string (to_string t)) = to_string t];
+   - network semantics: crash triggers (At / After), global and per-link
+     drops, duplication, healing partitions, suppressed sends from
+     crashed processors, trace annotations;
+   - counters: quorum-majority completes every live-origin operation
+     under f < ceil(n/2) pre-crashes; the retirement counter stalls with
+     a typed outcome (never hangs) when its path is dead; fault runs are
+     reproducible checksum-for-checksum. *)
+
+let check = Alcotest.check
+
+let plan s =
+  match Sim.Fault.of_string s with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "plan %S rejected: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* Grammar *)
+
+let test_parse_round_trips () =
+  List.iter
+    (fun s ->
+      check Alcotest.string
+        (Printf.sprintf "canonical %S" s)
+        s
+        (Sim.Fault.to_string (plan s)))
+    [
+      "none";
+      "crash:3@1.5";
+      "crash:2@#10";
+      "drop:0.25";
+      "drop:1,2:0.5";
+      "dup:0.1";
+      "part:1-4@2,10";
+      "crash:3@1.5/crash:7@#40/drop:0.01/drop:2,5:1/dup:0.05/part:1-4@2,10";
+    ]
+
+let test_parse_structure () =
+  let f = plan "crash:3@1.5/crash:2@#10/drop:0.25/dup:0.1/part:1-4@2,10" in
+  check Alcotest.int "crash count" 2 (Sim.Fault.crash_count f);
+  (match f.Sim.Fault.crashes with
+  | [ c1; c2 ] ->
+      check Alcotest.int "first crash proc" 3 c1.Sim.Fault.processor;
+      check Alcotest.bool "first crash at time" true
+        (c1.Sim.Fault.trigger = Sim.Fault.At 1.5);
+      check Alcotest.bool "second crash after count" true
+        (c2.Sim.Fault.trigger = Sim.Fault.After 10)
+  | _ -> Alcotest.fail "expected two crash clauses");
+  check (Alcotest.float 0.) "drop" 0.25 f.Sim.Fault.drop;
+  check (Alcotest.float 0.) "dup" 0.1 f.Sim.Fault.duplicate;
+  match f.Sim.Fault.partitions with
+  | [ p ] ->
+      check Alcotest.(pair int int) "range" (1, 4) (p.Sim.Fault.lo, p.Sim.Fault.hi)
+  | _ -> Alcotest.fail "expected one partition"
+
+let test_parse_rejects () =
+  List.iter
+    (fun s ->
+      match Sim.Fault.of_string s with
+      | Ok _ -> Alcotest.failf "plan %S should have been rejected" s
+      | Error _ -> ())
+    [
+      "";
+      "bogus";
+      "crash:3";
+      "crash:0@1";
+      "crash:3@-2";
+      "drop:1.5";
+      "drop:-0.1";
+      "drop:0,2:0.5";
+      "dup:2";
+      "part:4-1@2,10";
+      "part:1-4@10,2";
+      "nonsense:1";
+    ]
+
+let test_is_none () =
+  check Alcotest.bool "none is none" true (Sim.Fault.is_none Sim.Fault.none);
+  check Alcotest.bool "parsed none" true (Sim.Fault.is_none (plan "none"));
+  check Alcotest.bool "drop active" false (Sim.Fault.is_none (plan "drop:0.5"));
+  (* A zero-probability drop parses back to the structural [none]. *)
+  check Alcotest.bool "drop:0 collapses" true (Sim.Fault.is_none (plan "drop:0"))
+
+let test_drop_on () =
+  let f = plan "drop:0.1/drop:1,2:0.9/drop:2,1:0" in
+  check (Alcotest.float 0.) "override" 0.9 (Sim.Fault.drop_on f ~src:1 ~dst:2);
+  check (Alcotest.float 0.) "zero override" 0.
+    (Sim.Fault.drop_on f ~src:2 ~dst:1);
+  check (Alcotest.float 0.) "global default" 0.1
+    (Sim.Fault.drop_on f ~src:3 ~dst:4)
+
+let test_partitioned () =
+  let f = plan "part:1-2@5,10" in
+  let cut ~src ~dst ~at = Sim.Fault.partitioned f ~src ~dst ~at in
+  check Alcotest.bool "before window" false (cut ~src:1 ~dst:3 ~at:4.9);
+  check Alcotest.bool "cut at open" true (cut ~src:1 ~dst:3 ~at:5.);
+  check Alcotest.bool "cut both directions" true (cut ~src:3 ~dst:2 ~at:7.);
+  check Alcotest.bool "same side inside" false (cut ~src:1 ~dst:2 ~at:7.);
+  check Alcotest.bool "same side outside" false (cut ~src:3 ~dst:4 ~at:7.);
+  check Alcotest.bool "healed (half-open)" false (cut ~src:1 ~dst:3 ~at:10.)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck round-trips: string-level fixpoints. Printing uses %g, so
+   parse-then-print of any printed form must reproduce it exactly. *)
+
+let gen_prob = QCheck.Gen.map (fun i -> float_of_int i /. 64.) (QCheck.Gen.int_bound 64)
+
+let gen_pos_float =
+  QCheck.Gen.map (fun i -> float_of_int (i + 1) /. 8.) (QCheck.Gen.int_bound 800)
+
+let gen_delay =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun d -> Sim.Delay.Constant d) gen_pos_float;
+      map2
+        (fun a b ->
+          let lo = Float.min a b and hi = Float.max a b in
+          Sim.Delay.Uniform (lo, hi +. 0.5))
+        gen_pos_float gen_pos_float;
+      map (fun m -> Sim.Delay.Exponential m) gen_pos_float;
+      map (fun b -> Sim.Delay.Adversarial_jitter b) gen_pos_float;
+    ]
+
+let gen_trigger =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun t -> Sim.Fault.At (float_of_int t /. 4.)) (int_bound 400);
+      map (fun d -> Sim.Fault.After d) (int_bound 10_000);
+    ]
+
+let gen_fault =
+  let open QCheck.Gen in
+  let crash =
+    map2
+      (fun p trigger -> { Sim.Fault.processor = p + 1; trigger })
+      (int_bound 30) gen_trigger
+  in
+  let link =
+    map3 (fun s d p -> ((s + 1, d + 1), p)) (int_bound 15) (int_bound 15) gen_prob
+  in
+  let part =
+    map3
+      (fun lo len t0 ->
+        {
+          Sim.Fault.lo = lo + 1;
+          hi = lo + 1 + len;
+          from_time = float_of_int t0 /. 2.;
+          heal_time = (float_of_int t0 /. 2.) +. 3.5;
+        })
+      (int_bound 10) (int_bound 5) (int_bound 100)
+  in
+  list_size (int_bound 3) crash >>= fun crashes ->
+  gen_prob >>= fun drop ->
+  list_size (int_bound 2) link >>= fun drop_links ->
+  gen_prob >>= fun duplicate ->
+  list_size (int_bound 2) part >>= fun partitions ->
+  return { Sim.Fault.crashes; drop; drop_links; duplicate; partitions }
+
+let qcheck_delay_round_trip =
+  QCheck.Test.make ~name:"Delay.of_string round-trips to_string" ~count:500
+    (QCheck.make ~print:Sim.Delay.to_string gen_delay)
+    (fun d ->
+      let s = Sim.Delay.to_string d in
+      match Sim.Delay.of_string s with
+      | Error e -> QCheck.Test.fail_reportf "of_string %S failed: %s" s e
+      | Ok d' -> String.equal s (Sim.Delay.to_string d'))
+
+let qcheck_fault_round_trip =
+  QCheck.Test.make ~name:"Fault.of_string round-trips to_string" ~count:500
+    (QCheck.make ~print:Sim.Fault.to_string gen_fault)
+    (fun f ->
+      let s = Sim.Fault.to_string f in
+      match Sim.Fault.of_string s with
+      | Error e -> QCheck.Test.fail_reportf "of_string %S failed: %s" s e
+      | Ok f' -> String.equal s (Sim.Fault.to_string f'))
+
+(* ------------------------------------------------------------------ *)
+(* Network-level injection semantics. All nets use the default
+   Constant 1.0 delay, so virtual time equals hop count. *)
+
+let echo_net ?faults n =
+  let net = Sim.Network.create ?faults ~n () in
+  Sim.Network.set_handler net (fun ~self ~src (_ : int) ->
+      Sim.Network.send net ~src:self ~dst:src 0);
+  net
+
+let m net = Sim.Network.metrics net
+
+let test_crash_at_time () =
+  (* 1 and 2 exchange one round trip; 2 crashes at t = 1.5, i.e. after
+     receiving the first ping (t = 1) but before the probe sent at t = 2
+     arrives (t = 3). *)
+  let net = Sim.Network.create ~faults:(plan "crash:2@1.5") ~n:2 () in
+  let replies = ref 0 in
+  Sim.Network.set_handler net (fun ~self ~src (_ : int) ->
+      if self = 2 then Sim.Network.send net ~src:2 ~dst:1 0
+      else begin
+        incr replies;
+        if !replies = 1 then Sim.Network.send net ~src:1 ~dst:2 0
+      end;
+      ignore src);
+  Sim.Network.send net ~src:1 ~dst:2 0;
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.bool "2 crashed" true (Sim.Network.crashed net 2);
+  check Alcotest.bool "1 alive" false (Sim.Network.crashed net 1);
+  check Alcotest.int "one reply got through" 1 !replies;
+  check Alcotest.int "deliveries" 2 (Sim.Network.deliveries net);
+  check Alcotest.int "probe dropped" 1 (Sim.Metrics.dropped (m net));
+  check Alcotest.int "one crash recorded" 1 (Sim.Metrics.crashes (m net))
+
+let test_crash_after_deliveries () =
+  (* Endless echo between 1 and 2, cut short when 1 crash-stops once the
+     delivery total reaches 2. Delivery 3 still reaches 2 (the trigger
+     names processor 1), whose echo then dies on 1's corpse. *)
+  let net = echo_net ~faults:(plan "crash:1@#2") 2 in
+  Sim.Network.send net ~src:1 ~dst:2 0;
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.bool "1 crashed" true (Sim.Network.crashed net 1);
+  check Alcotest.int "deliveries" 3 (Sim.Network.deliveries net);
+  check Alcotest.int "final echo dropped" 1 (Sim.Metrics.dropped (m net));
+  check Alcotest.int "one crash" 1 (Sim.Metrics.crashes (m net))
+
+let test_crashed_sender_suppressed () =
+  (* A crash at t = 0 applies at creation: the processor is dead before
+     its first send, which is suppressed without a send charge. *)
+  let net = Sim.Network.create ~faults:(plan "crash:1@0") ~n:3 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  check Alcotest.bool "dead on arrival" true (Sim.Network.crashed net 1);
+  Sim.Network.send net ~src:1 ~dst:2 0;
+  Sim.Network.send net ~src:2 ~dst:3 0;
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.int "no send charged to 1" 0 (Sim.Metrics.sent (m net) 1);
+  check Alcotest.int "2 never heard from 1" 0 (Sim.Metrics.received (m net) 2);
+  check Alcotest.bool "2 -> 3 unaffected" true
+    (Sim.Metrics.received (m net) 3 >= 1);
+  check Alcotest.int "suppressed send counted" 1
+    (Sim.Metrics.dropped (m net) - 0)
+
+let test_manual_crash_api () =
+  (* Network.crash works on a net created without any plan. *)
+  let net = Sim.Network.create ~n:2 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  check Alcotest.bool "initially alive" false (Sim.Network.crashed net 2);
+  Sim.Network.crash net 2;
+  Sim.Network.crash net 2 (* idempotent *);
+  check Alcotest.bool "now crashed" true (Sim.Network.crashed net 2);
+  check Alcotest.int "counted once" 1 (Sim.Metrics.crashes (m net));
+  Sim.Network.send net ~src:1 ~dst:2 0;
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.int "message to corpse lost" 1 (Sim.Metrics.dropped (m net));
+  check Alcotest.int "no delivery" 0 (Sim.Network.deliveries net)
+
+let test_drop_all () =
+  let net = Sim.Network.create ~faults:(plan "drop:1") ~n:2 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  for _ = 1 to 5 do
+    Sim.Network.send net ~src:1 ~dst:2 0
+  done;
+  check Alcotest.int "nothing pending" 0 (Sim.Network.pending net);
+  check Alcotest.int "sends still charged" 5 (Sim.Metrics.sent (m net) 1);
+  check Alcotest.int "nothing received" 0 (Sim.Metrics.received (m net) 2);
+  check Alcotest.int "all dropped" 5 (Sim.Metrics.dropped (m net))
+
+let test_duplicate_all () =
+  let net = Sim.Network.create ~faults:(plan "dup:1") ~n:2 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  for _ = 1 to 3 do
+    Sim.Network.send net ~src:1 ~dst:2 0
+  done;
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.int "each message delivered twice" 6
+    (Sim.Metrics.received (m net) 2);
+  check Alcotest.int "three spurious copies" 3 (Sim.Metrics.duplicated (m net));
+  check Alcotest.int "sends charged once" 3 (Sim.Metrics.sent (m net) 1)
+
+let test_per_link_drop () =
+  let net = Sim.Network.create ~faults:(plan "drop:1,2:1") ~n:2 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  Sim.Network.send net ~src:1 ~dst:2 0;
+  Sim.Network.send net ~src:2 ~dst:1 0;
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.int "1 -> 2 dead link" 0 (Sim.Metrics.received (m net) 2);
+  check Alcotest.int "2 -> 1 unaffected" 1 (Sim.Metrics.received (m net) 1);
+  check Alcotest.int "one drop" 1 (Sim.Metrics.dropped (m net))
+
+let test_partition_heals () =
+  (* Processors 1-2 are cut off from 3-4 during [0, 5). A cross-cut send
+     at t = 0 vanishes; the same send re-issued by a timer at t = 6 gets
+     through; intra-side traffic is never affected. *)
+  let net = Sim.Network.create ~faults:(plan "part:1-2@0,5") ~n:4 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  Sim.Network.send net ~src:1 ~dst:3 0 (* crosses the cut: lost *);
+  Sim.Network.send net ~src:1 ~dst:2 0 (* same side: fine *);
+  Sim.Network.send net ~src:3 ~dst:4 0 (* other side: fine *);
+  Sim.Network.schedule_local net ~delay:6. (fun () ->
+      Sim.Network.send net ~src:1 ~dst:3 0 (* healed: delivered *));
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.int "cut send lost" 1 (Sim.Metrics.dropped (m net));
+  check Alcotest.int "post-heal send arrives" 1 (Sim.Metrics.received (m net) 3);
+  check Alcotest.int "intra-side 1 -> 2" 1 (Sim.Metrics.received (m net) 2);
+  check Alcotest.int "intra-side 3 -> 4" 1 (Sim.Metrics.received (m net) 4)
+
+let test_trace_annotations () =
+  let net = Sim.Network.create ~faults:(plan "drop:1") ~n:2 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  Sim.Network.begin_op net ~origin:1;
+  Sim.Network.send net ~src:1 ~dst:2 0;
+  let tr = Sim.Network.end_op net in
+  check Alcotest.int "one fault on the trace" 1 (Sim.Trace.fault_count tr);
+  match Sim.Trace.faults tr with
+  | [ f ] ->
+      check Alcotest.bool "kind = Dropped" true (f.Sim.Trace.kind = Sim.Trace.Dropped);
+      check Alcotest.(pair int int) "link" (1, 2)
+        (f.Sim.Trace.fault_src, f.Sim.Trace.fault_dst)
+  | _ -> Alcotest.fail "expected exactly one fault annotation"
+
+let test_network_faults_accessor () =
+  let f = plan "crash:2@1.5/drop:0.25" in
+  let net = Sim.Network.create ~faults:f ~n:4 () in
+  check Alcotest.string "plan round-trips through the net"
+    (Sim.Fault.to_string f)
+    (Sim.Fault.to_string (Sim.Network.faults net));
+  let bare = Sim.Network.create ~n:4 () in
+  check Alcotest.bool "default plan is none" true
+    (Sim.Fault.is_none (Sim.Network.faults bare))
+
+(* ------------------------------------------------------------------ *)
+(* Failure-aware counters *)
+
+let outcome_str o = Format.asprintf "%a" Counter.Counter_intf.pp_outcome o
+
+let test_quorum_majority_completes_under_crashes () =
+  (* n = 9, f = 4 = ceil(n/2) - 1 processors dead from the start: every
+     operation by a live origin must still complete, and — majority
+     quorums pairwise intersect — values stay sequential. *)
+  let module QM = Baselines.Quorum_counter.Over_majority in
+  let faults = plan "crash:1@0/crash:2@0/crash:3@0/crash:4@0" in
+  let c = QM.create ~seed:11 ~n:9 ~faults () in
+  check Alcotest.bool "victim crashed" true (QM.crashed c 1);
+  check Alcotest.bool "origin alive" false (QM.crashed c 5);
+  List.iteri
+    (fun i origin ->
+      match QM.inc_result c ~origin with
+      | Counter.Counter_intf.Completed v ->
+          check Alcotest.int
+            (Printf.sprintf "op %d sequential" i)
+            i v
+      | Counter.Counter_intf.Stalled reason ->
+          Alcotest.failf "live origin %d stalled: %s" origin reason)
+    [ 5; 6; 7; 8; 9; 5; 6; 7 ]
+
+let test_quorum_crashed_origin_stalls () =
+  let module QM = Baselines.Quorum_counter.Over_majority in
+  let c = QM.create ~seed:3 ~n:5 ~faults:(plan "crash:2@0") () in
+  match QM.inc_result c ~origin:2 with
+  | Counter.Counter_intf.Stalled _ -> ()
+  | Counter.Counter_intf.Completed v ->
+      Alcotest.failf "crashed origin completed with %d" v
+
+let test_retire_counter_stalls_typed () =
+  (* Kill every processor except the origin: the retirement tree's path
+     is dead, so the operation can never answer. It must surface a typed
+     Stalled outcome — not hang, not storm, not raise Failure. *)
+  let module R = Core.Retire_counter in
+  let faults =
+    plan "crash:1@0/crash:2@0/crash:3@0/crash:4@0/crash:6@0/crash:7@0/crash:8@0"
+  in
+  let c = R.create ~n:8 ~seed:5 ~faults () in
+  (match R.inc_result c ~origin:5 with
+  | Counter.Counter_intf.Stalled reason ->
+      check Alcotest.bool "reason is descriptive" true
+        (String.length reason > 0)
+  | Counter.Counter_intf.Completed v ->
+      Alcotest.failf "operation completed with %d despite a dead tree" v);
+  (* And the exception form for callers that use [inc] directly. *)
+  match R.inc c ~origin:5 with
+  | exception Counter.Counter_intf.Stall _ -> ()
+  | v -> Alcotest.failf "inc returned %d despite a dead tree" v
+
+let test_driver_tallies_stalls () =
+  let report =
+    Counter.Driver.run ~seed:9 ~faults:(plan "crash:1@0")
+      Baselines.Registry.quorum_majority ~n:5 ~schedule:Counter.Schedule.Each_once
+  in
+  check Alcotest.int "ops" 5 report.Counter.Driver.ops;
+  check Alcotest.int "one stall (the crashed origin)" 1
+    report.Counter.Driver.stalled;
+  check Alcotest.int "rest completed" 4 report.Counter.Driver.completed;
+  check Alcotest.bool "run not correct" false report.Counter.Driver.correct;
+  check Alcotest.(array int) "live values still sequential" [| 0; 1; 2; 3 |]
+    report.Counter.Driver.values;
+  check Alcotest.int "one reason per stall" 1
+    (List.length report.Counter.Driver.stall_reasons)
+
+let test_fault_run_reproducible () =
+  (* Same (seed, plan) twice: identical outcomes and an identical
+     per-processor load checksum — probabilistic faults draw from the
+     network's seeded stream, nothing else. *)
+  let module QM = Baselines.Quorum_counter.Over_majority in
+  let run () =
+    let c =
+      QM.create ~seed:2024 ~n:9 ~faults:(plan "drop:0.05/dup:0.02") ()
+    in
+    let outcomes =
+      List.map
+        (fun origin -> outcome_str (QM.inc_result c ~origin))
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    in
+    (outcomes, Sim.Metrics.checksum (QM.metrics c))
+  in
+  let o1, c1 = run () and o2, c2 = run () in
+  check Alcotest.(list string) "outcomes agree" o1 o2;
+  check Alcotest.int "checksums agree" c1 c2
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "round-trips" `Quick test_parse_round_trips;
+          Alcotest.test_case "structure" `Quick test_parse_structure;
+          Alcotest.test_case "rejects malformed" `Quick test_parse_rejects;
+          Alcotest.test_case "is_none" `Quick test_is_none;
+          Alcotest.test_case "drop_on" `Quick test_drop_on;
+          Alcotest.test_case "partitioned" `Quick test_partitioned;
+        ] );
+      ( "qcheck",
+        [
+          QCheck_alcotest.to_alcotest qcheck_delay_round_trip;
+          QCheck_alcotest.to_alcotest qcheck_fault_round_trip;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "crash at time" `Quick test_crash_at_time;
+          Alcotest.test_case "crash after deliveries" `Quick
+            test_crash_after_deliveries;
+          Alcotest.test_case "crashed sender suppressed" `Quick
+            test_crashed_sender_suppressed;
+          Alcotest.test_case "manual crash API" `Quick test_manual_crash_api;
+          Alcotest.test_case "drop all" `Quick test_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_duplicate_all;
+          Alcotest.test_case "per-link drop" `Quick test_per_link_drop;
+          Alcotest.test_case "partition heals" `Quick test_partition_heals;
+          Alcotest.test_case "trace annotations" `Quick test_trace_annotations;
+          Alcotest.test_case "faults accessor" `Quick
+            test_network_faults_accessor;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "quorum-majority completes under f=4/9 crashes"
+            `Quick test_quorum_majority_completes_under_crashes;
+          Alcotest.test_case "crashed origin stalls" `Quick
+            test_quorum_crashed_origin_stalls;
+          Alcotest.test_case "retire counter stalls typed" `Quick
+            test_retire_counter_stalls_typed;
+          Alcotest.test_case "driver tallies stalls" `Quick
+            test_driver_tallies_stalls;
+          Alcotest.test_case "fault runs reproducible" `Quick
+            test_fault_run_reproducible;
+        ] );
+    ]

@@ -486,7 +486,11 @@ let test_network_quiescence_guard () =
       Sim.Network.send net ~src:self ~dst:src Ping);
   Sim.Network.send net ~src:1 ~dst:2 Ping;
   match Sim.Network.run_to_quiescence ~max_steps:100 net with
-  | exception Failure _ -> ()
+  | exception Sim.Network.Storm { max_steps; pending; now; deliveries } ->
+      check Alcotest.int "guard limit carried" 100 max_steps;
+      check Alcotest.bool "still pending" true (pending > 0);
+      check Alcotest.bool "time advanced" true (now > 0.);
+      check Alcotest.int "deliveries = steps taken" 100 deliveries
   | _ -> Alcotest.fail "expected divergence guard"
 
 let test_network_clone_requires_quiescence () =
