@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-chaos bench bench-big bench-perf bench-smoke examples doc clean outputs
+.PHONY: all build test test-chaos test-mc bench bench-big bench-perf bench-smoke examples doc clean outputs
 
 all: build
 
@@ -17,6 +17,19 @@ test:
 test-chaos:
 	dune exec bin/dcount.exe -- chaos -c quorum-majority -n 9 --crashes 0,1,2,3,4 --ops 18 --seed 42 --check
 	dune exec bin/dcount.exe -- chaos -c retire-tree -n 8 --crashes 0,1,2 --ops 16 --check
+
+# Model-checking smoke (docs/MODELCHECK.md): exhaustively verify the
+# central and retirement counters over every delivery interleaving at
+# small scale, prove the broken negative controls still violate, and
+# replay the stored race-reply counterexample — regenerating it must
+# reproduce test/data/race_reply_n3.mcs byte for byte.
+test-mc:
+	dune exec bin/dcount.exe -- mc -c central -n 5
+	dune exec bin/dcount.exe -- mc -c retire-tree -n 8 -s explicit:1,8,4
+	dune exec bin/dcount.exe -- mc -c amnesiac -n 4 --expect-violation
+	dune exec bin/dcount.exe -- mc -c race-reply -n 3 --expect-violation --counterexample-out /tmp/race_reply_n3.mcs
+	cmp /tmp/race_reply_n3.mcs test/data/race_reply_n3.mcs
+	dune exec bin/dcount.exe -- mc --replay test/data/race_reply_n3.mcs
 
 bench:
 	dune exec bench/main.exe

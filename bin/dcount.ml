@@ -109,26 +109,7 @@ let list_cmd =
 
 let schedule_conv =
   let parse s =
-    match String.split_on_char ':' s with
-    | [ "each-once" ] -> Ok Counter.Schedule.Each_once
-    | [ "shuffled" ] -> Ok Counter.Schedule.Each_once_shuffled
-    | [ "round-robin"; ops ] -> (
-        match int_of_string_opt ops with
-        | Some ops -> Ok (Counter.Schedule.Round_robin ops)
-        | None -> Error (`Msg "round-robin:OPS needs an integer"))
-    | [ "random"; ops ] -> (
-        match int_of_string_opt ops with
-        | Some ops -> Ok (Counter.Schedule.Random ops)
-        | None -> Error (`Msg "random:OPS needs an integer"))
-    | [ "single"; p; ops ] -> (
-        match (int_of_string_opt p, int_of_string_opt ops) with
-        | Some p, Some ops -> Ok (Counter.Schedule.Single_origin (p, ops))
-        | _ -> Error (`Msg "single:P:OPS needs two integers"))
-    | _ ->
-        Error
-          (`Msg
-            "schedule is each-once | shuffled | round-robin:OPS | \
-             random:OPS | single:P:OPS")
+    Result.map_error (fun e -> `Msg e) (Counter.Schedule.of_string s)
   in
   Arg.conv (parse, Counter.Schedule.pp)
 
@@ -206,7 +187,7 @@ let run_cmd =
       & info [ "s"; "schedule" ] ~docv:"SCHEDULE"
           ~doc:
             "Operation schedule: each-once, shuffled, round-robin:OPS, \
-             random:OPS or single:P:OPS.")
+             random:OPS, single:P:OPS or explicit:P,P,...")
   in
   let seeds_arg =
     Arg.(
@@ -630,6 +611,216 @@ let exhaustive_cmd =
     Term.(const run $ counter_arg $ n_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
+(* mc *)
+
+let mc_cmd =
+  let run counter n seed faults schedule max_states max_depth prune
+      expect_violation cx_out replay_file sweep_all =
+    let config =
+      {
+        Mc.Explore.default_config with
+        max_states;
+        max_depth;
+        prune =
+          (match Mc.Prune.of_string prune with
+          | Ok m -> m
+          | Error e ->
+              Format.eprintf "%s@." e;
+              exit 2);
+      }
+    in
+    let faults = Option.value faults ~default:Sim.Fault.none in
+    match replay_file with
+    | Some path -> (
+        (* Replay a stored counterexample byte stream deterministically. *)
+        let contents =
+          try In_channel.with_open_text path In_channel.input_all
+          with Sys_error e ->
+            Format.eprintf "%s@." e;
+            exit 2
+        in
+        match Mc.Replay.of_string contents with
+        | Error e ->
+            Format.eprintf "bad counterexample %s: %s@." path e;
+            exit 2
+        | Ok cx -> (
+            let c =
+              match Baselines.Registry.find cx.Mc.Replay.counter with
+              | Some c -> c
+              | None ->
+                  Format.eprintf "unknown counter %S in %s@."
+                    cx.Mc.Replay.counter path;
+                  exit 2
+            in
+            match Mc.Replay.run c cx with
+            | Error e ->
+                Format.eprintf "replay failed: %s@." e;
+                exit 2
+            | Ok None ->
+                Format.printf
+                  "replay of %s: execution is clean (stored violation %s did \
+                   NOT reproduce)@."
+                  path cx.Mc.Replay.property;
+                exit 1
+            | Ok (Some v) ->
+                Format.printf "replay of %s:@.%a@." path Mc.Explore.pp_violation
+                  v;
+                if Mc.Explore.property_name v.Mc.Explore.property
+                   <> cx.Mc.Replay.property
+                then begin
+                  Format.printf
+                    "stored property was %s — replay hit a different one@."
+                    cx.Mc.Replay.property;
+                  exit 1
+                end))
+    | None when sweep_all ->
+        (* Found-or-absent table over every registered counter, the broken
+           ones last — the table EXPERIMENTS.md quotes. *)
+        Format.printf "model check: n=%d schedule=%a faults=%a budget=%d@.@."
+          n Counter.Schedule.pp schedule Sim.Fault.pp faults max_states;
+        Format.printf "%-22s %-12s %11s %11s %9s@." "counter" "verdict"
+          "executions" "states" "violation";
+        let rows =
+          Baselines.Registry.all @ Baselines.Registry.broken
+        in
+        let any_unexpected = ref false in
+        List.iter
+          (fun ((module C : Counter.Counter_intf.S) as c) ->
+            let o = Mc.Explore.check ~seed ~faults ~config c ~n ~schedule in
+            let verdict, violation =
+              match o.Mc.Explore.verdict with
+              | Mc.Explore.Exhausted_ok -> ("exhausted", "absent")
+              | Mc.Explore.Budget_exhausted -> ("budget", "none-found")
+              | Mc.Explore.Violation_found v ->
+                  ("violation", Mc.Explore.property_name v.Mc.Explore.property)
+            in
+            let broken =
+              List.exists
+                (fun (module B : Counter.Counter_intf.S) -> B.name = C.name)
+                Baselines.Registry.broken
+            in
+            (match o.Mc.Explore.verdict with
+            | Mc.Explore.Violation_found _ when not broken ->
+                any_unexpected := true
+            | _ -> ());
+            Format.printf "%-22s %-12s %11d %11d %9s%s@." C.name verdict
+              o.Mc.Explore.stats.Mc.Explore.executions
+              o.Mc.Explore.stats.Mc.Explore.states violation
+              (if broken then "  (broken by design)" else ""))
+          rows;
+        if !any_unexpected then exit 1
+    | None -> (
+        let outcome = Mc.Explore.check ~seed ~faults ~config counter ~n ~schedule in
+        Format.printf "@[<v>%a@,%a@]@." Mc.Explore.pp_verdict
+          outcome.Mc.Explore.verdict Mc.Explore.pp_stats
+          outcome.Mc.Explore.stats;
+        (match (outcome.Mc.Explore.verdict, cx_out) with
+        | Mc.Explore.Violation_found v, Some path ->
+            let (module C : Counter.Counter_intf.S) = counter in
+            let cx =
+              Mc.Replay.of_violation ~counter:C.name
+                ~n:(C.supported_n n) ~seed ~schedule ~faults v
+            in
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Mc.Replay.to_string cx));
+            Format.printf "wrote counterexample to %s@." path
+        | _ -> ());
+        match outcome.Mc.Explore.verdict with
+        | Mc.Explore.Exhausted_ok -> if expect_violation then exit 1
+        | Mc.Explore.Violation_found _ ->
+            if not expect_violation then exit 1
+        | Mc.Explore.Budget_exhausted -> exit 3)
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int Mc.Explore.default_config.Mc.Explore.max_states
+      & info [ "max-states" ] ~docv:"S"
+          ~doc:
+            "Abort with exit 3 after discovering S decision points \
+             (exploration incomplete).")
+  in
+  let max_depth_arg =
+    Arg.(
+      value & opt int Mc.Explore.default_config.Mc.Explore.max_depth
+      & info [ "max-depth" ] ~docv:"D"
+          ~doc:
+            "Stop branching beyond D decisions per execution (deeper \
+             events follow the default order).")
+  in
+  let prune_arg =
+    Arg.(
+      value & opt string "sleep"
+      & info [ "prune" ] ~docv:"MODE"
+          ~doc:
+            "Partial-order reduction: $(b,sleep) (sleep sets, default) or \
+             $(b,none) (plain DFS).")
+  in
+  let expect_violation_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Invert the exit code: succeed only if a violation is found \
+             (for negative-control counters).")
+  in
+  let cx_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "counterexample-out" ] ~docv:"FILE"
+          ~doc:
+            "On violation, write the counterexample in canonical .mcs form \
+             to FILE (replayable with $(b,--replay)).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute the decision sequence stored in FILE and check the \
+             recorded violation reproduces; all other options are ignored.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Sweep every registered counter (broken ones included) and \
+             print a found-or-absent violation table; exit 1 if a \
+             violation shows up in a counter that is not broken by \
+             design.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt schedule_conv Counter.Schedule.Each_once
+      & info [ "s"; "schedule" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Operation schedule: each-once, shuffled, round-robin:OPS, \
+             random:OPS, single:P:OPS or explicit:P,P,...")
+  in
+  let n_mc_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Number of processors (rounded up to a supported size). Keep \
+             small: the interleaving space is exponential.")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Model-check a counter: exhaustively explore message-delivery \
+          interleavings (and adversarial crash timings from --faults) and \
+          check values, linearizability, the Hot Spot Lemma and the lower \
+          bound on every execution.")
+    Term.(
+      const run $ counter_arg $ n_mc_arg $ seed_arg $ faults_arg
+      $ schedule_arg $ max_states_arg $ max_depth_arg $ prune_arg
+      $ expect_violation_arg $ cx_out_arg $ replay_arg $ all_arg)
+
+(* ------------------------------------------------------------------ *)
 (* bound *)
 
 let bound_cmd =
@@ -664,5 +855,6 @@ let () =
             dot_cmd;
             quorum_cmd;
             exhaustive_cmd;
+            mc_cmd;
             bound_cmd;
           ]))

@@ -47,10 +47,16 @@ let all =
     quorum_plane;
   ]
 
+let amnesiac : Counter.Counter_intf.counter = (module Amnesiac)
+
+let race_reply : Counter.Counter_intf.counter = (module Race_reply)
+
+let broken = [ amnesiac; race_reply ]
+
 let find name =
   List.find_opt
     (fun (module C : Counter.Counter_intf.S) -> C.name = name)
-    all
+    (all @ broken)
 
 let names () =
   List.map (fun (module C : Counter.Counter_intf.S) -> C.name) all

@@ -30,9 +30,22 @@ val quorum_wall : Counter.Counter_intf.counter
 val quorum_plane : Counter.Counter_intf.counter
 
 val all : Counter.Counter_intf.counter list
-(** Every counter, the paper's first. *)
+(** Every {e correct} counter, the paper's first. *)
+
+val amnesiac : Counter.Counter_intf.counter
+(** Deliberately broken: no communication ({!Amnesiac}). *)
+
+val race_reply : Counter.Counter_intf.counter
+(** Deliberately broken, order-sensitively ({!Race_reply}). *)
+
+val broken : Counter.Counter_intf.counter list
+(** The deliberately broken counters — negative controls for the
+    correctness checkers and the model checker. Kept out of {!all} so
+    experiments and sweeps never mistake them for baselines; {!find}
+    resolves them by name. *)
 
 val find : string -> Counter.Counter_intf.counter option
-(** Look up by [name]. *)
+(** Look up by [name], searching {!all} and {!broken}. *)
 
 val names : unit -> string list
+(** Names of {!all} (the broken counters are not listed). *)

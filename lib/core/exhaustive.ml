@@ -10,8 +10,9 @@ type stats = {
 }
 
 (* Lazy lexicographic permutations: standard next-permutation on an
-   int array, wrapped in a Seq. *)
-let permutations n =
+   int array, wrapped in a Seq. Unguarded — callers that only take a
+   bounded prefix (verify_counter ~limit) may exceed the public cap. *)
+let perm_seq n =
   if n < 0 then invalid_arg "Exhaustive.permutations: negative n";
   let next a =
     let len = Array.length a in
@@ -46,6 +47,20 @@ let permutations n =
   in
   if n = 0 then Seq.return []
   else seq (Array.init n (fun i -> i + 1))
+
+(* 10! = 3.6M lists of 10 ints: forcing the whole Seq would allocate
+   gigabytes and run for hours. The public entry point refuses outright
+   rather than letting a caller discover that the hard way. *)
+let max_permutation_n = 9
+
+let permutations n =
+  if n > max_permutation_n then
+    invalid_arg
+      (Printf.sprintf
+         "Exhaustive.permutations: n = %d exceeds the cap of %d (n! blows \
+          up); use verify_counter ~limit for sampled sweeps"
+         n max_permutation_n);
+  perm_seq n
 
 let verify_counter ?(seed = 42) ?limit (module C : Counter.Counter_intf.S) ~n =
   let n = C.supported_n n in
@@ -90,7 +105,7 @@ let verify_counter ?(seed = 42) ?limit (module C : Counter.Counter_intf.S) ~n =
         max_messages = max s.max_messages messages;
       }
   in
-  let orders = permutations n in
+  let orders = perm_seq n in
   (match limit with
   | None -> Seq.iter check orders
   | Some l -> Seq.iter check (Seq.take l orders));

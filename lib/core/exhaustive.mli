@@ -29,9 +29,15 @@ type stats = {
   max_messages : int;
 }
 
+val max_permutation_n : int
+(** The largest [n] {!permutations} accepts (9). *)
+
 val permutations : int -> int list Seq.t
-(** Lazy lexicographic permutations of [1 .. n]. [n! ] elements — keep
-    [n <= 9]. *)
+(** Lazy lexicographic permutations of [1 .. n] ([n!] elements). Raises
+    [Invalid_argument] when [n < 0] or [n > ]{!max_permutation_n}: 10!
+    forced list-of-int elements is past the point of politeness, and
+    every in-repo caller that genuinely wants a bounded prefix goes
+    through {!verify_counter}[ ~limit] instead. *)
 
 val verify_counter :
   ?seed:int ->

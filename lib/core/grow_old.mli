@@ -1,0 +1,49 @@
+(** Checker for the paper's Grow Old Lemma.
+
+    The lemma (Section 4): during a single [inc] operation, an inner node
+    that does not retire handles at most a constant number of messages —
+    it ages by at most {!bound} units. (+2 if the operation's request path
+    passes through it, and at most one [New_worker] announcement from a
+    retiring neighbour on each side.) The lemma is what keeps a retirement
+    cascade from revisiting a node within one operation and so underpins
+    the Retirement Lemma's bound.
+
+    This module replays the each-processor-once schedule against the
+    paper's counter and checks the age delta of every non-retiring inner
+    node across every operation — a direct regression test for the
+    lemma's constant, independent of the aggregate load assertions in the
+    test suite. *)
+
+type violation = {
+  op_index : int;  (** 0-based operation number. *)
+  origin : int;  (** The operation's initiating processor. *)
+  node : int;  (** Flat id of the offending inner node. *)
+  age_before : int;
+  age_after : int;
+}
+
+type report = {
+  k : int;
+  n : int;  (** [k^(k+1)] processors. *)
+  ops : int;
+  bound : int;  (** The checked constant, {!bound}. *)
+  max_delta : int;
+      (** Largest single-operation age increase observed on any
+          non-retiring node — the lemma says this never exceeds
+          [bound]. *)
+  violations : violation list;
+}
+
+val bound : int
+(** The lemma's constant: [4]. *)
+
+val check : ?seed:int -> k:int -> unit -> report
+(** Run the paper's counter ({!Retire_counter.paper_config}[ ~k]) over
+    each-once, snapshotting every inner node's (retirement count, age)
+    around each [inc]. Nodes whose retirement count changed during the
+    operation are skipped — retirement resets the age, so the delta is
+    meaningless for them and the lemma does not constrain them. *)
+
+val holds : report -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -25,6 +25,20 @@ let values_sequential values =
   Array.iteri (fun i v -> if v <> i then ok := false) values;
   !ok
 
+let values_permutation values =
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  values_sequential sorted
+
+let values_distinct values =
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let ok = ref true in
+  Array.iteri
+    (fun i v -> if i > 0 && sorted.(i - 1) = v then ok := false)
+    sorted;
+  !ok
+
 let run ?(seed = 42) ?delay ?faults (module C : Counter_intf.S) ~n ~schedule =
   let n = C.supported_n n in
   let counter = C.create ?delay ?faults ~seed ~n () in

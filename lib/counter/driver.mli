@@ -60,6 +60,26 @@ val run_each_once : ?seed:int -> ?delay:Sim.Delay.t -> Counter_intf.counter -> n
 
 val pp_report : Format.formatter -> report -> unit
 
+(** {1 Reusable value predicates}
+
+    The checks the report's [correct] verdict is built from, exposed so
+    other verification surfaces (the exhaustive order sweep, the
+    delivery-interleaving model checker) apply {e the same} definitions
+    rather than re-deriving them. *)
+
+val values_sequential : int array -> bool
+(** Values are exactly [0, 1, ..., ops-1] {e in order} — what sequential
+    (run-to-quiescence) execution of a correct counter must produce. *)
+
+val values_permutation : int array -> bool
+(** The multiset of values is exactly [{0 .. ops-1}] — correctness
+    irrespective of completion order. *)
+
+val values_distinct : int array -> bool
+(** No value was returned twice — the weakest guarantee, the one that
+    must survive even crash faults (a lost answer may leave a gap, a
+    duplicated answer is always a bug). *)
+
 val load_profile :
   ?seed:int -> Counter_intf.counter -> n:int -> schedule:Schedule.t -> int array
 (** Like {!run} but returns the dense per-processor load array

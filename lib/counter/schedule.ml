@@ -37,6 +37,44 @@ let origins t rng ~n =
   in
   check_range ~n l
 
+(* Compact textual grammar, shared by the CLI and the model checker's
+   counterexample files (which must round-trip byte-for-byte). *)
+let to_string = function
+  | Each_once -> "each-once"
+  | Each_once_shuffled -> "shuffled"
+  | Round_robin ops -> Printf.sprintf "round-robin:%d" ops
+  | Random ops -> Printf.sprintf "random:%d" ops
+  | Single_origin (p, ops) -> Printf.sprintf "single:%d:%d" p ops
+  | Explicit l -> "explicit:" ^ String.concat "," (List.map string_of_int l)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "each-once" ] -> Ok Each_once
+  | [ "shuffled" ] -> Ok Each_once_shuffled
+  | [ "round-robin"; ops ] -> (
+      match int_of_string_opt ops with
+      | Some ops -> Ok (Round_robin ops)
+      | None -> Error "round-robin:OPS needs an integer")
+  | [ "random"; ops ] -> (
+      match int_of_string_opt ops with
+      | Some ops -> Ok (Random ops)
+      | None -> Error "random:OPS needs an integer")
+  | [ "single"; p; ops ] -> (
+      match (int_of_string_opt p, int_of_string_opt ops) with
+      | Some p, Some ops -> Ok (Single_origin (p, ops))
+      | _ -> Error "single:P:OPS needs two integers")
+  | [ "explicit"; origins ] -> (
+      let parts =
+        List.map int_of_string_opt (String.split_on_char ',' origins)
+      in
+      if List.exists (fun o -> o = None) parts then
+        Error "explicit:P,P,... needs comma-separated integers"
+      else Ok (Explicit (List.filter_map Fun.id parts)))
+  | _ ->
+      Error
+        "schedule is each-once | shuffled | round-robin:OPS | random:OPS | \
+         single:P:OPS | explicit:P,P,..."
+
 let name = function
   | Each_once -> "each-once"
   | Each_once_shuffled -> "each-once-shuffled"

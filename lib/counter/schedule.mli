@@ -30,6 +30,14 @@ val origins : t -> Sim.Rng.t -> n:int -> int list
 val ops : t -> n:int -> int
 (** Number of operations the schedule will perform. *)
 
+val to_string : t -> string
+(** Canonical compact form: [each-once], [shuffled], [round-robin:OPS],
+    [random:OPS], [single:P:OPS] or [explicit:P,P,...] — the grammar the
+    CLI accepts and the model checker's counterexample files embed.
+    [of_string (to_string t) = Ok t]. *)
+
+val of_string : string -> (t, string) result
+
 val name : t -> string
 
 val pp : Format.formatter -> t -> unit

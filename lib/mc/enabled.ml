@@ -1,0 +1,56 @@
+type key = Link of int * int | Timer | Crash of int
+
+let of_choice (c : Sim.Network.choice) =
+  if c.link_src = 0 && c.link_dst = 0 then Timer
+  else Link (c.link_src, c.link_dst)
+
+let equal (a : key) (b : key) = a = b
+
+let compare (a : key) (b : key) =
+  let rank = function Link _ -> 0 | Timer -> 1 | Crash _ -> 2 in
+  match (a, b) with
+  | Link (s1, d1), Link (s2, d2) -> Stdlib.compare (s1, d1) (s2, d2)
+  | Crash p, Crash q -> Stdlib.compare p q
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let to_token = function
+  | Link (s, d) -> Printf.sprintf "%d>%d" s d
+  | Timer -> "@"
+  | Crash p -> Printf.sprintf "!%d" p
+
+let of_token s =
+  let len = String.length s in
+  if len = 0 then Error "empty decision token"
+  else if s = "@" then Ok Timer
+  else if s.[0] = '!' then
+    match int_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some p when p >= 1 -> Ok (Crash p)
+    | _ -> Error (Printf.sprintf "bad crash token %S (want !P)" s)
+  else
+    match String.index_opt s '>' with
+    | None -> Error (Printf.sprintf "bad decision token %S (want S>D, @ or !P)" s)
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (len - i - 1)) )
+        with
+        | Some src, Some dst when src >= 1 && dst >= 1 -> Ok (Link (src, dst))
+        | _ -> Error (Printf.sprintf "bad link token %S (want S>D)" s))
+
+(* Receiver-locality heuristic: two deliveries commute when neither
+   touches a processor the other reads or writes. A delivery to [d] runs
+   [d]'s handler, which reads state at [d] and may depend on what [d]
+   previously heard from anyone — so sharing a destination, or delivering
+   *to* the other's sender (changing what that sender says next), is
+   dependent. Timers are conservatively dependent with everything: a
+   callback may touch arbitrary processors. A crash of [p] commutes with
+   any delivery not involving [p], and two crashes always commute (crash
+   is silent in this model; detection happens via timers). *)
+let independent a b =
+  match (a, b) with
+  | Timer, _ | _, Timer -> false
+  | Crash p, Crash q -> p <> q
+  | Crash p, Link (s, d) | Link (s, d), Crash p -> p <> s && p <> d
+  | Link (s1, d1), Link (s2, d2) -> d1 <> d2 && d1 <> s2 && d2 <> s1
+
+let pp ppf k = Format.pp_print_string ppf (to_token k)

@@ -1,0 +1,42 @@
+(** Decision alphabet of the model checker.
+
+    A {!key} names one enabled event at a decision point: delivering the
+    oldest pending message of a (src, dst) link, firing the
+    earliest-armed local timer, or crash-stopping a processor. Keys are
+    what the explorer branches over, what counterexample files serialise
+    ({!to_token}), and what the sleep-set pruner compares for
+    independence. *)
+
+type key =
+  | Link of int * int  (** Deliver the oldest message on link (src, dst). *)
+  | Timer  (** Fire the earliest-armed local timer. *)
+  | Crash of int  (** Crash-stop this processor before the next delivery. *)
+
+val of_choice : Sim.Network.choice -> key
+(** Map the network's enabled-event descriptor to a key (the timer
+    pseudo-choice [{0, 0, _}] becomes {!Timer}). Crash keys are added by
+    the explorer, not the network. *)
+
+val equal : key -> key -> bool
+
+val compare : key -> key -> int
+(** Links ascending by (src, dst), then the timer, then crashes — the
+    same canonical order the enabled array uses. *)
+
+val to_token : key -> string
+(** Compact serial form: ["S>D"], ["@"], ["!P"]. *)
+
+val of_token : string -> (key, string) result
+(** Inverse of {!to_token}. *)
+
+val independent : key -> key -> bool
+(** Receiver-locality independence heuristic: two keys are independent
+    when executing them in either order from any state reaches the same
+    state. [Link (s1, d1)] ⊥ [Link (s2, d2)] iff [d1 <> d2 && d1 <> s2 &&
+    d2 <> s1]; {!Timer} is dependent with everything; [Crash p] ⊥
+    anything not involving [p]. Exact for receiver-local protocols (every
+    handler touches only the receiving processor's state); protocols with
+    cross-processor shared state should explore with pruning off
+    ({!Prune.No_prune}). *)
+
+val pp : Format.formatter -> key -> unit

@@ -1,0 +1,15 @@
+type mode = No_prune | Sleep
+
+let to_string = function No_prune -> "none" | Sleep -> "sleep"
+
+let of_string = function
+  | "none" -> Ok No_prune
+  | "sleep" -> Ok Sleep
+  | s -> Error (Printf.sprintf "unknown prune mode %S (none | sleep)" s)
+
+let child_sleep mode ~taken sleep =
+  match mode with
+  | No_prune -> []
+  | Sleep -> List.filter (fun z -> Enabled.independent z taken) sleep
+
+let asleep sleep key = List.exists (Enabled.equal key) sleep

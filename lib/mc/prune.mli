@@ -1,0 +1,35 @@
+(** Partial-order reduction for the explorer: sleep sets.
+
+    Godefroid's sleep-set algorithm, in its stateless-DFS form. Each
+    decision point carries a {e sleep set} of keys whose exploration here
+    is provably redundant: after the DFS finishes the subtree below
+    choice [c], [c] is put to sleep for the remaining branches — any
+    execution starting with a {e different} choice [c'] and taking [c]
+    later is a reordering of one already explored, {e unless} something
+    between them depends on [c]. Hence the inheritance rule: a child
+    node's sleep set keeps exactly the parent's sleeping keys that are
+    {!Enabled.independent} of the choice taken ({!child_sleep}). A
+    decision point whose every enabled key is asleep is pruned outright.
+
+    Soundness is inherited from the independence relation: exact for
+    receiver-local protocols, heuristic otherwise (see
+    {!Enabled.independent}); [No_prune] is the escape hatch that restores
+    plain exhaustive DFS. The test suite cross-checks the two modes reach
+    identical verdicts on every bundled counter. *)
+
+type mode =
+  | No_prune  (** Plain DFS: every enabled key is explored everywhere. *)
+  | Sleep  (** Sleep-set pruning (the default). *)
+
+val to_string : mode -> string
+(** ["none"] | ["sleep"] — the CLI's [--prune] values. *)
+
+val of_string : string -> (mode, string) result
+
+val child_sleep :
+  mode -> taken:Enabled.key -> Enabled.key list -> Enabled.key list
+(** Sleep set a child node inherits after the parent executed [taken]:
+    the parent's sleeping keys still independent of [taken] (always empty
+    under [No_prune]). *)
+
+val asleep : Enabled.key list -> Enabled.key -> bool

@@ -1,0 +1,114 @@
+open Counter
+
+type t = {
+  counter : string;
+  n : int;
+  seed : int;
+  schedule : Schedule.t;
+  faults : Sim.Fault.t;
+  property : string;
+  decisions : Enabled.key list;
+}
+
+let of_violation ~counter ~n ~seed ~schedule ~faults (v : Explore.violation) =
+  {
+    counter;
+    n;
+    seed;
+    schedule;
+    faults;
+    property = Explore.property_name v.property;
+    decisions = v.decisions;
+  }
+
+(* The serial form is canonical — fixed key order, single spaces, one
+   trailing newline — so a regenerated counterexample can be compared
+   byte-for-byte against a stored one. *)
+let to_string t =
+  String.concat "\n"
+    [
+      "# dcount mc counterexample";
+      "counter=" ^ t.counter;
+      "n=" ^ string_of_int t.n;
+      "seed=" ^ string_of_int t.seed;
+      "schedule=" ^ Schedule.to_string t.schedule;
+      "faults=" ^ Sim.Fault.to_string t.faults;
+      "property=" ^ t.property;
+      "decisions=" ^ String.concat " " (List.map Enabled.to_token t.decisions);
+      "";
+    ]
+
+let ( let* ) = Result.bind
+
+let of_string s =
+  let fields = Hashtbl.create 8 in
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok ()
+    else
+      match String.index_opt line '=' with
+      | None -> Error (Printf.sprintf "bad counterexample line %S" line)
+      | Some i ->
+          let key = String.sub line 0 i in
+          let value = String.sub line (i + 1) (String.length line - i - 1) in
+          if Hashtbl.mem fields key then
+            Error (Printf.sprintf "duplicate field %S" key)
+          else begin
+            Hashtbl.add fields key value;
+            Ok ()
+          end
+  in
+  let rec parse_lines = function
+    | [] -> Ok ()
+    | l :: rest ->
+        let* () = parse_line l in
+        parse_lines rest
+  in
+  let field key =
+    match Hashtbl.find_opt fields key with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" key)
+  in
+  let int_field key =
+    let* v = field key in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %s=%S is not an integer" key v)
+  in
+  let* () = parse_lines (String.split_on_char '\n' s) in
+  let* counter = field "counter" in
+  let* n = int_field "n" in
+  let* seed = int_field "seed" in
+  let* schedule_s = field "schedule" in
+  let* schedule = Schedule.of_string schedule_s in
+  let* faults_s = field "faults" in
+  let* faults = Sim.Fault.of_string faults_s in
+  let* property = field "property" in
+  let* _ = Explore.property_of_name property in
+  let* decisions_s = field "decisions" in
+  let tokens =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' decisions_s)
+  in
+  let rec parse_tokens acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest ->
+        let* key = Enabled.of_token tok in
+        parse_tokens (key :: acc) rest
+  in
+  let* decisions = parse_tokens [] tokens in
+  Ok { counter; n; seed; schedule; faults; property; decisions }
+
+let run (module C : Counter_intf.S) t =
+  if C.name <> t.counter then
+    Error
+      (Printf.sprintf "counterexample is for counter %S, got %S" t.counter
+         C.name)
+  else
+    Explore.run_schedule ~seed:t.seed ~faults:t.faults
+      (module C : Counter_intf.S)
+      ~n:t.n ~schedule:t.schedule ~decisions:t.decisions
+
+let reproduces (module C : Counter_intf.S) t =
+  match run (module C) t with
+  | Ok (Some v) -> Explore.property_name v.property = t.property
+  | Ok None | Error _ -> false

@@ -1,0 +1,60 @@
+open Counter
+
+(** Serialised counterexamples and their deterministic replay.
+
+    A counterexample is everything needed to reproduce a violating
+    execution byte-for-byte: the counter, the configuration (n, seed,
+    schedule, fault plan) and the complete decision sequence. The [.mcs]
+    serial form is a line-oriented [key=value] header plus the decision
+    tokens:
+
+    {v
+    # dcount mc counterexample
+    counter=race-reply
+    n=3
+    seed=42
+    schedule=each-once
+    faults=none
+    property=values-wrong
+    decisions=1>2 3>1 1>2 @
+    v}
+
+    {!to_string} is canonical (fixed field order, single spaces, one
+    trailing newline), so regenerating a counterexample and comparing it
+    against a stored file is a byte-for-byte test — the CI smoke target
+    does exactly that. *)
+
+type t = {
+  counter : string;  (** Registry name of the counter. *)
+  n : int;
+  seed : int;
+  schedule : Schedule.t;
+  faults : Sim.Fault.t;
+  property : string;  (** {!Explore.property_name} of the violation. *)
+  decisions : Enabled.key list;
+}
+
+val of_violation :
+  counter:string ->
+  n:int ->
+  seed:int ->
+  schedule:Schedule.t ->
+  faults:Sim.Fault.t ->
+  Explore.violation ->
+  t
+
+val to_string : t -> string
+(** Canonical [.mcs] form; [of_string (to_string t) = Ok t]. *)
+
+val of_string : string -> (t, string) result
+(** Parse an [.mcs] file. Blank lines and [#] comments are ignored; all
+    fields are required and the property and decision tokens are
+    validated. *)
+
+val run : Counter_intf.counter -> t -> (Explore.violation option, string) result
+(** Re-execute the counterexample's decision sequence against the given
+    counter module (whose [name] must match [t.counter]) — a thin
+    front-end to {!Explore.run_schedule}. *)
+
+val reproduces : Counter_intf.counter -> t -> bool
+(** The replay hits a violation of the recorded property. *)

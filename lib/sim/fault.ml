@@ -89,11 +89,13 @@ let partitioned t ~src ~dst ~at =
 
 module Int_set = Set.Make (Int)
 
-let crash_count t =
-  Int_set.cardinal
+let crash_processors t =
+  Int_set.elements
     (List.fold_left
        (fun acc c -> Int_set.add c.processor acc)
        Int_set.empty t.crashes)
+
+let crash_count t = List.length (crash_processors t)
 
 (* ------------------------------------------------------------------ *)
 (* Textual form. Clause separator is '/', which %g float output never

@@ -73,6 +73,12 @@ val partitioned : t -> src:int -> dst:int -> at:float -> bool
 val crash_count : t -> int
 (** Number of distinct processors the plan eventually crashes. *)
 
+val crash_processors : t -> int list
+(** The distinct processors the plan eventually crashes, ascending. The
+    model checker reads the {e victims} from here and re-decides the
+    {e when} itself, branching over every interleaving of crash events
+    with deliveries. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

@@ -82,6 +82,45 @@ let copy_fifo_links = function
         }
   | Sparse h -> Sparse (Hashtbl.copy h)
 
+(* ------------------------------------------------------------------ *)
+(* Pluggable delivery scheduling.
+
+   The default engine delivers the earliest pending event (the heap
+   order). A scheduler replaces that policy: at every step the engine
+   enumerates the *enabled* events — the oldest pending message of each
+   distinct (src, dst) link, in per-link send order, plus a single
+   choice standing for the earliest-armed local timer — and asks the
+   policy which one happens next. The policy may instead crash-stop a
+   processor between deliveries ([Crash_now]), which is how the model
+   checker interleaves fault events with message deliveries. Under a
+   scheduler, virtual time is logical: the clock advances by 1 per
+   event and no delay is ever sampled, so runs are pure functions of
+   the decision sequence. *)
+
+type choice = { link_src : int; link_dst : int; link_tag : string }
+
+type decision = Deliver_next of int | Crash_now of int
+
+type policy = choice array -> decision
+
+(* One pending event in scheduler mode; [pseq] is global send order, so
+   per-link FIFO = lowest [pseq] on that link. *)
+type 'msg pend =
+  | Pend_msg of {
+      pseq : int;
+      psrc : int;
+      pdst : int;
+      ppayload : 'msg;
+      pparent : int;
+    }
+  | Pend_timer of { pseq : int; tparent : int; callback : unit -> unit }
+
+type 'msg sched = {
+  policy : policy;
+  mutable spending : 'msg pend list;  (* reverse send order *)
+  mutable sseq : int;
+}
+
 type 'msg t = {
   n : int;
   rng : Rng.t;
@@ -114,6 +153,8 @@ type 'msg t = {
   mutable time_crash_idx : int;
   count_crashes : (int * int) array;  (* (After trigger, processor), sorted *)
   mutable count_crash_idx : int;
+  mutable sched : 'msg sched option;
+      (* None = the heap engine, bit-identical to pre-scheduler builds *)
 }
 
 let record_fault t ~src ~dst kind =
@@ -166,6 +207,17 @@ let apply_due_crashes t ~at =
     crash t p
   done
 
+(* Ambient default policy: counters build their own networks inside
+   [create], so the model checker installs its policy for the dynamic
+   extent of the counter constructor instead of threading a parameter
+   through every implementation. *)
+let ambient_policy : policy option ref = ref None
+
+let with_scheduler policy f =
+  let saved = !ambient_policy in
+  ambient_policy := Some policy;
+  Fun.protect ~finally:(fun () -> ambient_policy := saved) f
+
 let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
     ?(fifo = false) ?(faults = Fault.none) ~n () =
   let measure_bits = bits <> None in
@@ -212,6 +264,10 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
       time_crash_idx = 0;
       count_crashes;
       count_crash_idx = 0;
+      sched =
+        Option.map
+          (fun policy -> { policy; spending = []; sseq = 0 })
+          !ambient_policy;
     }
   in
   (* "Crashed from the start" triggers (At 0. / After 0) apply before any
@@ -220,6 +276,13 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
   t
 
 let set_handler t h = t.handler <- Some h
+
+let set_scheduler t policy =
+  if Heap.size t.queue > 0 then
+    failwith "Network.set_scheduler: events already pending in the heap";
+  t.sched <- Some { policy; spending = []; sseq = 0 }
+
+let has_scheduler t = t.sched <> None
 
 let n t = t.n
 
@@ -231,19 +294,34 @@ let metrics t = t.metrics
 
 let faults t = t.faults
 
-let pending t = Heap.size t.queue
+let pending t =
+  match t.sched with
+  | None -> Heap.size t.queue
+  | Some s -> List.length s.spending
 
 let deliveries t = t.deliveries
 
 let enqueue_delivery t ~src ~dst payload =
-  let arrival = t.clock.(0) +. Delay.sample t.delay t.rng in
-  let arrival =
-    match t.fifo_links with
-    | None -> arrival
-    | Some links -> fifo_arrival links ~src ~dst arrival
-  in
-  Heap.push t.queue ~prio:arrival
-    (Deliver { src; dst; payload; parent = t.current_event })
+  match t.sched with
+  | Some s ->
+      (* Scheduler mode: the message joins the pending pool untimed; no
+         delay is sampled (the adversary, not the latency model, decides
+         when it arrives). *)
+      s.sseq <- s.sseq + 1;
+      s.spending <-
+        Pend_msg
+          { pseq = s.sseq; psrc = src; pdst = dst; ppayload = payload;
+            pparent = t.current_event }
+        :: s.spending
+  | None ->
+      let arrival = t.clock.(0) +. Delay.sample t.delay t.rng in
+      let arrival =
+        match t.fifo_links with
+        | None -> arrival
+        | Some links -> fifo_arrival links ~src ~dst arrival
+      in
+      Heap.push t.queue ~prio:arrival
+        (Deliver { src; dst; payload; parent = t.current_event })
 
 let send t ~src ~dst payload =
   if src < 1 || dst < 1 then invalid_arg "Network.send: ids start at 1";
@@ -303,11 +381,154 @@ let send t ~src ~dst payload =
 
 let schedule_local t ~delay callback =
   if delay < 0. then invalid_arg "Network.schedule_local: negative delay";
-  Heap.push t.queue
-    ~prio:(t.clock.(0) +. delay)
-    (Local (t.current_event, callback))
+  match t.sched with
+  | Some s ->
+      s.sseq <- s.sseq + 1;
+      s.spending <-
+        Pend_timer { pseq = s.sseq; tparent = t.current_event; callback }
+        :: s.spending
+  | None ->
+      Heap.push t.queue
+        ~prio:(t.clock.(0) +. delay)
+        (Local (t.current_event, callback))
+
+(* --- Scheduler-mode stepping ---------------------------------------- *)
+
+(* Discard pending messages addressed to crashed processors before
+   enumerating: a dead destination is not a real choice, and sweeping
+   eagerly keeps the branching the model checker sees free of no-ops.
+   Each discarded message is charged exactly as the heap path charges a
+   delivery to a dead peer. *)
+let sched_sweep_dead t s =
+  if t.faults_active then begin
+    let dead, alive =
+      List.partition
+        (function Pend_msg m -> crashed t m.pdst | Pend_timer _ -> false)
+        s.spending
+    in
+    if dead <> [] then begin
+      s.spending <- alive;
+      List.iter
+        (function
+          | Pend_msg m ->
+              Metrics.on_drop t.metrics;
+              record_fault t ~src:m.psrc ~dst:m.pdst Trace.Dropped
+          | Pend_timer _ -> ())
+        (* Oldest first, so drop annotations appear in send order. *)
+        (List.sort
+           (fun a b ->
+             let seq = function Pend_msg m -> m.pseq | Pend_timer p -> p.pseq in
+             compare (seq a) (seq b))
+           dead)
+    end
+  end
+
+(* Enabled events, canonically ordered: the oldest pending message of
+   each distinct (src, dst) link sorted by (src, dst), then — if any
+   timer is armed — one choice for the earliest-armed timer. Returns the
+   choices plus the pending entry each choice denotes. *)
+let sched_enabled t s =
+  sched_sweep_dead t s;
+  let in_order =
+    List.sort
+      (fun a b ->
+        let seq = function Pend_msg m -> m.pseq | Pend_timer p -> p.pseq in
+        compare (seq a) (seq b))
+      s.spending
+  in
+  let links = Hashtbl.create 16 in
+  let msgs = ref [] and first_timer = ref None in
+  List.iter
+    (fun p ->
+      match p with
+      | Pend_msg m ->
+          if not (Hashtbl.mem links (m.psrc, m.pdst)) then begin
+            Hashtbl.add links (m.psrc, m.pdst) ();
+            msgs := p :: !msgs
+          end
+      | Pend_timer _ -> if !first_timer = None then first_timer := Some p)
+    in_order;
+  let msgs =
+    List.sort
+      (fun a b ->
+        match (a, b) with
+        | Pend_msg x, Pend_msg y -> compare (x.psrc, x.pdst) (y.psrc, y.pdst)
+        | _ -> 0)
+      !msgs
+  in
+  let picks =
+    Array.of_list (msgs @ match !first_timer with None -> [] | Some p -> [ p ])
+  in
+  let choices =
+    Array.map
+      (function
+        | Pend_msg m ->
+            { link_src = m.psrc; link_dst = m.pdst; link_tag = t.label m.ppayload }
+        | Pend_timer _ -> { link_src = 0; link_dst = 0; link_tag = "timer" })
+      picks
+  in
+  (choices, picks)
+
+let sched_remove s pseq =
+  s.spending <-
+    List.filter
+      (function Pend_msg m -> m.pseq <> pseq | Pend_timer p -> p.pseq <> pseq)
+      s.spending
+
+let rec sched_step t s =
+  let choices, picks = sched_enabled t s in
+  if Array.length choices = 0 then false
+  else
+    match s.policy choices with
+    | Crash_now p ->
+        crash t p;
+        sched_step t s
+    | Deliver_next i ->
+        if i < 0 || i >= Array.length picks then
+          invalid_arg "Network: scheduler chose an out-of-range event";
+        t.clock.(0) <- t.clock.(0) +. 1.;
+        (match picks.(i) with
+        | Pend_timer { pseq; tparent; callback } ->
+            sched_remove s pseq;
+            let saved = t.current_event in
+            t.current_event <- tparent;
+            callback ();
+            t.current_event <- saved
+        | Pend_msg { pseq; psrc = src; pdst = dst; ppayload = payload;
+                     pparent = parent } ->
+            sched_remove s pseq;
+            let handler =
+              match t.handler with
+              | Some h -> h
+              | None -> failwith "Network.step: no handler installed"
+            in
+            t.deliveries <- t.deliveries + 1;
+            Log.debug (fun m ->
+                m "t=%.3f deliver %d -> %d [%s] (scheduled)" t.clock.(0) src
+                  dst (t.label payload));
+            Metrics.on_recv t.metrics dst;
+            (match t.trace with
+            | Some trace ->
+                Trace.record trace
+                  {
+                    Trace.seq = t.deliveries;
+                    time = t.clock.(0);
+                    src;
+                    dst;
+                    tag = t.label payload;
+                    parent;
+                  }
+            | None -> ());
+            let saved = t.current_event in
+            t.current_event <- t.deliveries;
+            handler ~self:dst ~src payload;
+            t.current_event <- saved);
+        true
 
 let step t =
+  match t.sched with
+  | Some s -> sched_step t s
+  | None ->
   if Heap.is_empty t.queue then false
   else begin
     let at = Heap.top_prio t.queue in
@@ -390,7 +611,7 @@ let run_to_quiescence ?(max_steps = 100_000_000) t =
   loop 0
 
 let clone_quiescent t =
-  if Heap.size t.queue > 0 then
+  if pending t > 0 then
     failwith "Network.clone_quiescent: messages pending";
   if t.trace <> None then
     failwith "Network.clone_quiescent: an operation is open";
@@ -419,6 +640,10 @@ let clone_quiescent t =
     time_crash_idx = t.time_crash_idx;
     count_crashes = t.count_crashes;
     count_crash_idx = t.count_crash_idx;
+    sched =
+      (* Quiescence means no pending entries to copy; the clone keeps the
+         same policy so its future deliveries stay adversary-driven. *)
+      Option.map (fun s -> { s with spending = [] }) t.sched;
   }
 
 let in_op t = t.trace <> None

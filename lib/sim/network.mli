@@ -23,6 +23,55 @@
 
 type 'msg t
 
+(** {1 Pluggable delivery scheduling}
+
+    The engine's default policy — deliver the earliest pending event, in
+    (arrival time, send order) — is only one resolution of the model's
+    asynchrony. A {!policy} replaces it: at every step the engine
+    enumerates the {e enabled} events and asks the policy which happens
+    next. Enabled events are the oldest pending message of each distinct
+    (src, dst) link (per-link FIFO; branching {e across} links is where
+    all the adversarial power lies), plus — when local timers are armed —
+    a single choice standing for the earliest-armed timer (timers keep
+    their mutual arming order; they interleave freely with deliveries).
+    The choice array is canonically ordered (links ascending by
+    (src, dst), the timer choice last), so a run under a scheduler is a
+    pure function of the decision sequence: no delay is sampled, no Rng
+    draw is made, and the clock advances by exactly 1 per event.
+
+    This is the hook the delivery-interleaving model checker
+    ({!Mc.Explore}) is built on; see docs/MODELCHECK.md. *)
+
+type choice = { link_src : int; link_dst : int; link_tag : string }
+(** One enabled event: a message on link [(link_src, link_dst)] whose
+    payload renders as [link_tag], or the timer pseudo-choice
+    [{0, 0, "timer"}]. *)
+
+type decision =
+  | Deliver_next of int
+      (** Deliver the choice at this index of the enabled array. *)
+  | Crash_now of int
+      (** Crash-stop this processor between deliveries, then ask again —
+          how fault events are interleaved adversarially. *)
+
+type policy = choice array -> decision
+(** Called with a non-empty enabled array each time the engine must pick
+    the next event. *)
+
+val with_scheduler : policy -> (unit -> 'a) -> 'a
+(** [with_scheduler p f] runs [f] with [p] installed as the ambient
+    default policy: every network {!create}d during [f] is born in
+    scheduler mode. This is how a model checker drives counters that
+    construct their own networks internally, without widening every
+    counter's [create] signature. The previous ambient policy is
+    restored on exit (exceptions included). *)
+
+val set_scheduler : 'msg t -> policy -> unit
+(** Install a policy on an existing network. Raises [Failure] if heap
+    events are already pending (the two queues cannot be mixed). *)
+
+val has_scheduler : 'msg t -> bool
+
 exception
   Storm of { max_steps : int; pending : int; now : float; deliveries : int }
 (** Raised by {!run_to_quiescence} when the step guard trips: [pending]

@@ -1,0 +1,173 @@
+(* Exit-code contract of the dcount binary: the chaos and mc subcommands
+   drive these from CI, so the codes are load-bearing. The test runs the
+   real executable (a dune dep of this stanza) from the build sandbox. *)
+
+let dcount = Filename.concat ".." (Filename.concat "bin" "dcount.exe")
+
+let tmp = Filename.get_temp_dir_name ()
+
+let run ?(quiet = true) args =
+  let silence = if quiet then " >/dev/null 2>/dev/null" else "" in
+  Sys.command (Filename.quote dcount ^ " " ^ args ^ silence)
+
+let check_exit name expected args =
+  Alcotest.(check int) name expected (run args)
+
+(* ------------------------------------------------------------------ *)
+(* dcount mc *)
+
+let test_mc_exhausted_ok () =
+  check_exit "central n=4 exhausts cleanly" 0 "mc -c central -n 4";
+  check_exit "static-tree n=4 exhausts cleanly" 0 "mc -c static-tree -n 4"
+
+let test_mc_explicit_schedule () =
+  check_exit "retire-tree, 3 explicit ops" 0
+    "mc -c retire-tree -n 8 -s explicit:1,8,4"
+
+let test_mc_violation_exit_codes () =
+  check_exit "race-reply violation = exit 1" 1 "mc -c race-reply -n 3";
+  check_exit "--expect-violation inverts it" 0
+    "mc -c race-reply -n 3 --expect-violation";
+  check_exit "--expect-violation on a clean counter = exit 1" 1
+    "mc -c central -n 3 --expect-violation";
+  check_exit "amnesiac violation" 0 "mc -c amnesiac -n 4 --expect-violation"
+
+let test_mc_budget_exit_code () =
+  check_exit "blown state budget = exit 3" 3
+    "mc -c retire-tree -n 8 --max-states 50"
+
+let test_mc_replay_stored () =
+  check_exit "stored counterexample reproduces" 0
+    "mc --replay data/race_reply_n3.mcs"
+
+let test_mc_replay_bad_file () =
+  check_exit "missing file = exit 2" 2 "mc --replay data/no_such_file.mcs";
+  let bad = Filename.concat tmp "dcount_cli_bad.mcs" in
+  Out_channel.with_open_text bad (fun oc ->
+      Out_channel.output_string oc "counter=central\nnot a field\n");
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      check_exit "unparseable file = exit 2" 2
+        ("mc --replay " ^ Filename.quote bad))
+
+let test_mc_counterexample_round_trip () =
+  let out = Filename.concat tmp "dcount_cli_cx.mcs" in
+  (try Sys.remove out with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      check_exit "find and write counterexample" 0
+        ("mc -c race-reply -n 3 --expect-violation --counterexample-out "
+        ^ Filename.quote out);
+      Alcotest.(check bool) "file written" true (Sys.file_exists out);
+      (* The freshly generated counterexample must match the stored one
+         byte for byte — same canonical form, same deterministic search. *)
+      let slurp p = In_channel.with_open_text p In_channel.input_all in
+      Alcotest.(check string)
+        "canonical bytes" (slurp "data/race_reply_n3.mcs") (slurp out);
+      check_exit "and it replays" 0 ("mc --replay " ^ Filename.quote out))
+
+let test_mc_all_table () =
+  (* Broken counters violate but are annotated; exit stays 0. A tight
+     budget keeps the tree counters from blowing the CI clock. *)
+  check_exit "--all sweep" 0 "mc --all -n 3 --max-states 20000"
+
+let test_mc_prune_none () =
+  check_exit "--prune none still exhausts" 0 "mc -c central -n 3 --prune none";
+  check_exit "bad prune mode = exit 2" 2 "mc -c central -n 3 --prune bogus"
+
+let test_mc_probabilistic_faults_rejected () =
+  (* Invalid_argument escapes as a crash, not 0/1/3 — any of the cmdliner
+     error codes is acceptable; it must not look like a verdict. *)
+  let code = run "mc -c central -n 3 --faults drop:0.5" in
+  Alcotest.(check bool)
+    (Printf.sprintf "drop plan rejected (exit %d)" code)
+    true
+    (code <> 0 && code <> 1 && code <> 3)
+
+let test_mc_crash_faults () =
+  check_exit "adversarial crash exploration" 0
+    "mc -c central -n 3 --faults crash:1@99"
+
+(* ------------------------------------------------------------------ *)
+(* dcount chaos *)
+
+let test_chaos_check_ok () =
+  check_exit "chaos --check on central" 0
+    "chaos -c central -n 4 --crashes 0,1 --check";
+  check_exit "chaos --check on quorum-majority" 0
+    "chaos -c quorum-majority -n 5 --crashes 0,1,2 --check"
+
+let test_chaos_plain_sweep () =
+  check_exit "sweep without --check" 0 "chaos -c retire-tree -n 8 --crashes 0,1"
+
+let test_chaos_output_shape () =
+  (* Smoke the stdout contract the docs quote: the check line and the
+     baseline header must be present. *)
+  let out = Filename.concat tmp "dcount_cli_chaos.txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Filename.quote dcount
+          ^ " chaos -c central -n 4 --crashes 0 --check > "
+          ^ Filename.quote out ^ " 2>/dev/null")
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      let s = In_channel.with_open_text out In_channel.input_all in
+      let contains needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "check line" true (contains "chaos check: OK");
+      Alcotest.(check bool) "baseline line" true (contains "baseline:"))
+
+(* ------------------------------------------------------------------ *)
+(* shared plumbing *)
+
+let test_unknown_counter_rejected () =
+  let mc = run "mc -c no-such-counter -n 3" in
+  let chaos = run "chaos -c no-such-counter --check" in
+  Alcotest.(check bool) "mc rejects" true (mc <> 0);
+  Alcotest.(check bool) "chaos rejects" true (chaos <> 0)
+
+let () =
+  (* The binary must exist: it is a declared dune dep, so a miss means
+     the stanza wiring broke. *)
+  if not (Sys.file_exists dcount) then
+    failwith ("dcount binary not found at " ^ dcount);
+  Alcotest.run "cli"
+    [
+      ( "mc",
+        [
+          Alcotest.test_case "exhausted ok" `Quick test_mc_exhausted_ok;
+          Alcotest.test_case "explicit schedule" `Quick
+            test_mc_explicit_schedule;
+          Alcotest.test_case "violation codes" `Quick
+            test_mc_violation_exit_codes;
+          Alcotest.test_case "budget code" `Quick test_mc_budget_exit_code;
+          Alcotest.test_case "replay stored" `Quick test_mc_replay_stored;
+          Alcotest.test_case "replay bad file" `Quick test_mc_replay_bad_file;
+          Alcotest.test_case "counterexample round trip" `Quick
+            test_mc_counterexample_round_trip;
+          Alcotest.test_case "--all table" `Quick test_mc_all_table;
+          Alcotest.test_case "prune modes" `Quick test_mc_prune_none;
+          Alcotest.test_case "probabilistic rejected" `Quick
+            test_mc_probabilistic_faults_rejected;
+          Alcotest.test_case "crash faults" `Quick test_mc_crash_faults;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "--check ok" `Quick test_chaos_check_ok;
+          Alcotest.test_case "plain sweep" `Quick test_chaos_plain_sweep;
+          Alcotest.test_case "output shape" `Quick test_chaos_output_shape;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "unknown counter" `Quick
+            test_unknown_counter_rejected;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Property tests for the two derived views of an operation trace: the
+   linearised communication list (Fig. 2) and the exact process DAG
+   (Fig. 1). The generator builds random *valid* traces directly through
+   the Trace API — events in delivery order, every causal parent a
+   previously delivered event — which is exactly the invariant the
+   engine guarantees, so properties proved here hold for every trace a
+   run can produce. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Random valid traces *)
+
+type spec = {
+  s_n : int;
+  s_origin : int;
+  (* per event: (src, dst, parent choice in [0, i-1] as an index shift) *)
+  s_events : (int * int * int) list;
+}
+
+let trace_of_spec spec =
+  let t = Sim.Trace.create ~op_index:0 ~origin:spec.s_origin () in
+  List.iteri
+    (fun i (src, dst, pchoice) ->
+      let seq = i + 1 in
+      (* A valid parent is 0 (sent by the initiator, outside a handler)
+         or the seq of any already-delivered event. *)
+      let parent = pchoice mod (i + 1) in
+      Sim.Trace.record t
+        {
+          Sim.Trace.seq;
+          time = float_of_int seq;
+          src;
+          dst;
+          tag = "m";
+          parent;
+        })
+    spec.s_events;
+  t
+
+let spec_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 9 in
+    let* origin = int_range 1 n in
+    let* events =
+      list_size (int_range 0 40)
+        (triple (int_range 1 n) (int_range 1 n) (int_range 0 1000))
+    in
+    return { s_n = n; s_origin = origin; s_events = events })
+
+(* ------------------------------------------------------------------ *)
+(* Comm_list: reference model straight from the paper's definition *)
+
+let model_nodes spec =
+  (* Head is the origin; each delivery appends its receiver; consecutive
+     duplicates collapse. *)
+  let rev =
+    List.fold_left
+      (fun acc (_, dst, _) ->
+        match acc with last :: _ when last = dst -> acc | _ -> dst :: acc)
+      [ spec.s_origin ] spec.s_events
+  in
+  List.rev rev
+
+let prop_list_matches_model =
+  QCheck2.Test.make ~name:"comm list = origin :: dedup consecutive receivers"
+    ~count:500 spec_gen (fun spec ->
+      let l = Sim.Comm_list.of_trace (trace_of_spec spec) in
+      Sim.Comm_list.nodes l = model_nodes spec)
+
+let prop_list_head_and_length =
+  QCheck2.Test.make ~name:"head = origin, length = arcs, labels 1-based"
+    ~count:500 spec_gen (fun spec ->
+      let l = Sim.Comm_list.of_trace (trace_of_spec spec) in
+      let nodes = Sim.Comm_list.nodes l in
+      Sim.Comm_list.origin l = spec.s_origin
+      && Sim.Comm_list.length l = List.length nodes - 1
+      && List.for_all2
+           (fun j node -> Sim.Comm_list.label l j = node)
+           (List.init (List.length nodes) (fun i -> i + 1))
+           nodes)
+
+let prop_list_no_consecutive_dups =
+  QCheck2.Test.make ~name:"no consecutive duplicate labels" ~count:500
+    spec_gen (fun spec ->
+      let nodes = Sim.Comm_list.nodes (trace_of_spec spec |> Sim.Comm_list.of_trace) in
+      let rec ok = function
+        | a :: (b :: _ as rest) -> a <> b && ok rest
+        | _ -> true
+      in
+      ok nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Dag *)
+
+let prop_dag_consistent =
+  QCheck2.Test.make ~name:"generated traces satisfy delivery-order causality"
+    ~count:500 spec_gen (fun spec ->
+      Sim.Dag.consistent_with_delivery_order
+        (Sim.Dag.of_trace (trace_of_spec spec)))
+
+let prop_dag_event_count =
+  QCheck2.Test.make ~name:"event_count = message_count" ~count:500 spec_gen
+    (fun spec ->
+      let t = trace_of_spec spec in
+      Sim.Dag.event_count (Sim.Dag.of_trace t) = Sim.Trace.message_count t)
+
+let prop_dag_profile_totals =
+  QCheck2.Test.make
+    ~name:"depth_profile sums to event_count; max_width is its max; \
+           critical_path its length"
+    ~count:500 spec_gen (fun spec ->
+      let d = Sim.Dag.of_trace (trace_of_spec spec) in
+      let profile = Sim.Dag.depth_profile d in
+      Array.fold_left ( + ) 0 profile = Sim.Dag.event_count d
+      && Sim.Dag.max_width d = Array.fold_left max 0 profile
+      && Sim.Dag.critical_path d = Array.length profile)
+
+(* A chain trace (each event caused by the previous one) has the whole
+   process on one causal path: depth i for event i, width 1 throughout. *)
+let test_dag_chain () =
+  let t = Sim.Trace.create ~op_index:0 ~origin:1 () in
+  for i = 1 to 5 do
+    Sim.Trace.record t
+      {
+        Sim.Trace.seq = i;
+        time = float_of_int i;
+        src = i;
+        dst = i + 1;
+        tag = "m";
+        parent = i - 1;
+      }
+  done;
+  let d = Sim.Dag.of_trace t in
+  check Alcotest.int "critical path" 5 (Sim.Dag.critical_path d);
+  check Alcotest.int "max width" 1 (Sim.Dag.max_width d);
+  check Alcotest.(array int) "profile" [| 1; 1; 1; 1; 1 |]
+    (Sim.Dag.depth_profile d)
+
+(* A star trace (every event caused by the first) is maximally wide. *)
+let test_dag_star () =
+  let t = Sim.Trace.create ~op_index:0 ~origin:1 () in
+  Sim.Trace.record t
+    { Sim.Trace.seq = 1; time = 1.; src = 1; dst = 2; tag = "m"; parent = 0 };
+  for i = 2 to 5 do
+    Sim.Trace.record t
+      {
+        Sim.Trace.seq = i;
+        time = float_of_int i;
+        src = 2;
+        dst = i + 1;
+        tag = "m";
+        parent = 1;
+      }
+  done;
+  let d = Sim.Dag.of_trace t in
+  check Alcotest.int "critical path" 2 (Sim.Dag.critical_path d);
+  check Alcotest.int "max width" 4 (Sim.Dag.max_width d);
+  check Alcotest.(array int) "profile" [| 1; 4 |] (Sim.Dag.depth_profile d)
+
+let test_empty_trace () =
+  let t = Sim.Trace.create ~op_index:0 ~origin:7 () in
+  let l = Sim.Comm_list.of_trace t in
+  check Alcotest.(list int) "singleton list" [ 7 ] (Sim.Comm_list.nodes l);
+  check Alcotest.int "zero arcs" 0 (Sim.Comm_list.length l);
+  let d = Sim.Dag.of_trace t in
+  check Alcotest.int "no events" 0 (Sim.Dag.event_count d);
+  check Alcotest.int "no path" 0 (Sim.Dag.critical_path d);
+  check Alcotest.int "no width" 0 (Sim.Dag.max_width d)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "comm_dag"
+    [
+      ( "comm_list",
+        [
+          q prop_list_matches_model;
+          q prop_list_head_and_length;
+          q prop_list_no_consecutive_dups;
+        ] );
+      ( "dag",
+        [
+          q prop_dag_consistent;
+          q prop_dag_event_count;
+          q prop_dag_profile_totals;
+          Alcotest.test_case "chain" `Quick test_dag_chain;
+          Alcotest.test_case "star" `Quick test_dag_star;
+          Alcotest.test_case "empty" `Quick test_empty_trace;
+        ] );
+    ]

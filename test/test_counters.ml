@@ -264,62 +264,11 @@ let test_names_unique () =
 (* ------------------------------------------------------------------ *)
 (* A deliberately broken counter: each processor counts locally and
    exchanges no messages. It violates the Hot Spot Lemma's premise and
-   returns wrong values — proving our checkers detect real breakage. *)
+   returns wrong values — proving our checkers detect real breakage.
+   Lives in the baselines library (Registry.broken) so the model checker
+   can sweep it too. *)
 
-module Amnesiac : Counter.Counter_intf.S = struct
-  type t = {
-    net : unit Sim.Network.t;
-    n : int;
-    locals : int array;
-    mutable traces_rev : Sim.Trace.t list;
-    mutable ops : int;
-  }
-
-  let name = "amnesiac"
-
-  let describe = "broken: purely local counting, no communication"
-
-  let supported_n n = max 1 n
-
-  let create ?(seed = 42) ?delay ?faults ~n () =
-    {
-      net = Sim.Network.create ~seed ?delay ?faults ~n ();
-      n;
-      locals = Array.make (n + 1) 0;
-      traces_rev = [];
-      ops = 0;
-    }
-
-  let n t = t.n
-
-  let value t = t.ops
-
-  let metrics t = Sim.Network.metrics t.net
-
-  let traces t = List.rev t.traces_rev
-
-  let inc t ~origin =
-    Sim.Network.begin_op t.net ~origin;
-    let v = t.locals.(origin) in
-    t.locals.(origin) <- v + 1;
-    t.ops <- t.ops + 1;
-    t.traces_rev <- Sim.Network.end_op t.net :: t.traces_rev;
-    v
-
-  let inc_result t ~origin =
-    Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
-
-  let crashed t p = Sim.Network.crashed t.net p
-
-  let clone t =
-    {
-      net = Sim.Network.clone_quiescent t.net;
-      n = t.n;
-      locals = Array.copy t.locals;
-      traces_rev = t.traces_rev;
-      ops = t.ops;
-    }
-end
+module Amnesiac = Baselines.Amnesiac
 
 let test_broken_counter_fails_checks () =
   let r =

@@ -30,6 +30,44 @@ let test_permutations_sorted_sequence () =
   Alcotest.(check bool) "lexicographically increasing" true
     (List.sort compare perms = perms)
 
+let test_permutations_cap () =
+  (* n! blows up past max_permutation_n = 9; the guard must fire before
+     any element is forced, and the boundary cases must still work. *)
+  check Alcotest.int "cap is 9" 9 E.max_permutation_n;
+  (match Seq.is_empty (E.permutations 10) with
+  | exception Invalid_argument msg ->
+      let contains needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec go i =
+          i + nl <= ml && (String.sub msg i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "message names the offending n" true
+        (contains "10");
+      Alcotest.(check bool) "message points at verify_counter ~limit" true
+        (contains "~limit")
+  | _ -> Alcotest.fail "n = 10 must raise Invalid_argument");
+  (match Seq.is_empty (E.permutations 100) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n = 100 must raise Invalid_argument");
+  (match Seq.is_empty (E.permutations (-1)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative n must raise Invalid_argument");
+  (* At the cap the sequence is still lazy and usable: take a prefix of
+     9! without forcing all 362880 elements. *)
+  let first = E.permutations E.max_permutation_n |> Seq.take 3 |> List.of_seq in
+  check Alcotest.int "prefix of 9! available" 3 (List.length first);
+  Alcotest.(check (list int))
+    "first is identity" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.hd first)
+
+let test_limit_bypasses_cap () =
+  (* The public cap does not break bounded sweeps above it:
+     verify_counter ~limit samples a lexicographic prefix of 10!. *)
+  let s = E.verify_counter ~limit:25 Baselines.Registry.central ~n:10 in
+  check Alcotest.int "orders" 25 s.E.orders;
+  Alcotest.(check bool) "correct" true s.E.all_correct
+
 let test_limited_verification () =
   let s = E.verify_counter ~limit:100 Baselines.Registry.retire_tree ~n:8 in
   check Alcotest.int "orders" 100 s.E.orders;
@@ -80,6 +118,9 @@ let () =
             test_permutations_lexicographic_and_distinct;
           Alcotest.test_case "sorted sequence" `Quick
             test_permutations_sorted_sequence;
+          Alcotest.test_case "factorial cap" `Quick test_permutations_cap;
+          Alcotest.test_case "~limit bypasses cap" `Quick
+            test_limit_bypasses_cap;
         ] );
       ( "verification",
         [

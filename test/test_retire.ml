@@ -79,6 +79,32 @@ let test_hotspot_lemma_holds () =
   let c, _ = run_each_once 3 in
   Alcotest.(check bool) "hot spot lemma" true (Counter.Hotspot.holds (R.traces c))
 
+let test_grow_old_lemma_holds () =
+  (* Direct per-operation regression for the Grow Old Lemma: no
+     non-retiring inner node ages by more than the constant 4 during a
+     single inc, at the paper's design point and one size up. *)
+  List.iter
+    (fun k ->
+      let r = Core.Grow_old.check ~k () in
+      Alcotest.(check bool)
+        (Fmt.str "k=%d: %a" k Core.Grow_old.pp_report r)
+        true
+        (Core.Grow_old.holds r);
+      Alcotest.(check (list unit)) "no violations" []
+        (List.map (fun _ -> ()) r.Core.Grow_old.violations);
+      Alcotest.(check bool) "delta within bound" true
+        (r.Core.Grow_old.max_delta <= Core.Grow_old.bound))
+    [ 2; 3 ]
+
+let test_grow_old_bound_tight () =
+  (* The constant is not slack: at k = 3 some node actually ages by the
+     full 4 units (request down + reply up + an announcement per side). *)
+  let r = Core.Grow_old.check ~k:3 () in
+  Alcotest.(check int) "bound reached" Core.Grow_old.bound
+    r.Core.Grow_old.max_delta;
+  Alcotest.(check int) "bound is the documented constant" 4
+    Core.Grow_old.bound
+
 let test_load_distribution_flat () =
   (* The whole point of the construction: no processor stands out. Every
      processor pays its leaf role (>= 2 messages: the inc request and the
@@ -440,6 +466,9 @@ let () =
           Alcotest.test_case "bottleneck O(k)" `Quick test_bottleneck_o_k;
           Alcotest.test_case "beats static tree" `Quick test_bottleneck_beats_static_tree;
           Alcotest.test_case "hot spot lemma" `Quick test_hotspot_lemma_holds;
+          Alcotest.test_case "grow old lemma" `Quick test_grow_old_lemma_holds;
+          Alcotest.test_case "grow old bound tight" `Quick
+            test_grow_old_bound_tight;
           Alcotest.test_case "load distribution flat" `Quick test_load_distribution_flat;
           Alcotest.test_case "retirements decrease by level" `Quick test_retirements_by_level_shape;
           Alcotest.test_case "retirement constants pinned" `Quick test_retirement_constants_documented;
