@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-chaos test-mc bench bench-big bench-perf bench-smoke examples doc clean outputs
+.PHONY: all build test lint test-chaos test-mc bench bench-big bench-perf bench-smoke examples doc clean outputs
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# Determinism & protocol-hygiene gate (docs/LINT.md): dlint over the
+# library and binary sources. Exit 0 = clean, 1 = findings, 2 = usage.
+lint:
+	dune exec bin/dcount.exe -- lint lib bin
 
 # Fault-injection smoke (docs/FAULTS.md): the failure-aware quorum
 # counter must complete every live-origin op under f < ceil(n/2)

@@ -313,13 +313,14 @@ let chaos_cmd =
               (if shifted then "*" else " ")
               (if stalled > 0 then "last stall: " ^ last_stall else "");
             if check then begin
-              if f = 0 && d = 0. && dup = 0. && completed <> ops then
+              if f = 0 && Float.equal d 0. && Float.equal dup 0. && completed <> ops
+              then
                 check_failures :=
                   Printf.sprintf
                     "fault-free row completed %d/%d operations" completed ops
                   :: !check_failures;
               if
-                is_quorum && d = 0. && dup = 0.
+                is_quorum && Float.equal d 0. && Float.equal dup 0.
                 && f <= (n - 1) / 2
                 && stalled_live > 0
               then
@@ -821,6 +822,68 @@ let mc_cmd =
       $ expect_violation_arg $ cx_out_arg $ replay_arg $ all_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd =
+  let run rules format list_rules paths =
+    if list_rules then Format.printf "%a" Lint.Report.pp_rules Lint.Registry.all
+    else begin
+      let rules =
+        match Lint.Registry.resolve rules with
+        | Ok rules -> rules
+        | Error e ->
+            Format.eprintf "%s@." e;
+            exit 2
+      in
+      let paths = match paths with [] -> [ "lib"; "bin" ] | ps -> ps in
+      match Lint.Driver.run ~rules ~paths with
+      | Error e ->
+          Format.eprintf "%s@." e;
+          exit 2
+      | Ok outcome ->
+          (match format with
+          | `Text -> Format.printf "%a" Lint.Report.pp_text outcome
+          | `Json -> Format.printf "%a" Lint.Report.pp_json outcome);
+          if outcome.Lint.Driver.findings <> [] then exit 1
+    end
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "rules" ] ~docv:"R1,R2"
+          ~doc:
+            "Run only these rules, by id (D1..D4, P1, P2) or name \
+             ($(b,ambient-nondeterminism), ...). Default: all.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: $(b,text) (default) or $(b,json).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATHS"
+          ~doc:
+            "Files (.ml) or directories to scan, relative to the current \
+             directory. Default: $(b,lib bin).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse OCaml sources for determinism and protocol \
+          hygiene (docs/LINT.md). Exit 0 clean, 1 findings, 2 usage.")
+    Term.(const run $ rules_arg $ format_arg $ list_arg $ paths_arg)
+
+(* ------------------------------------------------------------------ *)
 (* bound *)
 
 let bound_cmd =
@@ -842,19 +905,24 @@ let () =
     "distributed counting testbed — Wattenhofer & Widmayer, PODC 1997"
   in
   let info = Cmd.info "dcount" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd;
-            run_cmd;
-            chaos_cmd;
-            compare_cmd;
-            adversary_cmd;
-            trace_cmd;
-            dot_cmd;
-            quorum_cmd;
-            exhaustive_cmd;
-            mc_cmd;
-            bound_cmd;
-          ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           list_cmd;
+           run_cmd;
+           chaos_cmd;
+           compare_cmd;
+           adversary_cmd;
+           trace_cmd;
+           dot_cmd;
+           quorum_cmd;
+           exhaustive_cmd;
+           mc_cmd;
+           lint_cmd;
+           bound_cmd;
+         ])
+  in
+  (* Usage errors exit 2 across every subcommand (the documented mc /
+     chaos / lint contract); cmdliner's default for them is 124. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -34,7 +34,7 @@ let () =
              [ 0.02; 0.1; 0.3 ])
   in
   List.iter
-    (fun (name, ((module Q : Quorum.Quorum_intf.S) as q)) ->
+    (fun (name, ((module _ : Quorum.Quorum_intf.S) as q)) ->
       let cells =
         List.concat_map
           (fun fraction ->

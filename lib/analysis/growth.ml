@@ -51,7 +51,7 @@ let fit_shape shape points =
         (num +. (y *. f), den +. (f *. f)))
       (0., 0.) points
   in
-  let scale = if den = 0. then 0. else num /. den in
+  let scale = if Float.equal den 0. then 0. else num /. den in
   let sq_err, sq_y =
     List.fold_left
       (fun (se, sy) (n, y) ->
@@ -59,14 +59,14 @@ let fit_shape shape points =
         (se +. (e *. e), sy +. (y *. y)))
       (0., 0.) points
   in
-  let residual = if sq_y = 0. then 0. else sqrt (sq_err /. sq_y) in
+  let residual = if Float.equal sq_y 0. then 0. else sqrt (sq_err /. sq_y) in
   { shape; scale; residual }
 
 let best_fit points =
   if List.length points < 2 then invalid_arg "Growth.best_fit: need >= 2 points";
   let fits =
     List.sort
-      (fun a b -> compare a.residual b.residual)
+      (fun a b -> Float.compare a.residual b.residual)
       (List.map (fun s -> fit_shape s points) all_shapes)
   in
   match fits with [] -> assert false | best :: _ -> (best, fits)

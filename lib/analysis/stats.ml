@@ -15,7 +15,7 @@ let percentile samples p =
     invalid_arg "Stats.percentile: empty sample";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   let n = Array.length sorted in
   if n = 1 then float_of_int sorted.(0)
   else begin
@@ -56,9 +56,9 @@ let gini samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Stats.gini: empty sample";
   let sorted = Array.map float_of_int samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let total = Array.fold_left ( +. ) 0. sorted in
-  if total = 0. then 0.
+  if Float.equal total 0. then 0.
   else begin
     (* G = (2 * sum_i i*x_i) / (n * sum x) - (n+1)/n with 1-based ranks on
        ascending data. *)

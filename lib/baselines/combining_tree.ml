@@ -214,7 +214,7 @@ let run_batch t ~origins =
   (match origins with
   | [] -> invalid_arg "Combining_tree.run_batch: empty batch"
   | o :: _ -> Sim.Network.begin_op t.net ~origin:o);
-  let sorted = List.sort_uniq compare origins in
+  let sorted = List.sort_uniq Int.compare origins in
   if List.length sorted <> List.length origins then
     invalid_arg "Combining_tree.run_batch: duplicate origins in a batch";
   t.completed_rev <- [];

@@ -172,7 +172,7 @@ let run_batch_timed t ?(stagger = 0.) ~origins () =
     (fun i origin ->
       let at = start +. (float_of_int i *. stagger) in
       Hashtbl.replace invoked origin at;
-      if stagger = 0. then launch t ~origin
+      if Float.equal stagger 0. then launch t ~origin
       else
         Sim.Network.schedule_local t.net
           ~delay:(float_of_int i *. stagger)

@@ -45,7 +45,7 @@
     completion, not correctness, is the guarantee there (see
     docs/FAULTS.md). *)
 
-module Make (Q : Quorum.Quorum_intf.S) : sig
+module Make (_ : Quorum.Quorum_intf.S) : sig
   include Counter.Counter_intf.S
 
   val quorum_size : t -> int

@@ -355,7 +355,9 @@ let stale_forwards t = t.stale_forwards
 let buffered_messages t = t.buffered_messages
 
 let active_roles t =
-  Hashtbl.fold (fun _ proc acc -> acc + List.length proc.roles) t.procs 0
+  Sim.Det.sorted_fold ~compare:Int.compare
+    (fun _ proc acc -> acc + List.length proc.roles)
+    t.procs 0
 
 let inc t ~origin =
   if origin < 1 || origin > n t then
@@ -385,7 +387,7 @@ let crashed t p = Sim.Network.crashed t.net p
 let clone t =
   let net = Sim.Network.clone_quiescent t.net in
   let procs = Hashtbl.create (Hashtbl.length t.procs) in
-  Hashtbl.iter
+  Sim.Det.sorted_iter ~compare:Int.compare
     (fun pid proc ->
       Hashtbl.replace procs pid
         {

@@ -27,12 +27,12 @@ let values_sequential values =
 
 let values_permutation values =
   let sorted = Array.copy values in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   values_sequential sorted
 
 let values_distinct values =
   let sorted = Array.copy values in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   let ok = ref true in
   Array.iteri
     (fun i v -> if i > 0 && sorted.(i - 1) = v then ok := false)

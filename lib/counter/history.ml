@@ -27,7 +27,7 @@ let check ops =
 let is_linearizable ops = check ops = Linearizable
 
 let values_contiguous ops =
-  let values = List.sort compare (List.map (fun o -> o.value) ops) in
+  let values = List.sort Int.compare (List.map (fun o -> o.value) ops) in
   values = List.init (List.length ops) Fun.id
 
 let concurrency_profile ops =
@@ -41,7 +41,8 @@ let concurrency_profile ops =
     (* Completions before invocations at the same instant: an op ending
        exactly when another starts does not overlap it. *)
     List.sort
-      (fun (t1, d1) (t2, d2) -> if t1 = t2 then compare d1 d2 else compare t1 t2)
+      (fun (t1, d1) (t2, d2) ->
+        match Float.compare t1 t2 with 0 -> Int.compare d1 d2 | c -> c)
       events
   in
   let _, peak =

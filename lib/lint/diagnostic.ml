@@ -1,0 +1,47 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  offset : int;
+  rule : string;
+  message : string;
+  hint : string;
+}
+
+let v ~file ~(loc : Ppxlib.Location.t) ~rule ~message ~hint =
+  let p = loc.loc_start in
+  {
+    file;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    offset = p.pos_cnum;
+    rule;
+    message;
+    hint;
+  }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s (hint: %s)" d.file d.line d.col d.rule
+    d.message d.hint
+
+let to_json d =
+  Analysis.Json.Obj
+    [
+      ("file", Analysis.Json.Str d.file);
+      ("line", Analysis.Json.int d.line);
+      ("col", Analysis.Json.int d.col);
+      ("rule", Analysis.Json.Str d.rule);
+      ("message", Analysis.Json.Str d.message);
+      ("hint", Analysis.Json.Str d.hint);
+    ]

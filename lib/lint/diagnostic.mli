@@ -1,0 +1,33 @@
+(** One [dlint] finding: a rule violation anchored at a source location.
+
+    Diagnostics are plain data; the driver sorts, filters (suppression)
+    and renders them. [offset] is the byte offset of the anchor within
+    the file — suppression ranges are byte ranges, so filtering does not
+    have to re-derive positions. *)
+
+type t = {
+  file : string;  (** path as scanned, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  offset : int;  (** byte offset of the anchor in the file *)
+  rule : string;  (** rule id, e.g. "D1" *)
+  message : string;  (** what is wrong, one sentence *)
+  hint : string;  (** how to fix it, one sentence *)
+}
+
+val v :
+  file:string ->
+  loc:Ppxlib.Location.t ->
+  rule:string ->
+  message:string ->
+  hint:string ->
+  t
+(** Build a diagnostic anchored at [loc]'s start position. *)
+
+val order : t -> t -> int
+(** Sort key: file, then line, then column, then rule id. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: [RULE] message (hint: ...)] on one line. *)
+
+val to_json : t -> Analysis.Json.t

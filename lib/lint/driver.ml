@@ -1,0 +1,94 @@
+type outcome = {
+  findings : Diagnostic.t list;
+  suppressed : (Diagnostic.t * Suppress.directive) list;
+  directives : Suppress.directive list;
+  files : int;
+}
+
+let loc_of_position (p : Lexing.position) : Ppxlib.Location.t =
+  { loc_start = p; loc_end = p; loc_ghost = false }
+
+let syntax_diag ~file ~(pos : Lexing.position) msg =
+  Diagnostic.v ~file ~loc:(loc_of_position pos) ~rule:"E0"
+    ~message:("does not parse: " ^ msg)
+    ~hint:"dlint vouches only for files it can read; fix the syntax first"
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Ppxlib.Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception Syntaxerr.Error e ->
+      let loc = Syntaxerr.location_of_error e in
+      Error (syntax_diag ~file ~pos:loc.Location.loc_start "syntax error")
+  | exception Lexer.Error (_, loc) ->
+      Error (syntax_diag ~file ~pos:loc.Location.loc_start "lexer error")
+
+let scan_source ~rules ~file source =
+  match parse ~file source with
+  | Error d -> ([ d ], [])
+  | Ok str ->
+      let acc = ref [] in
+      let ctx = { Rule.file; emit = (fun d -> acc := d :: !acc) } in
+      List.iter (fun r -> r.Rule.check ctx str) rules;
+      (List.rev !acc, Suppress.collect ~file str)
+
+(* ------------------------------------------------------------------ *)
+(* Path expansion: deterministic (sorted) recursive walk; hidden and
+   underscore-prefixed entries (_build, .git) are skipped. *)
+
+let normalize path =
+  if Rule.has_prefix ~prefix:"./" path then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let rec walk acc path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry.[0] = '_' then acc
+        else walk acc (Filename.concat path entry))
+      acc entries
+  end
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let expand paths =
+  let rec go acc = function
+    | [] -> Ok (List.sort_uniq String.compare acc)
+    | p :: rest ->
+        let p = normalize p in
+        if not (Sys.file_exists p) then
+          Error (Printf.sprintf "dcount lint: no such path: %s" p)
+        else if Sys.is_directory p then go (walk acc p) rest
+        else if Filename.check_suffix p ".ml" then go (p :: acc) rest
+        else
+          Error
+            (Printf.sprintf
+               "dcount lint: %s is not an OCaml implementation (.ml)" p)
+  in
+  go [] paths
+
+let run ~rules ~paths =
+  match expand paths with
+  | Error e -> Error e
+  | Ok files ->
+      let findings = ref [] and directives = ref [] in
+      List.iter
+        (fun file ->
+          let source = In_channel.with_open_bin file In_channel.input_all in
+          let diags, dirs = scan_source ~rules ~file source in
+          findings := List.rev_append diags !findings;
+          directives := List.rev_append dirs !directives)
+        files;
+      let directives = List.rev !directives in
+      let kept, suppressed = Suppress.apply ~directives !findings in
+      Ok
+        {
+          findings = List.sort Diagnostic.order kept;
+          suppressed;
+          directives;
+          files = List.length files;
+        }

@@ -1,0 +1,29 @@
+(** Scan orchestration: expand paths, parse, run rules, apply
+    suppressions.
+
+    The scan itself obeys the determinism rules it enforces: directory
+    walks are sorted, so the same tree always yields the same report in
+    the same order. Files that fail to parse become findings under the
+    pseudo-rule [E0] (they gate the exit code like any finding — a
+    file the linter cannot read is a file the linter cannot vouch
+    for). *)
+
+type outcome = {
+  findings : Diagnostic.t list;  (** sorted; empty = clean tree *)
+  suppressed : (Diagnostic.t * Suppress.directive) list;
+      (** findings silenced by a justified [@dlint.allow] *)
+  directives : Suppress.directive list;
+      (** every well-formed directive seen, fired or not *)
+  files : int;  (** implementation files scanned *)
+}
+
+val scan_source :
+  rules:Rule.t list -> file:string -> string -> Diagnostic.t list * Suppress.directive list
+(** Lint one implementation from source text (tests drive this
+    directly). Returns raw findings (pre-suppression) and the file's
+    directives. *)
+
+val run : rules:Rule.t list -> paths:string list -> (outcome, string) result
+(** Scan every [.ml] under [paths] (files or directories). [Error] is a
+    usage problem — a missing path, or an explicit file argument that
+    is not an [.ml] — and maps to exit 2. *)

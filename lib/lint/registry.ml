@@ -1,0 +1,41 @@
+let core =
+  [
+    Rule_ambient.rule;
+    Rule_tbl_order.rule;
+    Rule_poly_compare.rule;
+    Rule_unsafe_ops.rule;
+    Rule_stall.rule;
+  ]
+
+(* P2 validates rule ids inside [@dlint.allow] payloads, so it needs
+   the final id list — including its own — before its check exists.
+   The stub record carries id/name; only its check is replaced. *)
+let all =
+  let stub = Rule_suppress.rule in
+  let known = core @ [ stub ] in
+  core @ [ { stub with Rule.check = Rule_suppress.check_with ~known } ]
+
+let find key =
+  let k = String.lowercase_ascii (String.trim key) in
+  List.find_opt
+    (fun r ->
+      String.lowercase_ascii r.Rule.id = k
+      || String.lowercase_ascii r.Rule.name = k)
+    all
+
+let resolve keys =
+  match keys with
+  | [] -> Ok all
+  | _ ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | k :: rest -> (
+            match find k with
+            | Some r -> go (r :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown lint rule %S (known: %s; names work too)" k
+                     (String.concat ", " (List.map (fun r -> r.Rule.id) all))))
+      in
+      go [] keys

@@ -1,0 +1,16 @@
+(** The rule catalogue.
+
+    Order is presentation order ([--list], docs); selection by id or
+    name is case-insensitive. Adding a rule = write the module, append
+    it to [core] in registry.ml, document it in docs/LINT.md, and add a
+    bad + good fixture pair under test/lint/fixtures/. *)
+
+val all : Rule.t list
+(** Every registered rule, P2 wired with the full known-id list. *)
+
+val find : string -> Rule.t option
+(** Look up by id ("d2") or name ("hashtbl-iteration-order"). *)
+
+val resolve : string list -> (Rule.t list, string) result
+(** Map a [--rules] selection to rules; [Error] names the first unknown
+    id (a usage error — exit 2). Empty list resolves to {!all}. *)

@@ -1,0 +1,61 @@
+let pp_text ppf (o : Driver.outcome) =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) o.findings;
+  if o.suppressed <> [] then begin
+    Format.fprintf ppf "suppressed (justified, see [@dlint.allow]):@.";
+    List.iter
+      (fun ((d : Diagnostic.t), (dir : Suppress.directive)) ->
+        Format.fprintf ppf "  %s:%d: [%s] allowed at line %d: %s@." d.file
+          d.line d.rule dir.line dir.justification)
+      o.suppressed
+  end;
+  let n = List.length o.findings in
+  Format.fprintf ppf "dlint: %s — %d finding%s in %d file%s, %d suppressed@."
+    (if n = 0 then "clean" else "FINDINGS")
+    n
+    (if n = 1 then "" else "s")
+    o.files
+    (if o.files = 1 then "" else "s")
+    (List.length o.suppressed)
+
+let directive_json (d : Suppress.directive) =
+  Analysis.Json.Obj
+    [
+      ("file", Analysis.Json.Str d.dfile);
+      ("line", Analysis.Json.int d.line);
+      ( "rules",
+        Analysis.Json.List (List.map (fun r -> Analysis.Json.Str r) d.rules) );
+      ("justification", Analysis.Json.Str d.justification);
+    ]
+
+let pp_json ppf (o : Driver.outcome) =
+  let suppressed_json ((d : Diagnostic.t), (dir : Suppress.directive)) =
+    match Diagnostic.to_json d with
+    | Analysis.Json.Obj fields ->
+        Analysis.Json.Obj
+          (fields
+          @ [
+              ("justification", Analysis.Json.Str dir.justification);
+              ("directive_line", Analysis.Json.int dir.line);
+            ])
+    | other -> other
+  in
+  let doc =
+    Analysis.Json.Obj
+      [
+        ("version", Analysis.Json.int 1);
+        ("files", Analysis.Json.int o.files);
+        ( "findings",
+          Analysis.Json.List (List.map Diagnostic.to_json o.findings) );
+        ( "suppressed",
+          Analysis.Json.List (List.map suppressed_json o.suppressed) );
+        ( "directives",
+          Analysis.Json.List (List.map directive_json o.directives) );
+      ]
+  in
+  Format.fprintf ppf "%s@." (Analysis.Json.to_string doc)
+
+let pp_rules ppf rules =
+  List.iter
+    (fun (r : Rule.t) ->
+      Format.fprintf ppf "%-4s %-26s %s@." r.Rule.id r.Rule.name r.Rule.summary)
+    rules

@@ -1,0 +1,13 @@
+(** Rendering: the text report humans read in CI logs, the JSON report
+    tools consume, and the rule catalogue behind [--list]. *)
+
+val pp_text : Format.formatter -> Driver.outcome -> unit
+(** One line per finding ([file:line:col: [RULE] ...]), the suppression
+    ledger, and a final one-line verdict. *)
+
+val pp_json : Format.formatter -> Driver.outcome -> unit
+(** Stable machine-readable shape (see docs/LINT.md):
+    [{version; files; findings; suppressed; directives}]. *)
+
+val pp_rules : Format.formatter -> Rule.t list -> unit
+(** The catalogue: id, name, one-line summary per rule. *)

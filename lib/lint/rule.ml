@@ -1,0 +1,86 @@
+(** The rule signature and the small AST toolkit rules share.
+
+    A rule is a named static check over one parsed implementation file.
+    Rules only {e emit} diagnostics; selection, suppression and
+    presentation belong to {!Driver}. Rules must themselves satisfy
+    every rule in the registry — [dcount lint lib] scans [lib/lint]
+    too, so no polymorphic compares, no wildcard handlers, no ambient
+    state in here. *)
+
+type ctx = {
+  file : string;  (** normalized path of the file being scanned *)
+  emit : Diagnostic.t -> unit;
+}
+
+type t = {
+  id : string;  (** stable short id: "D1".."D4", "P1", "P2" *)
+  name : string;  (** kebab-case mnemonic, accepted by --rules too *)
+  summary : string;  (** one line for --list and docs/LINT.md *)
+  check : ctx -> Ppxlib.structure -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+let ident_name (lid : Ppxlib.Longident.t) =
+  String.concat "." (Ppxlib.Longident.flatten_exn lid)
+
+let last_component (lid : Ppxlib.Longident.t) =
+  match lid with
+  | Lident s -> s
+  | Ldot (_, s) -> s
+  | Lapply _ -> ""
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let path_ends_with ~suffix file =
+  (* Suffix match on '/'-separated path components, so exemptions hold
+     however the scan root was spelled ("lib", "./lib", absolute). *)
+  let f = String.length file and s = String.length suffix in
+  f >= s
+  && String.sub file (f - s) s = suffix
+  && (f = s || file.[f - s - 1] = '/')
+
+let emit ctx ~(loc : Ppxlib.Location.t) ~rule ~message ~hint =
+  ctx.emit (Diagnostic.v ~file:ctx.file ~loc ~rule ~message ~hint)
+
+(* Attribute payloads: every dlint directive carries a single string
+   constant; [@warning]'s payload is also a string. *)
+let payload_string (p : Ppxlib.payload) =
+  match p with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let attr_name (a : Ppxlib.attribute) = a.attr_name.txt
+
+(* [body_reraises e] — does [e] contain a bare [raise]/[reraise]
+   application? Used by P1 to tell "caught, cleaned up, re-raised"
+   (fine) from "caught and dropped" (finding). *)
+let body_reraises (e : Ppxlib.expression) =
+  let found = ref false in
+  let v =
+    object
+      inherit Ppxlib.Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = Lident ("raise" | "raise_notrace" | "reraise"); _ }
+          ->
+            found := true
+        | _ -> ());
+        super#expression e
+    end
+  in
+  v#expression e;
+  !found

@@ -1,0 +1,75 @@
+(* D1 — ambient nondeterminism.
+
+   Every random draw, clock read and hash in the simulator must flow
+   through the seeded Sim.Rng stream (or the simulated Network clock):
+   one call to the process-global [Random], to a wall clock, or to the
+   layout-dependent [Hashtbl.hash] and two runs with the same seed stop
+   being bit-identical, which silently invalidates the Hot Spot Lemma
+   measurements, the determinism goldens and every stored .mcs
+   counterexample. [lib/sim/rng.ml] is the sanctioned home of raw
+   randomness and is exempt. *)
+
+let banned =
+  [
+    ("Sys.time", "process CPU clock");
+    ("Unix.gettimeofday", "wall clock");
+    ("Unix.time", "wall clock");
+    ("Unix.localtime", "wall clock");
+    ("Unix.gmtime", "wall clock");
+    ("Hashtbl.hash", "layout- and version-dependent structural hash");
+    ("Hashtbl.seeded_hash", "layout- and version-dependent structural hash");
+    ("Hashtbl.hash_param", "layout- and version-dependent structural hash");
+    ("Hashtbl.randomize", "per-process hash randomization");
+  ]
+
+let exempt file = Rule.path_ends_with ~suffix:"sim/rng.ml" file
+
+let check ctx str =
+  if not (exempt ctx.Rule.file) then begin
+    let v =
+      object
+        inherit Ppxlib.Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> (
+              let name = Rule.ident_name txt in
+              match Ppxlib.Longident.flatten_exn txt with
+              | "Random" :: _ ->
+                  Rule.emit ctx ~loc ~rule:"D1"
+                    ~message:
+                      (Printf.sprintf
+                         "%s draws from the process-global RNG, outside the \
+                          seeded simulation stream"
+                         name)
+                    ~hint:
+                      "draw from Sim.Rng (create ~seed, split) so runs stay \
+                       bit-identical under a seed"
+              | _ -> (
+                  match List.assoc_opt name banned with
+                  | Some what ->
+                      Rule.emit ctx ~loc ~rule:"D1"
+                        ~message:
+                          (Printf.sprintf
+                             "%s is ambient nondeterminism (%s)" name what)
+                        ~hint:
+                          "use the simulated clock / Sim.Rng, or an explicit \
+                           per-type hash; seeded runs must not observe the \
+                           environment"
+                  | None -> ()))
+          | _ -> ());
+          super#expression e
+      end
+    in
+    v#structure str
+  end
+
+let rule =
+  {
+    Rule.id = "D1";
+    name = "ambient-nondeterminism";
+    summary =
+      "no Random.*, wall clocks or Hashtbl.hash outside Sim.Rng — seeded \
+       runs must be bit-identical";
+    check;
+  }

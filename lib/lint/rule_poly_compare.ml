@@ -1,0 +1,92 @@
+(* D3 — polymorphic comparison.
+
+   Bare [compare] (and [Stdlib.compare]/[Pervasives.compare]) compares
+   whatever representation the operands happen to have. On abstract
+   types — processor ids, messages, priorities — that couples sort
+   orders and tie-breaks to representation details that are none of the
+   protocol's business, and it breaks silently the day the type gains a
+   constructor or a mutable field. Comparators must name their type:
+   [Int.compare], [Float.compare], or the module's own [compare].
+
+   A file that binds the name [compare] itself — a module-level
+   definition or an explicit [~compare] parameter — is skipped entirely:
+   the bare name then refers to a local, deliberately-chosen comparator,
+   which is the idiom the rule is steering towards.
+
+   [Hashtbl.Make] over an inline [struct ... end] is flagged for the
+   same reason: it defaults hashing/equality decisions into an
+   anonymous module where nobody will look for them. *)
+
+let binds_compare str =
+  let found = ref false in
+  let v =
+    object
+      inherit Ppxlib.Ast_traverse.iter as super
+
+      method! pattern p =
+        (match p.ppat_desc with
+        | Ppat_var { txt = "compare"; _ } -> found := true
+        | _ -> ());
+        super#pattern p
+    end
+  in
+  v#structure str;
+  !found
+
+let check ctx str =
+  if not (binds_compare str) then begin
+    let v =
+      object
+        inherit Ppxlib.Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident
+              {
+                txt =
+                  ( Lident "compare"
+                  | Ldot (Lident ("Stdlib" | "Pervasives"), "compare") );
+                loc;
+              } ->
+              Rule.emit ctx ~loc ~rule:"D3"
+                ~message:
+                  "polymorphic compare orders values by representation, not \
+                   by type"
+                ~hint:
+                  "use a type-specific comparator (Int.compare, \
+                   Float.compare, the module's own compare)"
+          | _ -> ());
+          super#expression e
+
+        method! module_expr m =
+          (match m.pmod_desc with
+          | Pmod_apply
+              ( {
+                  pmod_desc =
+                    Pmod_ident { txt = Ldot (Lident "Hashtbl", "Make"); _ };
+                  _;
+                },
+                { pmod_desc = Pmod_structure _; pmod_loc; _ } ) ->
+              Rule.emit ctx ~loc:pmod_loc ~rule:"D3"
+                ~message:
+                  "Hashtbl.Make over an inline struct hides the hash/equal \
+                   choices for an abstract key"
+                ~hint:
+                  "pass a named module whose equal/hash are written against \
+                   the key's declared representation"
+          | _ -> ());
+          super#module_expr m
+      end
+    in
+    v#structure str
+  end
+
+let rule =
+  {
+    Rule.id = "D3";
+    name = "polymorphic-compare";
+    summary =
+      "no bare compare / Stdlib.compare / inline Hashtbl.Make — comparators \
+       must name their type";
+    check;
+  }

@@ -1,0 +1,93 @@
+(* P1 — stall hygiene.
+
+   Under a fault plan an operation that cannot complete must surface as
+   the typed Counter_intf.Stall / Stalled outcome (docs/FAULTS.md): a
+   handler that catches Stall without re-raising, or a wildcard
+   exception handler anywhere on the inc/handle path, converts "the
+   protocol failed" into "the protocol silently returned something",
+   and every completion guarantee measured on top is fiction. The one
+   sanctioned conversion point is Counter_intf.result_of_inc, so
+   counter_intf.ml itself is exempt. *)
+
+let exempt file = Rule.path_ends_with ~suffix:"counter/counter_intf.ml" file
+
+let rec pattern_is_wildcard (p : Ppxlib.pattern) =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pattern_is_wildcard p
+  | Ppat_or (a, b) -> pattern_is_wildcard a || pattern_is_wildcard b
+  | _ -> false
+
+let pattern_catches_stall (p : Ppxlib.pattern) =
+  let found = ref false in
+  let v =
+    object
+      inherit Ppxlib.Ast_traverse.iter as super
+
+      method! pattern p =
+        (match p.ppat_desc with
+        | Ppat_construct ({ txt; _ }, _)
+          when Rule.last_component txt = "Stall" ->
+            found := true
+        | _ -> ());
+        super#pattern p
+    end
+  in
+  v#pattern p;
+  !found
+
+let check_case ctx ~(loc : Ppxlib.Location.t) (c : Ppxlib.case) =
+  if pattern_is_wildcard c.pc_lhs && not (Rule.body_reraises c.pc_rhs) then
+    Rule.emit ctx ~loc ~rule:"P1"
+      ~message:
+        "wildcard exception handler swallows every failure, including \
+         Counter_intf.Stall"
+      ~hint:
+        "match the specific exceptions this code can raise; Stall must \
+         propagate to inc_result"
+  else if pattern_catches_stall c.pc_lhs && not (Rule.body_reraises c.pc_rhs)
+  then
+    Rule.emit ctx ~loc ~rule:"P1"
+      ~message:"Counter_intf.Stall caught and dropped"
+      ~hint:
+        "let Stall propagate (Counter_intf.result_of_inc is the one \
+         conversion point); re-raise after any cleanup"
+
+let check ctx str =
+  if not (exempt ctx.Rule.file) then begin
+    let v =
+      object
+        inherit Ppxlib.Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_try (_, cases) ->
+              List.iter
+                (fun (c : Ppxlib.case) ->
+                  check_case ctx ~loc:c.pc_lhs.ppat_loc c)
+                cases
+          | Pexp_match (_, cases) ->
+              List.iter
+                (fun (c : Ppxlib.case) ->
+                  match c.pc_lhs.ppat_desc with
+                  | Ppat_exception p ->
+                      check_case ctx ~loc:p.ppat_loc
+                        { c with pc_lhs = p }
+                  | _ -> ())
+                cases
+          | _ -> ());
+          super#expression e
+      end
+    in
+    v#structure str
+  end
+
+let rule =
+  {
+    Rule.id = "P1";
+    name = "stall-hygiene";
+    summary =
+      "no wildcard exception handlers, no catch-and-drop of \
+       Counter_intf.Stall — failures stay typed";
+    check;
+  }

@@ -1,0 +1,126 @@
+(* P2 — justified suppressions only.
+
+   A suppression with no recorded reason is a determinism hazard wearing
+   a silencer: six months later nobody knows whether it was reviewed or
+   expedient. Every [@dlint.allow] payload must parse as
+   "ID[,ID...]: justification"; every compiler-warning disable
+   ([@warning "-..."], [@@@warning "-..."]) must carry a sibling
+   [@dlint.why "..."]; unknown dlint.* attributes (typos never fire) and
+   unknown rule ids are findings too. The driver prints every directive
+   in the run summary, so what is silenced stays reviewable. *)
+
+let warning_attr name = name = "warning" || name = "ocaml.warning"
+
+let is_disable payload = String.contains payload '-'
+
+let dlint_prefixed name = Rule.has_prefix ~prefix:"dlint." name
+
+let known_rule_id ~known id =
+  List.exists (fun r -> r.Rule.id = id || String.uppercase_ascii r.Rule.name = id) known
+
+(* The rule validates attributes; [known] lets it reject ids that no
+   registered rule carries (filled in by Registry to avoid a cycle). *)
+let check_with ~known ctx str =
+  let check_allow (attr : Ppxlib.attribute) =
+    match Rule.payload_string attr.attr_payload with
+    | None ->
+        Rule.emit ctx ~loc:attr.attr_loc ~rule:"P2"
+          ~message:"[@dlint.allow] payload must be a single string constant"
+          ~hint:"write [@dlint.allow \"ID[,ID...]: justification\"]"
+    | Some payload -> (
+        match Suppress.parse_payload payload with
+        | Error e ->
+            Rule.emit ctx ~loc:attr.attr_loc ~rule:"P2"
+              ~message:("malformed [@dlint.allow]: " ^ e)
+              ~hint:"write [@dlint.allow \"ID[,ID...]: justification\"]"
+        | Ok (ids, _) ->
+            List.iter
+              (fun id ->
+                if not (known_rule_id ~known id) then
+                  Rule.emit ctx ~loc:attr.attr_loc ~rule:"P2"
+                    ~message:
+                      (Printf.sprintf
+                         "[@dlint.allow] names unknown rule %S — it \
+                          suppresses nothing"
+                         id)
+                    ~hint:"see dcount lint --list for valid rule ids")
+              ids)
+  in
+  let check_dlint_spelling (attr : Ppxlib.attribute) =
+    let name = Rule.attr_name attr in
+    if
+      dlint_prefixed name
+      && not (Suppress.allow_attr name || Suppress.why_attr name)
+    then
+      Rule.emit ctx ~loc:attr.attr_loc ~rule:"P2"
+        ~message:(Printf.sprintf "unknown dlint attribute [@%s]" name)
+        ~hint:"the recognised attributes are dlint.allow and dlint.why"
+  in
+  let warning_needs_why ~justified (attr : Ppxlib.attribute) =
+    if warning_attr (Rule.attr_name attr) then
+      match Rule.payload_string attr.attr_payload with
+      | Some payload when is_disable payload && not justified ->
+          Rule.emit ctx ~loc:attr.attr_loc ~rule:"P2"
+            ~message:
+              (Printf.sprintf "warning suppression %S has no justification"
+                 payload)
+            ~hint:
+              "attach [@dlint.why \"reason\"] next to the [@warning] \
+               attribute (adjacent [@@@dlint.why] for floating ones)"
+      | _ -> ()
+  in
+  let has_why attrs =
+    List.exists (fun a -> Suppress.why_attr (Rule.attr_name a)) attrs
+  in
+  let v =
+    object
+      inherit Ppxlib.Ast_traverse.iter as super
+
+      (* Fires on every attribute list in the tree: the sibling set for
+         the dlint.why adjacency requirement. *)
+      method! attributes attrs =
+        let justified = has_why attrs in
+        List.iter
+          (fun (attr : Ppxlib.attribute) ->
+            let name = Rule.attr_name attr in
+            check_dlint_spelling attr;
+            if Suppress.allow_attr name then check_allow attr;
+            warning_needs_why ~justified attr)
+          attrs;
+        super#attributes attrs
+
+      (* Floating attributes arrive one structure item at a time; a
+         disable is justified by a floating dlint.why in the same run
+         of consecutive floating attributes. *)
+      method! structure items =
+        let floating =
+          List.filter_map
+            (fun (si : Ppxlib.structure_item) ->
+              match si.pstr_desc with
+              | Pstr_attribute a -> Some a
+              | _ -> None)
+            items
+        in
+        let justified = has_why floating in
+        List.iter
+          (fun (attr : Ppxlib.attribute) ->
+            check_dlint_spelling attr;
+            if Suppress.allow_attr (Rule.attr_name attr) then check_allow attr;
+            warning_needs_why ~justified attr)
+          floating;
+        super#structure items
+    end
+  in
+  v#structure str
+
+(* Placeholder check so the record can exist before Registry ties the
+   knot; Registry replaces it with [check_with ~known:all]. *)
+let rule =
+  {
+    Rule.id = "P2";
+    name = "suppression-justification";
+    summary =
+      "every [@dlint.allow] / [@warning \"-...\"] suppression carries a \
+       justification and names real rules";
+    check = check_with ~known:[];
+  }

@@ -1,0 +1,45 @@
+(* D2 — hash-order iteration.
+
+   [Hashtbl.iter]/[fold] visit bindings in unspecified hash order; when
+   the visited data feeds a trace, a metric or any output the goldens
+   snapshot, the result depends on the table's internal layout (and
+   hence on insertion history and the compiler's hash function) rather
+   than on its contents. Sim.Det provides sorted wrappers; genuinely
+   order-independent uses (a commutative fold) can carry a justified
+   [@dlint.allow "D2: ..."] instead. *)
+
+let order_dependent =
+  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let check ctx str =
+  let v =
+    object
+      inherit Ppxlib.Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = Ldot (Lident "Hashtbl", fn); loc }
+          when List.mem fn order_dependent ->
+            Rule.emit ctx ~loc ~rule:"D2"
+              ~message:
+                (Printf.sprintf
+                   "Hashtbl.%s visits bindings in unspecified hash order" fn)
+              ~hint:
+                "iterate in key order (Sim.Det.sorted_iter / sorted_fold \
+                 ~compare), or justify with [@dlint.allow \"D2: why the \
+                 order cannot matter\"]"
+        | _ -> ());
+        super#expression e
+    end
+  in
+  v#structure str
+
+let rule =
+  {
+    Rule.id = "D2";
+    name = "hashtbl-iteration-order";
+    summary =
+      "no order-dependent Hashtbl.iter/fold/to_seq — iterate sorted or \
+       justify order-independence";
+    check;
+  }

@@ -1,0 +1,70 @@
+(* D4 — unsafe representation tricks.
+
+   [Marshal] round-trips break across compiler versions and silently
+   accept type-incorrect data, [Obj.magic]/[Obj.repr] defeat the type
+   system outright, and [=]/[<>] against a float literal is an exact
+   bit comparison in disguise — in the checkers (linearizability,
+   hotspot, growth fits) any of these turns "proved on every
+   interleaving" into "happened to hold on this build". Explicit
+   [Float.equal]/[Float.compare] is accepted: it states the intent. *)
+
+let float_literal (e : Ppxlib.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let check ctx str =
+  let v =
+    object
+      inherit Ppxlib.Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> (
+            match Ppxlib.Longident.flatten_exn txt with
+            | "Marshal" :: _ ->
+                Rule.emit ctx ~loc ~rule:"D4"
+                  ~message:
+                    (Printf.sprintf
+                       "%s bypasses the type system and is not stable across \
+                        compiler versions"
+                       (Rule.ident_name txt))
+                  ~hint:
+                    "serialise through an explicit, versioned format (see \
+                     Mc.Replay / Analysis.Json)"
+            | [ "Obj"; ("magic" | "repr" | "obj") ] ->
+                Rule.emit ctx ~loc ~rule:"D4"
+                  ~message:
+                    (Printf.sprintf "%s defeats the type system"
+                       (Rule.ident_name txt))
+                  ~hint:"restructure the types instead of casting through Obj"
+            | _ -> ())
+        | Pexp_apply
+            ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); loc };
+                _;
+              },
+              [ (_, a); (_, b) ] )
+          when float_literal a || float_literal b ->
+            Rule.emit ctx ~loc ~rule:"D4"
+              ~message:
+                (Printf.sprintf
+                   "(%s) against a float literal compares exact bit patterns"
+                   op)
+              ~hint:
+                "state the intent with Float.equal / Float.compare (exact \
+                 sentinel) or compare against a tolerance"
+        | _ -> ());
+        super#expression e
+    end
+  in
+  v#structure str
+
+let rule =
+  {
+    Rule.id = "D4";
+    name = "unsafe-ops";
+    summary =
+      "no Marshal, Obj.magic or float-literal (=) — checker verdicts must \
+       not ride on representation accidents";
+    check;
+  }

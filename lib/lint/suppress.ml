@@ -1,0 +1,108 @@
+type directive = {
+  dfile : string;
+  rules : string list;
+  justification : string;
+  line : int;
+  range : int * int;
+}
+
+let allow_attr name = name = "dlint.allow"
+let why_attr name = name = "dlint.why"
+
+let parse_payload s =
+  match String.index_opt s ':' with
+  | None ->
+      Error
+        (Printf.sprintf
+           "missing \": justification\" — expected \"ID[,ID...]: why\", got %S"
+           s)
+  | Some i ->
+      let ids =
+        String.split_on_char ',' (String.sub s 0 i)
+        |> List.map String.trim
+        |> List.filter (fun id -> id <> "")
+        |> List.map String.uppercase_ascii
+      in
+      let justification =
+        String.trim (String.sub s (i + 1) (String.length s - i - 1))
+      in
+      if ids = [] then Error (Printf.sprintf "no rule ids before ':' in %S" s)
+      else if justification = "" then
+        Error (Printf.sprintf "empty justification in %S" s)
+      else Ok (ids, justification)
+
+(* A directive's scope is the node its attribute is attached to. The
+   collector recognises the attachment points that matter in practice:
+   expressions, value bindings, module bindings, and floating
+   structure-level attributes (which scope to end-of-file). *)
+let collect ~file str =
+  let acc = ref [] in
+  let add ~(attr : Ppxlib.attribute) ~range =
+    if allow_attr (Rule.attr_name attr) then
+      match Rule.payload_string attr.attr_payload with
+      | None -> ()
+      | Some payload -> (
+          match parse_payload payload with
+          | Error _ -> ()
+          | Ok (rules, justification) ->
+              acc :=
+                {
+                  dfile = file;
+                  rules;
+                  justification;
+                  line = attr.attr_loc.loc_start.pos_lnum;
+                  range;
+                }
+                :: !acc)
+  in
+  let node_range (loc : Ppxlib.Location.t) =
+    (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+  in
+  let v =
+    object
+      inherit Ppxlib.Ast_traverse.iter as super
+
+      method! expression e =
+        List.iter
+          (fun attr -> add ~attr ~range:(node_range e.pexp_loc))
+          e.pexp_attributes;
+        super#expression e
+
+      method! value_binding vb =
+        List.iter
+          (fun attr -> add ~attr ~range:(node_range vb.pvb_loc))
+          vb.pvb_attributes;
+        super#value_binding vb
+
+      method! module_binding mb =
+        List.iter
+          (fun attr -> add ~attr ~range:(node_range mb.pmb_loc))
+          mb.pmb_attributes;
+        super#module_binding mb
+
+      method! structure_item si =
+        (match si.pstr_desc with
+        | Pstr_attribute attr ->
+            add ~attr ~range:(si.pstr_loc.loc_start.pos_cnum, max_int)
+        | _ -> ());
+        super#structure_item si
+    end
+  in
+  v#structure str;
+  List.rev !acc
+
+let covers d (diag : Diagnostic.t) =
+  d.dfile = diag.file
+  && List.mem diag.rule d.rules
+  && fst d.range <= diag.offset
+  && diag.offset <= snd d.range
+
+let apply ~directives diags =
+  let kept = ref [] and suppressed = ref [] in
+  List.iter
+    (fun diag ->
+      match List.find_opt (fun d -> covers d diag) directives with
+      | Some d -> suppressed := (diag, d) :: !suppressed
+      | None -> kept := diag :: !kept)
+    diags;
+  (List.rev !kept, List.rev !suppressed)

@@ -1,0 +1,48 @@
+(** Justified suppression of dlint findings.
+
+    Grammar (payload of a [dlint.allow] attribute): a single string
+    ["ID[,ID...]: justification"] — rule ids (case-insensitive, names
+    accepted too), a colon, and a non-empty human justification.
+
+    - [(expr [@dlint.allow "D2: why"])] silences the listed rules inside
+      that expression;
+    - [let[@dlint.allow "..."] x = ...] covers the whole binding;
+    - a floating [[@@@dlint.allow "..."]] covers the rest of the file.
+
+    Compiler-warning suppressions ([[@warning "-..."]]) are not dlint
+    suppressions but must likewise be justified — with a sibling
+    [[@dlint.why "..."]] attribute; rule P2 enforces both grammars and
+    the driver reports every directive in the run summary, so silenced
+    findings stay visible. *)
+
+type directive = {
+  dfile : string;
+  rules : string list;  (** normalized rule ids, e.g. ["D2"] *)
+  justification : string;
+  line : int;  (** line of the attribute, for the summary *)
+  range : int * int;  (** byte range suppressed; [max_int] = to EOF *)
+}
+
+val allow_attr : string -> bool
+(** Is this attribute name a dlint.allow spelling? *)
+
+val why_attr : string -> bool
+(** Is this attribute name a dlint.why spelling? *)
+
+val parse_payload : string -> (string list * string, string) result
+(** Split ["D1,D2: reason"] into ids and justification; [Error]
+    explains which part is malformed (P1 quotes it). Ids are validated
+    against {!Registry} by the caller. *)
+
+val collect : file:string -> Ppxlib.structure -> directive list
+(** All well-formed [dlint.allow] directives in the file, with the byte
+    range of the node each one is attached to. Malformed directives are
+    skipped here — rule P2 reports them. *)
+
+val apply :
+  directives:directive list ->
+  Diagnostic.t list ->
+  Diagnostic.t list * (Diagnostic.t * directive) list
+(** Partition diagnostics into (kept, suppressed): a diagnostic is
+    suppressed when some directive in the same file lists its rule and
+    its byte offset falls inside the directive's range. *)

@@ -10,7 +10,7 @@ let well_formed (module Q : Quorum_intf.S) ~n ~slots =
   List.for_all
     (fun members ->
       members <> []
-      && List.sort_uniq compare members = members
+      && List.sort_uniq Int.compare members = members
       && List.for_all (fun e -> e >= 1 && e <= n) members)
     qs
 

@@ -59,7 +59,7 @@ let quorum t ~slot =
            else [])
          t.rows)
   in
-  List.sort_uniq compare members
+  List.sort_uniq Int.compare members
 
 let distinct_quorums t =
   let nrows = List.length t.rows in

@@ -27,7 +27,7 @@ let quorum t ~slot =
   let row = e / t.side and col = e mod t.side in
   let row_members = List.init t.side (fun c -> (row * t.side) + c + 1) in
   let col_members = List.init t.side (fun r -> (r * t.side) + col + 1) in
-  List.sort_uniq compare (row_members @ col_members)
+  List.sort_uniq Int.compare (row_members @ col_members)
 
 let distinct_quorums t = t.n
 

@@ -15,7 +15,7 @@ let n t = t.n
 let quorum t ~slot =
   if slot < 0 then invalid_arg "Majority.quorum: slot must be >= 0";
   let start = slot mod t.n in
-  List.sort compare
+  List.sort Int.compare
     (List.init t.size (fun i -> ((start + i) mod t.n) + 1))
 
 let distinct_quorums t = t.n

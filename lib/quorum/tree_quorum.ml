@@ -60,4 +60,4 @@ let recovery_quorum t ~failed =
           | Some q -> Some (e :: q)
           | None -> None)
   in
-  Option.map (List.sort_uniq compare) (build 1)
+  Option.map (List.sort_uniq Int.compare) (build 1)

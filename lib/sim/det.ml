@@ -1,0 +1,19 @@
+(* Deterministic wrappers around Hashtbl iteration: snapshot, sort by
+   key, then visit. See det.mli for the invariant they protect. *)
+
+let sorted_bindings ~compare tbl =
+  let bindings =
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    [@dlint.allow
+      "D2: collection point for the sorted wrappers themselves; the list \
+       is canonicalised by the sort on the next line"])
+  in
+  (* Consing reversed Hashtbl.fold's visit order; undo it so the stable
+     sort keeps the most recent binding of a duplicated key first. *)
+  List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) (List.rev bindings)
+
+let sorted_iter ~compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~compare tbl)
+
+let sorted_fold ~compare f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ~compare tbl)

@@ -1,0 +1,32 @@
+(** Order-canonical iteration over hash tables.
+
+    [Hashtbl]'s own [iter] and [fold] visit bindings in unspecified hash
+    order, which silently couples trace and metric output to the table's
+    internal layout — exactly the kind of ambient nondeterminism the
+    repo's bit-identical-replay invariant (docs/MODEL.md) forbids and the
+    [dlint] rule D2 rejects. These helpers canonicalise: they snapshot
+    the bindings, sort them by key with an explicit comparator, and only
+    then iterate, so the visit order depends on the table's {e contents}
+    alone.
+
+    The comparator is required, not defaulted, so callers never fall
+    back to polymorphic [Stdlib.compare] by accident (rule D3). *)
+
+val sorted_bindings :
+  compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings sorted by key. For keys bound several times (via
+    [Hashtbl.add] shadowing) the sort is stable, so the most recent
+    binding of a key comes first, matching [Hashtbl.fold]'s per-key
+    order. *)
+
+val sorted_iter :
+  compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [Hashtbl.iter] in ascending key order. *)
+
+val sorted_fold :
+  compare:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** [Hashtbl.fold] in ascending key order. *)

@@ -21,7 +21,10 @@ let none =
   { crashes = []; drop = 0.; drop_links = []; duplicate = 0.; partitions = [] }
 
 let is_none t =
-  t.crashes = [] && t.drop = 0. && t.drop_links = [] && t.duplicate = 0.
+  t.crashes = []
+  && Float.equal t.drop 0.
+  && t.drop_links = []
+  && Float.equal t.duplicate 0.
   && t.partitions = []
 
 let valid_prob p = Float.is_finite p && p >= 0. && p <= 1.
@@ -114,9 +117,9 @@ let pp_clause ppf = function
 
 let clauses t =
   List.map (fun c -> `Crash c) t.crashes
-  @ (if t.drop <> 0. then [ `Drop t.drop ] else [])
+  @ (if not (Float.equal t.drop 0.) then [ `Drop t.drop ] else [])
   @ List.map (fun l -> `Drop_link l) t.drop_links
-  @ (if t.duplicate <> 0. then [ `Dup t.duplicate ] else [])
+  @ (if not (Float.equal t.duplicate 0.) then [ `Dup t.duplicate ] else [])
   @ List.map (fun p -> `Part p) t.partitions
 
 let pp ppf t =

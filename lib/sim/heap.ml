@@ -156,6 +156,6 @@ let to_sorted_list t =
     (fun (p1, s1, _) (p2, s2, _) ->
       if p1 < p2 then -1
       else if p1 > p2 then 1
-      else compare (s1 : int) s2)
+      else Int.compare s1 s2)
     items;
   Array.to_list (Array.map (fun (p, _, v) -> (p, v)) items)

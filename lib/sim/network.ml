@@ -235,8 +235,20 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
           | Fault.After d -> Either.Right (d, processor))
         faults.Fault.crashes
     in
-    let sort l = List.sort compare l in
-    (Array.of_list (sort at), Array.of_list (sort after))
+    (* (time, proc) and (delivery-count, proc) pairs, ordered by
+       trigger then victim — spelled out so the tie-break is typed. *)
+    let sort_at =
+      List.sort
+        (fun (t1, p1) (t2, p2) ->
+          match Float.compare t1 t2 with 0 -> Int.compare p1 p2 | c -> c)
+        at
+    and sort_after =
+      List.sort
+        (fun (d1, p1) (d2, p2) ->
+          match Int.compare d1 d2 with 0 -> Int.compare p1 p2 | c -> c)
+        after
+    in
+    (Array.of_list sort_at, Array.of_list sort_after)
   in
   let t =
     {
@@ -418,7 +430,7 @@ let sched_sweep_dead t s =
         (List.sort
            (fun a b ->
              let seq = function Pend_msg m -> m.pseq | Pend_timer p -> p.pseq in
-             compare (seq a) (seq b))
+             Int.compare (seq a) (seq b))
            dead)
     end
   end
@@ -433,7 +445,7 @@ let sched_enabled t s =
     List.sort
       (fun a b ->
         let seq = function Pend_msg m -> m.pseq | Pend_timer p -> p.pseq in
-        compare (seq a) (seq b))
+        Int.compare (seq a) (seq b))
       s.spending
   in
   let links = Hashtbl.create 16 in
@@ -452,7 +464,10 @@ let sched_enabled t s =
     List.sort
       (fun a b ->
         match (a, b) with
-        | Pend_msg x, Pend_msg y -> compare (x.psrc, x.pdst) (y.psrc, y.pdst)
+        | Pend_msg x, Pend_msg y -> (
+            match Int.compare x.psrc y.psrc with
+            | 0 -> Int.compare x.pdst y.pdst
+            | c -> c)
         | _ -> 0)
       !msgs
   in

@@ -1,0 +1,11 @@
+(* D1 fixture (bad): ambient nondeterminism. Parsed, never compiled. *)
+
+let roll () = Random.int 6
+
+let shuffle_seed () = Random.State.bits (Random.State.make_self_init ())
+
+let cpu_clock () = Sys.time ()
+
+let wall_clock () = Unix.gettimeofday ()
+
+let bucket x = Hashtbl.hash x mod 16

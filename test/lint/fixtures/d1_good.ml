@@ -1,0 +1,10 @@
+(* D1 fixture (good): all randomness through the seeded stream, time
+   through the simulated clock. *)
+
+let roll rng = Sim.Rng.int rng 6
+
+let independent_stream rng = Sim.Rng.split rng
+
+let now net = Sim.Network.now net
+
+let bucket ~n id = id mod n

@@ -1,0 +1,7 @@
+(* D2 fixture (bad): hash-order iteration feeding output. *)
+
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d -> %d\n" k v) tbl
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let stream tbl = Hashtbl.to_seq tbl

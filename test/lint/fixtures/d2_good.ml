@@ -1,0 +1,14 @@
+(* D2 fixture (good): iteration canonicalised by key order, or
+   justified where order provably cannot matter. *)
+
+let dump tbl =
+  Sim.Det.sorted_iter ~compare:Int.compare
+    (fun k v -> Printf.printf "%d -> %d\n" k v)
+    tbl
+
+let keys tbl =
+  Sim.Det.sorted_fold ~compare:Int.compare (fun k _ acc -> k :: acc) tbl []
+
+let cardinality tbl =
+  (Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+  [@dlint.allow "D2: counting bindings; every visit order yields the count"])

@@ -1,0 +1,14 @@
+(* D3 fixture (bad): polymorphic comparison on abstract values. *)
+
+let sort_ids ids = List.sort compare ids
+
+let dedup_priorities ps = List.sort_uniq Stdlib.compare ps
+
+let max_message a b = if Stdlib.compare a b >= 0 then a else b
+
+module Id_table = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal a b = a = b
+  let hash = Hashtbl.hash
+end)

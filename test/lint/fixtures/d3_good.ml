@@ -1,0 +1,13 @@
+(* D3 fixture (good): every comparator names its type. *)
+
+let sort_ids ids = List.sort Int.compare ids
+
+let dedup_priorities ps = List.sort_uniq Float.compare ps
+
+let sort_messages msgs = List.sort Message.compare msgs
+
+let order_pairs ps =
+  List.sort
+    (fun (a1, b1) (a2, b2) ->
+      match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+    ps

@@ -1,0 +1,11 @@
+(* D4 fixture (bad): representation tricks and exact float tests. *)
+
+let save oc v = Marshal.to_channel oc v []
+
+let load ic = Marshal.from_channel ic
+
+let cast x = Obj.magic x
+
+let at_unit_time t = t = 1.0
+
+let rate_unset d = d <> 0.

@@ -1,0 +1,9 @@
+(* D4 fixture (good): explicit formats and intentional float tests. *)
+
+let save oc v = Out_channel.output_string oc (Analysis.Json.to_string v)
+
+let at_unit_time t = Float.equal t 1.0
+
+let rate_unset d = not (Float.equal d 0.)
+
+let close_enough a b = Float.abs (a -. b) < 1e-9

@@ -1,0 +1,9 @@
+(* P1 fixture (bad): failures silenced instead of propagated. *)
+
+let inc t ~origin = try send t origin with _ -> 0
+
+let handle t msg = try step t msg with Counter_intf.Stall _ -> ()
+
+let handle_any t msg = try step t msg with e -> log e
+
+let poll t = match read t with Some v -> v | exception _ -> 0

@@ -1,0 +1,19 @@
+(* P1 fixture (good): specific handlers; Stall propagates (re-raised
+   after cleanup, or converted only via Counter_intf.result_of_inc). *)
+
+let inc t ~origin = try send t origin with Not_found -> 0
+
+let handle t msg =
+  try step t msg
+  with Counter.Counter_intf.Stall _ as e ->
+    cleanup t;
+    raise e
+
+let audited t msg =
+  try step t msg
+  with e ->
+    record t e;
+    raise e
+
+let inc_result t ~origin =
+  Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)

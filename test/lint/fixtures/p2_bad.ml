@@ -1,0 +1,11 @@
+(* P2 fixture (bad): suppressions with no recorded reason. *)
+
+let unused_helper = 1 [@@warning "-32"]
+
+[@@@warning "-26-27"]
+
+let vague = (fun x -> x) [@dlint.allow "D2"]
+
+let unknown_rule = 2 [@@dlint.allow "D9: no such rule"]
+
+let typo = 3 [@@dlint.alow "D3: attribute name misspelled"]

@@ -1,0 +1,11 @@
+(* P2 fixture (good): every suppression carries its reason. *)
+
+let unused_helper = 1
+[@@warning "-32"] [@@dlint.why "fixture: demonstrating a justified disable"]
+
+[@@@warning "-26-27"]
+[@@@dlint.why "fixture: module-wide disable, justified by adjacency"]
+
+let counted tbl =
+  (Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+  [@dlint.allow "D2: counting bindings; every visit order yields the count"])

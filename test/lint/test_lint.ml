@@ -1,0 +1,120 @@
+(* Golden tests for dlint: each bad fixture fires its rule at known
+   (rule, line) anchors, each good fixture is silent, suppression is
+   honoured and ledgered, and the repo's own lib/ + bin/ lint clean. *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let rule id =
+  match Lint.Registry.find id with
+  | Some r -> r
+  | None -> Alcotest.failf "rule %s not registered" id
+
+let fixture name = Filename.concat "fixtures" name
+
+(* Scan one fixture with one rule; returns post-suppression findings as
+   (rule, line) pairs plus the suppression ledger. *)
+let scan ~rules file =
+  let raw, directives = Lint.Driver.scan_source ~rules ~file (read_file file) in
+  let kept, suppressed = Lint.Suppress.apply ~directives raw in
+  (List.sort Lint.Diagnostic.order kept, suppressed, directives)
+
+let anchors diags =
+  List.map (fun d -> (d.Lint.Diagnostic.rule, d.Lint.Diagnostic.line)) diags
+
+let check_fixture rule_id name expected () =
+  let kept, _, _ = scan ~rules:[ rule rule_id ] (fixture name) in
+  Alcotest.(check (list (pair string int))) name expected (anchors kept)
+
+(* One bad + one good fixture per rule; expected anchors are the
+   snapshot. A bad fixture that stops firing (or fires elsewhere) is a
+   rule regression. *)
+let snapshot_cases =
+  [
+    ("D1", "d1_bad.ml", [ ("D1", 3); ("D1", 5); ("D1", 5); ("D1", 7); ("D1", 9); ("D1", 11) ]);
+    ("D1", "d1_good.ml", []);
+    ("D2", "d2_bad.ml", [ ("D2", 3); ("D2", 5); ("D2", 7) ]);
+    ("D2", "d2_good.ml", []);
+    ("D3", "d3_bad.ml", [ ("D3", 3); ("D3", 5); ("D3", 7); ("D3", 9) ]);
+    ("D3", "d3_good.ml", []);
+    ("D4", "d4_bad.ml", [ ("D4", 3); ("D4", 5); ("D4", 7); ("D4", 9); ("D4", 11) ]);
+    ("D4", "d4_good.ml", []);
+    ("P1", "p1_bad.ml", [ ("P1", 3); ("P1", 5); ("P1", 7); ("P1", 9) ]);
+    ("P1", "p1_good.ml", []);
+    ("P2", "p2_bad.ml", [ ("P2", 3); ("P2", 5); ("P2", 7); ("P2", 9); ("P2", 11) ]);
+    ("P2", "p2_good.ml", []);
+  ]
+
+let snapshot_tests =
+  List.map
+    (fun (rule_id, name, expected) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s %s" rule_id name)
+        `Quick
+        (check_fixture rule_id name expected))
+    snapshot_cases
+
+(* The justified allow in d2_good silences the Hashtbl.fold finding but
+   keeps it on the ledger, justification attached. *)
+let test_suppression_ledger () =
+  let kept, suppressed, directives =
+    scan ~rules:[ rule "D2" ] (fixture "d2_good.ml")
+  in
+  Alcotest.(check (list (pair string int))) "kept" [] (anchors kept);
+  Alcotest.(check int) "directives" 1 (List.length directives);
+  match suppressed with
+  | [ (d, dir) ] ->
+      Alcotest.(check string) "rule" "D2" d.Lint.Diagnostic.rule;
+      Alcotest.(check bool)
+        "justified" true
+        (String.length dir.Lint.Suppress.justification > 0)
+  | l -> Alcotest.failf "expected 1 suppressed finding, got %d" (List.length l)
+
+(* A file that does not parse is itself a finding (pseudo-rule E0). *)
+let test_syntax_error_is_finding () =
+  let raw, _ =
+    Lint.Driver.scan_source ~rules:Lint.Registry.all ~file:"broken.ml"
+      "let x = (in"
+  in
+  match raw with
+  | [ d ] -> Alcotest.(check string) "rule" "E0" d.Lint.Diagnostic.rule
+  | l -> Alcotest.failf "expected 1 E0 finding, got %d" (List.length l)
+
+let test_unknown_rule_is_usage_error () =
+  match Lint.Registry.resolve [ "D9" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown rule id must not resolve"
+
+let test_missing_path_is_usage_error () =
+  match Lint.Driver.run ~rules:Lint.Registry.all ~paths:[ "no/such/dir" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing path must be a usage error"
+
+(* The acceptance gate: the repo's own sources lint clean. The dune deps
+   copy lib/ and bin/ next to the sandbox, two levels up from here. *)
+let test_tree_is_clean () =
+  match
+    Lint.Driver.run ~rules:Lint.Registry.all ~paths:[ "../../lib"; "../../bin" ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      Alcotest.(check (list (pair string int)))
+        "findings" [] (anchors o.Lint.Driver.findings);
+      Alcotest.(check bool) "scanned whole tree" true (o.Lint.Driver.files > 40)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ("snapshots", snapshot_tests);
+      ( "machinery",
+        [
+          Alcotest.test_case "suppression ledger" `Quick test_suppression_ledger;
+          Alcotest.test_case "syntax error -> E0" `Quick
+            test_syntax_error_is_finding;
+          Alcotest.test_case "unknown rule -> usage" `Quick
+            test_unknown_rule_is_usage_error;
+          Alcotest.test_case "missing path -> usage" `Quick
+            test_missing_path_is_usage_error;
+          Alcotest.test_case "lib/ and bin/ lint clean" `Quick
+            test_tree_is_clean;
+        ] );
+    ]

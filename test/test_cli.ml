@@ -126,6 +126,60 @@ let test_chaos_output_shape () =
       Alcotest.(check bool) "baseline line" true (contains "baseline:"))
 
 (* ------------------------------------------------------------------ *)
+(* dcount lint *)
+
+let fixture name = "lint/fixtures/" ^ name
+
+let test_lint_exit_codes () =
+  check_exit "clean file = exit 0" 0 ("lint " ^ fixture "d1_good.ml");
+  check_exit "findings = exit 1" 1 ("lint " ^ fixture "d1_bad.ml");
+  check_exit "rule catalogue = exit 0" 0 "lint --list"
+
+let test_lint_usage_errors () =
+  check_exit "unknown rule = exit 2" 2
+    ("lint --rules d9 " ^ fixture "d1_good.ml");
+  check_exit "missing path = exit 2" 2 "lint no/such/path";
+  (* The test binary itself is always present and is certainly not .ml. *)
+  check_exit "non-.ml explicit file = exit 2" 2 "lint test_cli.exe"
+
+let test_lint_rule_selection () =
+  (* d1_bad only violates D1; selecting another rule must report clean. *)
+  check_exit "other rule on d1_bad = exit 0" 0
+    ("lint --rules d2 " ^ fixture "d1_bad.ml");
+  check_exit "matching rule fires" 1 ("lint --rules d1 " ^ fixture "d1_bad.ml")
+
+let test_lint_json_format () =
+  let out = Filename.concat tmp "dcount_cli_lint.json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Filename.quote dcount ^ " lint --format json "
+          ^ fixture "d2_bad.ml" ^ " > " ^ Filename.quote out ^ " 2>/dev/null")
+      in
+      Alcotest.(check int) "findings = exit 1" 1 code;
+      let s = In_channel.with_open_text out In_channel.input_all in
+      Alcotest.(check bool)
+        "json payload names the rule" true
+        (let needle = "\"D2\"" in
+         let nl = String.length needle and sl = String.length s in
+         let rec go i =
+           i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+         in
+         go 0))
+
+(* Usage errors exit 2 on every subcommand — including flags cmdliner
+   itself rejects, which it would otherwise report as 124. *)
+let test_usage_errors_exit_2 () =
+  check_exit "lint: bad --format = exit 2" 2
+    ("lint --format bogus " ^ fixture "d1_good.ml");
+  check_exit "lint: unknown flag = exit 2" 2 "lint --no-such-flag";
+  check_exit "mc: unknown flag = exit 2" 2 "mc --no-such-flag";
+  check_exit "chaos: unknown flag = exit 2" 2 "chaos --no-such-flag";
+  check_exit "unknown subcommand = exit 2" 2 "frobnicate"
+
+(* ------------------------------------------------------------------ *)
 (* shared plumbing *)
 
 let test_unknown_counter_rejected () =
@@ -165,9 +219,18 @@ let () =
           Alcotest.test_case "plain sweep" `Quick test_chaos_plain_sweep;
           Alcotest.test_case "output shape" `Quick test_chaos_output_shape;
         ] );
+      ( "lint",
+        [
+          Alcotest.test_case "exit codes" `Quick test_lint_exit_codes;
+          Alcotest.test_case "usage errors" `Quick test_lint_usage_errors;
+          Alcotest.test_case "rule selection" `Quick test_lint_rule_selection;
+          Alcotest.test_case "json format" `Quick test_lint_json_format;
+        ] );
       ( "plumbing",
         [
           Alcotest.test_case "unknown counter" `Quick
             test_unknown_counter_rejected;
+          Alcotest.test_case "usage errors exit 2" `Quick
+            test_usage_errors_exit_2;
         ] );
     ]

@@ -12,7 +12,6 @@ let check = Alcotest.check
 (* Random valid traces *)
 
 type spec = {
-  s_n : int;
   s_origin : int;
   (* per event: (src, dst, parent choice in [0, i-1] as an index shift) *)
   s_events : (int * int * int) list;
@@ -46,7 +45,7 @@ let spec_gen =
       list_size (int_range 0 40)
         (triple (int_range 1 n) (int_range 1 n) (int_range 0 1000))
     in
-    return { s_n = n; s_origin = origin; s_events = events })
+    return { s_origin = origin; s_events = events })
 
 (* ------------------------------------------------------------------ *)
 (* Comm_list: reference model straight from the paper's definition *)
