@@ -22,19 +22,32 @@ lint:
 test-chaos:
 	dune exec bin/dcount.exe -- chaos -c quorum-majority -n 9 --crashes 0,1,2,3,4 --ops 18 --seed 42 --check
 	dune exec bin/dcount.exe -- chaos -c retire-tree -n 8 --crashes 0,1,2 --ops 16 --check
+	dune exec bin/dcount.exe -- chaos -c retire-ft -n 8 --crashes 0,1,2,3 --ops 16 --check
+	dune exec bin/dcount.exe -- chaos -c retire-ft -n 8 --crashes 0,1,2,3,4 --ops 16 --recover --check
 
 # Model-checking smoke (docs/MODELCHECK.md): exhaustively verify the
 # central and retirement counters over every delivery interleaving at
 # small scale, prove the broken negative controls still violate, and
-# replay the stored race-reply counterexample — regenerating it must
-# reproduce test/data/race_reply_n3.mcs byte for byte.
+# replay the stored counterexamples — regenerating each must reproduce
+# its test/data/*.mcs byte for byte. The retire-ft crash-adversary rows
+# are depth-bounded (--max-depth + --allow-incomplete): the failure-aware
+# audit's timer interleavings make the full space intractable, so the
+# sweep asserts no-duplicate/linearizability/Hot-Spot over every
+# interleaving of the first 6 decisions (crash timing included) and a
+# deterministic tail beyond.
 test-mc:
 	dune exec bin/dcount.exe -- mc -c central -n 5
 	dune exec bin/dcount.exe -- mc -c retire-tree -n 8 -s explicit:1,8,4
+	dune exec bin/dcount.exe -- mc -c retire-ft -n 8 -s explicit:1,8,4
+	dune exec bin/dcount.exe -- mc -c retire-ft -n 8 -s explicit:2,5 --faults crash:1@99 --max-depth 6 --allow-incomplete
+	dune exec bin/dcount.exe -- mc -c retire-ft -n 8 -s explicit:2,5 --faults crash:5@99 --max-depth 6 --allow-incomplete
 	dune exec bin/dcount.exe -- mc -c amnesiac -n 4 --expect-violation
 	dune exec bin/dcount.exe -- mc -c race-reply -n 3 --expect-violation --counterexample-out /tmp/race_reply_n3.mcs
 	cmp /tmp/race_reply_n3.mcs test/data/race_reply_n3.mcs
 	dune exec bin/dcount.exe -- mc --replay test/data/race_reply_n3.mcs
+	dune exec bin/dcount.exe -- mc -c ft-no-handoff -n 8 -s explicit:2,5 --faults crash:1@99 --max-depth 6 --expect-violation --counterexample-out /tmp/ft_no_handoff_n8.mcs
+	cmp /tmp/ft_no_handoff_n8.mcs test/data/ft_no_handoff_n8.mcs
+	dune exec bin/dcount.exe -- mc --replay test/data/ft_no_handoff_n8.mcs
 
 bench:
 	dune exec bench/main.exe

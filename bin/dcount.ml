@@ -44,9 +44,10 @@ let faults_arg =
     & opt (some fault_conv) None
     & info [ "faults" ] ~docv:"PLAN"
         ~doc:
-          "Deterministic fault plan: clauses crash:P@T, crash:P@#D, drop:F, \
-           drop:S,D:F, dup:F and part:LO-HI@T0,T1 joined with '/', or \
-           $(b,none). Example: crash:3@1.5/drop:0.01.")
+          "Deterministic fault plan: clauses crash:P@T, crash:P@#D, \
+           recover:P@T, drop:F, drop:S,D:F, dup:F and part:LO-HI@T0,T1 \
+           joined with '/', or $(b,none). Example: \
+           crash:3@1.5/recover:3@40/drop:0.01.")
 
 let counter_arg =
   Arg.(
@@ -216,7 +217,12 @@ let run_cmd =
 (* chaos *)
 
 let chaos_cmd =
-  let run counter n seed delay crash_counts drop_rates dup ops check =
+  let contains ~sub s =
+    let ls = String.length s and lsub = String.length sub in
+    let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+    go 0
+  in
+  let run counter n seed delay crash_counts drop_rates dup ops check recover =
     let (module C : Counter.Counter_intf.S) = counter in
     let n = C.supported_n n in
     let ops = if ops <= 0 then 2 * n else ops in
@@ -230,6 +236,7 @@ let chaos_cmd =
       let completed = ref 0
       and stalled = ref 0
       and stalled_live = ref 0
+      and hard_stalls = ref 0
       and skipped = ref 0 in
       let last_stall = ref "" in
       let origin = ref 0 in
@@ -246,9 +253,16 @@ let chaos_cmd =
           | Counter.Counter_intf.Stalled reason ->
               incr stalled;
               if not (C.crashed c !origin) then incr stalled_live;
+              (* A stall blamed on the origin's own crash is inherent
+                 (the client died mid-request); anything else is a stall
+                 a failure-aware protocol is supposed to avoid. *)
+              if
+                (not (C.crashed c !origin))
+                && not (contains ~sub:"origin" reason)
+              then incr hard_stalls;
               last_stall := reason
       done;
-      (!completed, !stalled, !stalled_live, !skipped, !last_stall)
+      (!completed, !stalled, !stalled_live, !hard_stalls, !skipped, !last_stall)
     in
     (* Fault-free baseline: reference for added load, bottleneck shift and
        the delivery-count horizon the crash triggers are drawn from. *)
@@ -258,10 +272,18 @@ let chaos_cmd =
     let base_total = Sim.Metrics.total_messages base_metrics in
     let base_bproc, base_bload = Sim.Metrics.bottleneck base_metrics in
     let base_per_op = float_of_int base_total /. float_of_int (max 1 ops) in
+    (* Virtual-time span of the fault-free run — the horizon recovery
+       times are sampled from, so revivals land while work is going on. *)
+    let base_span =
+      List.fold_left
+        (fun acc t -> acc +. Sim.Trace.duration t)
+        0. (C.traces baseline)
+    in
     Format.printf
-      "chaos sweep: counter=%s n=%d ops=%d seed=%d dup=%g@.baseline: %d \
-       msgs (%.1f/op), bottleneck p%d(%d)@.@."
-      C.name n ops seed dup base_total base_per_op base_bproc base_bload;
+      "chaos sweep: counter=%s n=%d ops=%d seed=%d dup=%g recover=%b@.\
+       baseline: %d msgs (%.1f/op), bottleneck p%d(%d)@.@."
+      C.name n ops seed dup recover base_total base_per_op base_bproc
+      base_bload;
     Format.printf
       "%7s %6s  %-11s %7s %7s  %8s %8s  %-12s %s@." "crashes" "drop"
       "done/req" "skipped" "stalled" "msgs/op" "load+%" "bottleneck" "notes";
@@ -280,23 +302,57 @@ let chaos_cmd =
                 ~seed:(seed lxor (f * 7919) lxor ((di + 1) * 104729))
             in
             let perm = Sim.Rng.permutation rng n in
-            let crashes =
-              List.init (min f n) (fun i ->
-                  {
-                    Sim.Fault.processor = perm.(i) + 1;
-                    trigger =
-                      Sim.Fault.After (1 + Sim.Rng.int rng (max 1 base_total));
-                  })
+            (* Without --recover, crashes trigger on delivery counts (the
+               original sweep). With it, crashes move to virtual-time
+               triggers drawn from the fault-free horizon so each victim's
+               revival can be placed strictly after its death — a beat or
+               two of timeout (32.) later, while operations are still
+               running. *)
+            let crashes, recovers =
+              if not recover then
+                ( List.init (min f n) (fun i ->
+                      {
+                        Sim.Fault.processor = perm.(i) + 1;
+                        trigger =
+                          Sim.Fault.After
+                            (1 + Sim.Rng.int rng (max 1 base_total));
+                      }),
+                  [] )
+              else
+                let cells =
+                  List.init (min f n) (fun i ->
+                      let tc =
+                        Sim.Rng.float rng (Float.max 1. base_span)
+                      in
+                      ( {
+                          Sim.Fault.processor = perm.(i) + 1;
+                          trigger = Sim.Fault.At tc;
+                        },
+                        {
+                          Sim.Fault.processor = perm.(i) + 1;
+                          time = tc +. 32. +. Sim.Rng.float rng 64.;
+                        } ))
+                in
+                (List.map fst cells, List.map snd cells)
             in
             let faults =
-              { Sim.Fault.none with Sim.Fault.crashes; drop = d; duplicate = dup }
+              {
+                Sim.Fault.none with
+                Sim.Fault.crashes;
+                recovers;
+                drop = d;
+                duplicate = dup;
+              }
             in
             let c = C.create ~seed ?delay ~faults ~n () in
-            let completed, stalled, stalled_live, skipped, last_stall =
+            let completed, stalled, stalled_live, hard_stalls, skipped,
+                last_stall =
               run_ops c
             in
             let m = C.metrics c in
             let total = Sim.Metrics.total_messages m in
+            let emerg = Sim.Metrics.emergency_retirements m in
+            let recovered = Sim.Metrics.recoveries m in
             let bproc, bload = Sim.Metrics.bottleneck m in
             let attempted = ops - skipped in
             let per_op = float_of_int total /. float_of_int (max 1 attempted) in
@@ -306,12 +362,19 @@ let chaos_cmd =
               else 0.
             in
             let shifted = bproc <> base_bproc in
+            let notes =
+              (if emerg > 0 || recovered > 0 then
+                 [ Printf.sprintf "emerg=%d recovered=%d" emerg recovered ]
+               else [])
+              @
+              if stalled > 0 then [ "last stall: " ^ last_stall ] else []
+            in
             Format.printf
               "%7d %6.2f  %5d/%-5d %7d %7d  %8.1f %+7.0f%%  p%d(%d)%s %s@." f
               d completed attempted skipped stalled per_op added_pct bproc
               bload
               (if shifted then "*" else " ")
-              (if stalled > 0 then "last stall: " ^ last_stall else "");
+              (String.concat "; " notes);
             if check then begin
               if f = 0 && Float.equal d 0. && Float.equal dup 0. && completed <> ops
               then
@@ -329,6 +392,20 @@ let chaos_cmd =
                     "%s: %d live-origin stalls with %d crashes (f < n/2 must \
                      complete)"
                     C.name stalled_live f
+                  :: !check_failures;
+              (* The failure-aware retire tree promises to complete every
+                 live-origin inc when crashes stay below the overflow pool
+                 (2n by default, so every sweep row qualifies); only
+                 stalls blamed on the origin's own crash are excused. *)
+              if
+                C.name = "retire-ft" && Float.equal d 0.
+                && Float.equal dup 0. && hard_stalls > 0
+              then
+                check_failures :=
+                  Printf.sprintf
+                    "retire-ft: %d non-origin stalls with %d crashes \
+                     (crashes below the overflow pool must complete)"
+                    hard_stalls f
                   :: !check_failures
             end)
           drop_rates)
@@ -375,9 +452,20 @@ let chaos_cmd =
       & info [ "check" ]
           ~doc:
             "Assert completion bounds: the fault-free row completes every \
-             operation, and quorum counters complete every live-origin \
+             operation; quorum counters complete every live-origin \
              operation at drop 0 whenever fewer than half the processors \
-             crash. Exit 1 on violation.")
+             crash; retire-ft never stalls a live origin at drop 0. Exit \
+             1 on violation.")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Schedule every crash victim to rejoin (recover:P@T) at a \
+             time drawn from the fault-free run's virtual-time span; rows \
+             report emergency retirements and actual revivals in the \
+             notes column.")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -386,7 +474,7 @@ let chaos_cmd =
           completion rate, added message load and bottleneck shift.")
     Term.(
       const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ crashes_arg
-      $ drops_arg $ dup_arg $ ops_arg $ check_arg)
+      $ drops_arg $ dup_arg $ ops_arg $ check_arg $ recover_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)
@@ -616,7 +704,7 @@ let exhaustive_cmd =
 
 let mc_cmd =
   let run counter n seed faults schedule max_states max_depth prune
-      expect_violation cx_out replay_file sweep_all =
+      expect_violation allow_incomplete cx_out replay_file sweep_all =
     let config =
       {
         Mc.Explore.default_config with
@@ -730,7 +818,11 @@ let mc_cmd =
         | Mc.Explore.Exhausted_ok -> if expect_violation then exit 1
         | Mc.Explore.Violation_found _ ->
             if not expect_violation then exit 1
-        | Mc.Explore.Budget_exhausted -> exit 3)
+        | Mc.Explore.Budget_exhausted ->
+            (* A clean bounded run only counts as success when the caller
+               explicitly settled for bounded checking; a failed hunt
+               (--expect-violation) is never a success. *)
+            if expect_violation || not allow_incomplete then exit 3)
   in
   let max_states_arg =
     Arg.(
@@ -763,6 +855,17 @@ let mc_cmd =
           ~doc:
             "Invert the exit code: succeed only if a violation is found \
              (for negative-control counters).")
+  in
+  let allow_incomplete_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-incomplete" ]
+          ~doc:
+            "Exit 0 instead of 3 when the state or depth budget is \
+             exhausted without finding a violation — bounded model \
+             checking for protocols (e.g. the failure-aware retire tree \
+             under a crash adversary) whose full interleaving space is \
+             intractable.")
   in
   let cx_out_arg =
     Arg.(
@@ -819,7 +922,8 @@ let mc_cmd =
     Term.(
       const run $ counter_arg $ n_mc_arg $ seed_arg $ faults_arg
       $ schedule_arg $ max_states_arg $ max_depth_arg $ prune_arg
-      $ expect_violation_arg $ cx_out_arg $ replay_arg $ all_arg)
+      $ expect_violation_arg $ allow_incomplete_arg $ cx_out_arg
+      $ replay_arg $ all_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

@@ -5,6 +5,8 @@ let central : Counter.Counter_intf.counter = (module Central)
 let retire_tree_local : Counter.Counter_intf.counter =
   (module Core.Retire_local)
 
+let retire_ft : Counter.Counter_intf.counter = (module Core.Retire_ft)
+
 let static_tree : Counter.Counter_intf.counter = (module Static_tree)
 
 let combining : Counter.Counter_intf.counter = (module Combining_tree)
@@ -34,6 +36,7 @@ let all =
   [
     retire_tree;
     retire_tree_local;
+    retire_ft;
     central;
     static_tree;
     combining;
@@ -51,7 +54,9 @@ let amnesiac : Counter.Counter_intf.counter = (module Amnesiac)
 
 let race_reply : Counter.Counter_intf.counter = (module Race_reply)
 
-let broken = [ amnesiac; race_reply ]
+let ft_no_handoff : Counter.Counter_intf.counter = (module Ft_no_handoff)
+
+let broken = [ amnesiac; race_reply; ft_no_handoff ]
 
 let find name =
   List.find_opt

@@ -7,6 +7,10 @@ val retire_tree : Counter.Counter_intf.counter
 val retire_tree_local : Counter.Counter_intf.counter
 (** The strictly processor-local variant ({!Core.Retire_local}). *)
 
+val retire_ft : Counter.Counter_intf.counter
+(** The failure-aware retire tree with emergency retirement and rejoin
+    ({!Core.Retire_ft}). *)
+
 val central : Counter.Counter_intf.counter
 
 val static_tree : Counter.Counter_intf.counter
@@ -37,6 +41,10 @@ val amnesiac : Counter.Counter_intf.counter
 
 val race_reply : Counter.Counter_intf.counter
 (** Deliberately broken, order-sensitively ({!Race_reply}). *)
+
+val ft_no_handoff : Counter.Counter_intf.counter
+(** Deliberately broken under crashes: {!Core.Retire_ft} without the
+    emergency job-description handoff ({!Ft_no_handoff}). *)
 
 val broken : Counter.Counter_intf.counter list
 (** The deliberately broken counters — negative controls for the

@@ -57,7 +57,85 @@ let check ?(seed = 42) ~k () =
     violations = List.rev !violations;
   }
 
+type ft_report = {
+  base : report;
+  emergency_ops : int;
+  max_attempts : int;
+  max_retire_delta : int;
+  retire_violations : int;
+}
+
+let check_ft ?(seed = 42) ?faults ~k () =
+  let t = Retire_ft.create_with ~seed ?faults (Retire_ft.paper_config ~k) in
+  let tree = Retire_ft.tree t in
+  let inner = Tree.inner_count tree in
+  let n = Tree.n tree in
+  let snapshot () =
+    Array.init inner (fun id ->
+        (Retire_ft.retirements_of_node t id, Retire_ft.node_age t id))
+  in
+  let violations = ref [] in
+  let max_delta = ref 0 in
+  let emergency_ops = ref 0 in
+  let max_attempts = ref 1 in
+  let max_retire_delta = ref 0 in
+  let retire_violations = ref 0 in
+  for origin = 1 to n do
+    if not (Retire_ft.crashed t origin) then begin
+      let before = snapshot () in
+      ignore (Retire_ft.inc_result t ~origin);
+      let after = snapshot () in
+      (* Every attempt re-walks the request path, so the lemma's
+         constants hold per attempt: a non-retiring node ages at most
+         [bound] units per attempt, and no node retires more than once
+         per attempt (the Retirement Lemma) — with one attempt these are
+         exactly the fault-free statements. *)
+      let attempts = Retire_ft.last_attempts t in
+      if attempts > !max_attempts then max_attempts := attempts;
+      if Retire_ft.emergency_nodes t <> [] then incr emergency_ops;
+      for id = 0 to inner - 1 do
+        let retired_before, age_before = before.(id) in
+        let retired_after, age_after = after.(id) in
+        let retire_delta = retired_after - retired_before in
+        if retire_delta > !max_retire_delta then
+          max_retire_delta := retire_delta;
+        if retire_delta > attempts then incr retire_violations;
+        if retired_before = retired_after then begin
+          let delta = age_after - age_before in
+          if delta > !max_delta then max_delta := delta;
+          if delta > bound * attempts then
+            violations :=
+              {
+                op_index = origin - 1;
+                origin;
+                node = id;
+                age_before;
+                age_after;
+              }
+              :: !violations
+        end
+      done
+    end
+  done;
+  {
+    base =
+      {
+        k;
+        n;
+        ops = n;
+        bound;
+        max_delta = !max_delta;
+        violations = List.rev !violations;
+      };
+    emergency_ops = !emergency_ops;
+    max_attempts = !max_attempts;
+    max_retire_delta = !max_retire_delta;
+    retire_violations = !retire_violations;
+  }
+
 let holds r = r.violations = []
+
+let holds_ft r = r.base.violations = [] && r.retire_violations = 0
 
 let pp_report ppf r =
   Format.fprintf ppf "grow-old k=%d n=%d ops=%d bound=%d max_delta=%d %s" r.k

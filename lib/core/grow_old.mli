@@ -47,3 +47,33 @@ val check : ?seed:int -> k:int -> unit -> report
 val holds : report -> bool
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Under faults}
+
+    The failure-aware counter may need several request attempts per
+    operation (timeout, audit, retry), and every attempt re-walks the
+    path — so the lemma's constants are per attempt: a non-retiring node
+    ages at most [bound * attempts] within one operation, and no node
+    retires more than [attempts] times (the Retirement Lemma, crash- or
+    age-triggered alike). With one attempt both reduce to the fault-free
+    statements. *)
+
+type ft_report = {
+  base : report;  (** Age-bound verdict, [bound] scaled per attempt. *)
+  emergency_ops : int;
+      (** Operations during which an emergency retirement fired — assert
+          this is positive or the fault plan never exercised the
+          machinery. *)
+  max_attempts : int;  (** Most attempts any single operation needed. *)
+  max_retire_delta : int;
+      (** Most retirements of a single node within one operation. *)
+  retire_violations : int;
+      (** Node-operation pairs where retirements exceeded attempts. *)
+}
+
+val check_ft : ?seed:int -> ?faults:Sim.Fault.t -> k:int -> unit -> ft_report
+(** Like {!check} but over {!Retire_ft} under [faults], skipping origins
+    that are dead when their turn comes (their operations cannot be
+    issued). *)
+
+val holds_ft : ft_report -> bool

@@ -1,88 +1,17 @@
-type config = { arity : int; depth : int; retire_threshold : int }
+(* The paper's exact protocol, as a thin veneer over the shared engine in
+   Retire_plumbing (Retire_ft layers the failure-aware client over the
+   same engine). With no fault plan the plumbing's failure-aware fields
+   are inert and this module is observably identical — send for send —
+   to the pre-refactor implementation; the determinism goldens pin it. *)
 
-let min_threshold arity = arity + 2
+module P = Retire_plumbing
 
-let paper_config ~k =
-  if k < 1 then invalid_arg "Retire_counter.paper_config: k must be >= 1";
-  { arity = k; depth = k; retire_threshold = max (2 * k) (min_threshold k) }
+type config = P.config = { arity : int; depth : int; retire_threshold : int }
 
-let config_n cfg = Params.pow cfg.arity (cfg.depth + 1)
+let paper_config = P.paper_config
+let config_n = P.config_n
 
-(* Protocol messages. Every message is addressed to a processor but tagged
-   with the inner node (flat id) it concerns, because one processor can work
-   for the root and for one other inner node at the same time. All payloads
-   are O(log n) bits, as in the paper. *)
-type dest = To_node of int | To_leaf of int
-
-type payload =
-  | Inc of { origin : int; node : int }
-      (* an inc request travelling up; [node] is the intended handler *)
-  | Value of { value : int }  (* the root's answer to the origin leaf *)
-  | Handoff of { node : int; piece : piece }
-      (* one unit-sized piece of a retiring worker's job description *)
-  | New_worker of { about : int; worker : int; dest : dest }
-      (* "node [about] is now served by processor [worker]" *)
-
-and piece =
-  | Parent_id of int
-  | Child_id of int * int  (* child slot, processor id *)
-  | Counter_value of int  (* root handoff only *)
-
-let label = function
-  | Inc _ -> "inc"
-  | Value _ -> "val"
-  | Handoff _ -> "handoff"
-  | New_worker _ -> "new-worker"
-
-(* Message-length accounting, for the paper's "we are able to keep the
-   length of messages as short as O(log n) bits" claim. Two tag bits plus
-   the binary size of each field. *)
-let bits_needed v =
-  let v = max v 1 in
-  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
-  go 0 v
-
-let payload_bits = function
-  | Inc { origin; node } -> 2 + bits_needed origin + bits_needed node
-  | Value { value } -> 2 + bits_needed (value + 1)
-  | Handoff { node; piece } -> (
-      2 + bits_needed node
-      +
-      match piece with
-      | Parent_id p -> bits_needed p
-      | Child_id (slot, w) -> bits_needed (slot + 1) + bits_needed w
-      | Counter_value v -> bits_needed (v + 1))
-  | New_worker { about; worker; dest } -> (
-      2 + bits_needed about + bits_needed worker
-      + match dest with To_node n -> bits_needed n | To_leaf l -> bits_needed l)
-
-type node_state = {
-  flat : int;
-  level : int;
-  mutable worker : int;
-  mutable age : int;
-  mutable retirements : int;
-  mutable believed_parent_worker : int;  (* 0 for the root *)
-  believed_child_workers : int array;
-      (* processor ids; for bottom-level nodes these are the (fixed) leaf
-         ids themselves *)
-  interval_hi : int;  (* last reserved processor id; root: max_int *)
-}
-
-type t = {
-  cfg : config;
-  tree : Tree.t;
-  net : payload Sim.Network.t;
-  nodes : node_state array;
-  leaf_believed_parent : int array;  (* leaf-1 -> believed worker of parent *)
-  mutable value : int;
-  mutable completed_rev : (int * int * float) list;
-      (* (origin, value, completion time) for the current op/batch *)
-  mutable overflow_next : int;  (* next virtual processor id to hire *)
-  mutable traces_rev : Sim.Trace.t list;
-  mutable total_retirements : int;
-  mutable stale_forwards : int;
-}
+type t = P.t
 
 let name = "retire-tree"
 
@@ -92,216 +21,15 @@ let describe =
 
 let supported_n n = Params.round_up_n (max 1 n)
 
-(* ------------------------------------------------------------------ *)
-(* Construction                                                        *)
+let who = "Retire_counter"
 
-let make_nodes tree =
-  let inner = Tree.inner_count tree in
-  Array.init inner (fun flat ->
-      let level = Tree.level_of tree flat in
-      let worker, interval_hi =
-        if flat = Tree.root then (Ids.root_initial_worker, max_int)
-        else
-          let lo, hi =
-            Ids.interval tree ~level ~index:(Tree.index_of tree flat)
-          in
-          (lo, hi)
-      in
-      let believed_parent_worker =
-        match Tree.parent tree flat with
-        | None -> 0
-        | Some p ->
-            if p = Tree.root then Ids.root_initial_worker
-            else fst (Ids.interval_of_flat tree p)
-      in
-      let believed_child_workers =
-        if level = Tree.depth tree then
-          Array.of_list (Tree.leaf_children tree flat)
-        else
-          Array.of_list
-            (List.map
-               (fun c -> fst (Ids.interval_of_flat tree c))
-               (Tree.children tree flat))
-      in
-      {
-        flat;
-        level;
-        worker;
-        age = 0;
-        retirements = 0;
-        believed_parent_worker;
-        believed_child_workers;
-        interval_hi;
-      })
-
-(* ------------------------------------------------------------------ *)
-(* Protocol                                                            *)
-
-let rec handle st ~self ~src:_ payload =
-  match payload with
-  | Value { value } ->
-      st.completed_rev <-
-        (self, value, Sim.Network.now st.net) :: st.completed_rev
-  | Handoff _ ->
-      (* The job description for a fresh worker. State is already current
-         (the node record was updated when the retirement was issued); the
-         message exists so its cost is charged faithfully. Handoff pieces
-         do not age the fresh worker. *)
-      ()
-  | Inc { origin; node } ->
-      let nd = st.nodes.(node) in
-      if nd.worker <> self then begin
-        (* We retired while this message was in flight: forward it to the
-           current worker (the paper's constant-cost handshake). *)
-        st.stale_forwards <- st.stale_forwards + 1;
-        Sim.Network.send st.net ~src:self ~dst:nd.worker payload
-      end
-      else if nd.level = 0 then begin
-        Sim.Network.send st.net ~src:self ~dst:origin
-          (Value { value = st.value });
-        st.value <- st.value + 1;
-        nd.age <- nd.age + 2;
-        maybe_retire st nd
-      end
-      else begin
-        let parent =
-          match Tree.parent st.tree node with
-          | Some p -> p
-          | None -> assert false
-        in
-        Sim.Network.send st.net ~src:self ~dst:nd.believed_parent_worker
-          (Inc { origin; node = parent });
-        nd.age <- nd.age + 2;
-        maybe_retire st nd
-      end
-  | New_worker { about; worker; dest } -> (
-      match dest with
-      | To_leaf leaf -> st.leaf_believed_parent.(leaf - 1) <- worker
-      | To_node node ->
-          let nd = st.nodes.(node) in
-          if nd.worker <> self then begin
-            st.stale_forwards <- st.stale_forwards + 1;
-            Sim.Network.send st.net ~src:self ~dst:nd.worker payload
-          end
-          else begin
-            (if nd.believed_parent_worker <> 0 then
-               match Tree.parent st.tree node with
-               | Some p when p = about -> nd.believed_parent_worker <- worker
-               | _ -> ());
-            (if nd.level < Tree.depth st.tree then
-               let children = Tree.children st.tree node in
-               List.iteri
-                 (fun slot c ->
-                   if c = about then nd.believed_child_workers.(slot) <- worker)
-                 children);
-            nd.age <- nd.age + 1;
-            maybe_retire st nd
-          end)
-
-and maybe_retire st nd =
-  if nd.age >= st.cfg.retire_threshold then retire st nd
-
-and retire st nd =
-  let old_worker = nd.worker in
-  let successor =
-    if nd.flat = Tree.root then
-      (* The root walks 1, 2, 3, ...; beyond the processor universe it
-         hires overflow workers like everyone else. *)
-      if old_worker + 1 <= Tree.n st.tree then old_worker + 1
-      else begin
-        let v = st.overflow_next in
-        st.overflow_next <- v + 1;
-        v
-      end
-    else if old_worker + 1 <= nd.interval_hi then old_worker + 1
-    else begin
-      let v = st.overflow_next in
-      st.overflow_next <- v + 1;
-      v
-    end
-  in
-  nd.worker <- successor;
-  nd.age <- 0;
-  nd.retirements <- nd.retirements + 1;
-  st.total_retirements <- st.total_retirements + 1;
-  (* Handoff: arity+1 unit messages to the successor — the children ids,
-     plus the parent id (non-root) or the counter value (root, which
-     "saves the message that would inform the parent"). *)
-  Array.iteri
-    (fun slot child_worker ->
-      Sim.Network.send st.net ~src:old_worker ~dst:successor
-        (Handoff { node = nd.flat; piece = Child_id (slot, child_worker) }))
-    nd.believed_child_workers;
-  if nd.flat = Tree.root then
-    Sim.Network.send st.net ~src:old_worker ~dst:successor
-      (Handoff { node = nd.flat; piece = Counter_value st.value })
-  else
-    Sim.Network.send st.net ~src:old_worker ~dst:successor
-      (Handoff { node = nd.flat; piece = Parent_id nd.believed_parent_worker });
-  (* Announcements: the parent (non-root) and every child learn the new
-     worker id. Bottom-level nodes announce to their leaf children. *)
-  (if nd.flat <> Tree.root then
-     match Tree.parent st.tree nd.flat with
-     | Some p ->
-         Sim.Network.send st.net ~src:old_worker
-           ~dst:nd.believed_parent_worker
-           (New_worker { about = nd.flat; worker = successor; dest = To_node p })
-     | None -> assert false);
-  if nd.level = Tree.depth st.tree then
-    List.iter
-      (fun leaf ->
-        Sim.Network.send st.net ~src:old_worker ~dst:leaf
-          (New_worker { about = nd.flat; worker = successor; dest = To_leaf leaf }))
-      (Tree.leaf_children st.tree nd.flat)
-  else
-    List.iteri
-      (fun slot c ->
-        Sim.Network.send st.net ~src:old_worker
-          ~dst:nd.believed_child_workers.(slot)
-          (New_worker { about = nd.flat; worker = successor; dest = To_node c }))
-      (Tree.children st.tree nd.flat)
-
-(* ------------------------------------------------------------------ *)
-(* Public construction                                                 *)
-
-let create_with ?(seed = 42) ?delay ?faults cfg =
-  if cfg.arity < 1 then invalid_arg "Retire_counter: arity must be >= 1";
-  if cfg.depth < 0 then invalid_arg "Retire_counter: depth must be >= 0";
-  if cfg.retire_threshold < min_threshold cfg.arity then
-    invalid_arg
-      (Printf.sprintf
-         "Retire_counter: retire_threshold must be >= arity+2 = %d (or the \
-          retirement cascade need not terminate)"
-         (min_threshold cfg.arity));
-  let tree = Tree.create ~arity:cfg.arity ~depth:cfg.depth in
-  let n = Tree.n tree in
-  let net =
-    Sim.Network.create ~seed ?delay ?faults ~label ~bits:payload_bits ~n ()
-  in
-  let nodes = make_nodes tree in
-  let leaf_believed_parent =
-    Array.init n (fun i ->
-        let p = Tree.leaf_parent tree ~leaf:(i + 1) in
-        nodes.(p).worker)
-  in
-  let st =
-    {
-      cfg;
-      tree;
-      net;
-      nodes;
-      leaf_believed_parent;
-      value = 0;
-      completed_rev = [];
-      overflow_next = n + 1;
-      traces_rev = [];
-      total_retirements = 0;
-      stale_forwards = 0;
-    }
-  in
-  Sim.Network.set_handler net (fun ~self ~src payload ->
-      handle st ~self ~src payload);
+let install st =
+  Sim.Network.set_handler st.P.net (fun ~self ~src payload ->
+      P.handle st ~self ~src payload);
   st
+
+let create_with ?seed ?delay ?faults cfg =
+  install (P.create_state ?seed ?delay ?faults ~who cfg)
 
 let create ?seed ?delay ?faults ~n () =
   match Params.k_of_n_exact n with
@@ -313,166 +41,31 @@ let create ?seed ?delay ?faults ~n () =
             supported_n"
            n)
 
-let n t = Tree.n t.tree
-
-let config t = t.cfg
-
-let tree t = t.tree
-
-let value t = t.value
-
-let metrics t = Sim.Network.metrics t.net
-
-let traces t = List.rev t.traces_rev
-
-let node_worker t flat = t.nodes.(flat).worker
-
-let node_age t flat = t.nodes.(flat).age
-
-let retirements_of_node t flat = t.nodes.(flat).retirements
-
-let retirements_by_level t =
-  let acc = Array.make (Tree.depth t.tree + 1) 0 in
-  Array.iter (fun nd -> acc.(nd.level) <- acc.(nd.level) + nd.retirements) t.nodes;
-  acc
-
-let max_retirements_at_level t level =
-  Array.fold_left
-    (fun best nd -> if nd.level = level then max best nd.retirements else best)
-    0 t.nodes
-
-let total_retirements t = t.total_retirements
-
-let stale_forwards t = t.stale_forwards
-
-let max_message_bits t = Sim.Network.max_message_bits t.net
-
-let total_bits t = Sim.Network.total_bits t.net
-
-let believed_consistent t =
-  let ok = ref true in
-  Array.iter
-    (fun nd ->
-      (match Tree.parent t.tree nd.flat with
-      | None -> ()
-      | Some p ->
-          if nd.believed_parent_worker <> t.nodes.(p).worker then ok := false);
-      if nd.level < Tree.depth t.tree then
-        List.iteri
-          (fun slot c ->
-            if nd.believed_child_workers.(slot) <> t.nodes.(c).worker then
-              ok := false)
-          (Tree.children t.tree nd.flat))
-    t.nodes;
-  Array.iteri
-    (fun i believed ->
-      let p = Tree.leaf_parent t.tree ~leaf:(i + 1) in
-      if believed <> t.nodes.(p).worker then ok := false)
-    t.leaf_believed_parent;
-  !ok
-
-let check_origin t origin =
-  if origin < 1 || origin > n t then
-    invalid_arg "Retire_counter: origin out of range"
-
-let launch t ~origin =
-  let parent = Tree.leaf_parent t.tree ~leaf:origin in
-  Sim.Network.send t.net ~src:origin
-    ~dst:t.leaf_believed_parent.(origin - 1)
-    (Inc { origin; node = parent })
-
-let inc t ~origin =
-  check_origin t origin;
-  Sim.Network.begin_op t.net ~origin;
-  t.completed_rev <- [];
-  launch t ~origin;
-  ignore (Sim.Network.run_to_quiescence t.net);
-  let trace = Sim.Network.end_op t.net in
-  t.traces_rev <- trace :: t.traces_rev;
-  (* First completion for this origin: under duplication faults the value
-     can arrive twice; without faults there is exactly one. *)
-  match
-    List.find_opt (fun (o, _, _) -> o = origin) (List.rev t.completed_rev)
-  with
-  | Some (_, value, _) -> value
-  | None ->
-      raise
-        (Counter.Counter_intf.Stall
-           "Retire_counter.inc: no value returned (a worker on the path \
-            crashed or a message was lost)")
+let n = P.n
+let config = P.config
+let tree = P.tree
+let value = P.value
+let metrics = P.metrics
+let traces = P.traces
+let node_worker = P.node_worker
+let node_age = P.node_age
+let retirements_of_node = P.retirements_of_node
+let retirements_by_level = P.retirements_by_level
+let max_retirements_at_level = P.max_retirements_at_level
+let total_retirements = P.total_retirements
+let stale_forwards = P.stale_forwards
+let max_message_bits = P.max_message_bits
+let total_bits = P.total_bits
+let believed_consistent = P.believed_consistent
+let crashed = P.crashed
+let inc t ~origin = P.inc ~who t ~origin
 
 let inc_result t ~origin =
   Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
 
-let crashed t p = Sim.Network.crashed t.net p
+let run_batch t ~origins = P.run_batch ~who t ~origins
 
-let run_batch t ~origins =
-  List.iter (check_origin t) origins;
-  (match origins with
-  | [] -> invalid_arg "Retire_counter.run_batch: empty batch"
-  | o :: _ -> Sim.Network.begin_op t.net ~origin:o);
-  t.completed_rev <- [];
-  List.iter (fun origin -> launch t ~origin) origins;
-  ignore (Sim.Network.run_to_quiescence t.net);
-  let trace = Sim.Network.end_op t.net in
-  t.traces_rev <- trace :: t.traces_rev;
-  List.rev_map (fun (o, v, _) -> (o, v)) t.completed_rev
+let run_batch_timed t ?stagger ~origins () =
+  P.run_batch_timed ~who t ?stagger ~origins ()
 
-let run_batch_timed t ?(stagger = 0.) ~origins () =
-  List.iter (check_origin t) origins;
-  (match origins with
-  | [] -> invalid_arg "Retire_counter.run_batch_timed: empty batch"
-  | o :: _ -> Sim.Network.begin_op t.net ~origin:o);
-  t.completed_rev <- [];
-  let start = Sim.Network.now t.net in
-  let invoked = Hashtbl.create (List.length origins) in
-  List.iteri
-    (fun i origin ->
-      let at = start +. (float_of_int i *. stagger) in
-      Hashtbl.replace invoked origin at;
-      if Float.equal stagger 0. then launch t ~origin
-      else
-        Sim.Network.schedule_local t.net
-          ~delay:(float_of_int i *. stagger)
-          (fun () -> launch t ~origin))
-    origins;
-  ignore (Sim.Network.run_to_quiescence t.net);
-  let trace = Sim.Network.end_op t.net in
-  t.traces_rev <- trace :: t.traces_rev;
-  List.rev_map
-    (fun (origin, value, completed_at) ->
-      {
-        Counter.History.origin;
-        value;
-        invoked_at = Hashtbl.find invoked origin;
-        completed_at;
-      })
-    t.completed_rev
-
-let clone t =
-  let net = Sim.Network.clone_quiescent t.net in
-  let st =
-    {
-      cfg = t.cfg;
-      tree = t.tree;
-      net;
-      nodes =
-        Array.map
-          (fun nd ->
-            {
-              nd with
-              believed_child_workers = Array.copy nd.believed_child_workers;
-            })
-          t.nodes;
-      leaf_believed_parent = Array.copy t.leaf_believed_parent;
-      value = t.value;
-      completed_rev = t.completed_rev;
-      overflow_next = t.overflow_next;
-      traces_rev = t.traces_rev;
-      total_retirements = t.total_retirements;
-      stale_forwards = t.stale_forwards;
-    }
-  in
-  Sim.Network.set_handler net (fun ~self ~src payload ->
-      handle st ~self ~src payload);
-  st
+let clone t = install (P.clone_state t)

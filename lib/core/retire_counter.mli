@@ -42,7 +42,7 @@
       hires an overflow processor with identifier above [n], reported via
       {!Sim.Metrics.overflow_processors}. *)
 
-type config = {
+type config = Retire_plumbing.config = {
   arity : int;  (** Children per inner node; the paper's [k]. *)
   depth : int;  (** Deepest inner level; the paper's [k]. *)
   retire_threshold : int;

@@ -16,6 +16,8 @@ type report = {
   average_load : float;
   max_op_messages : int;
   overflow_processors : int;
+  emergency_retirements : int;
+  recoveries : int;
   mean_op_latency : float;
   max_op_latency : float;
 }
@@ -93,6 +95,8 @@ let run ?(seed = 42) ?delay ?faults (module C : Counter_intf.S) ~n ~schedule =
     average_load = Sim.Metrics.average_load metrics;
     max_op_messages;
     overflow_processors = Sim.Metrics.overflow_processors metrics;
+    emergency_retirements = Sim.Metrics.emergency_retirements metrics;
+    recoveries = Sim.Metrics.recoveries metrics;
     mean_op_latency;
     max_op_latency;
   }
@@ -117,6 +121,9 @@ let pp_report ppf r =
     r.hotspot_violations r.total_messages r.bottleneck_proc r.bottleneck_load
     r.average_load r.max_op_messages r.overflow_processors r.mean_op_latency
     r.max_op_latency;
+  if r.emergency_retirements > 0 || r.recoveries > 0 then
+    Format.fprintf ppf "@,emergency_retirements=%d recoveries=%d"
+      r.emergency_retirements r.recoveries;
   if r.stalled > 0 then
     Format.fprintf ppf "@,completed=%d/%d stalled=%d (first: %s)" r.completed
       r.ops r.stalled

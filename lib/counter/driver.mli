@@ -33,6 +33,10 @@ type report = {
   average_load : float;
   max_op_messages : int;  (** Largest single-operation message count. *)
   overflow_processors : int;  (** Replacement hires beyond processor [n]. *)
+  emergency_retirements : int;
+      (** Crashed roles re-staffed by a failure-aware counter's audit
+          (zero for fault-free runs and unaware protocols). *)
+  recoveries : int;  (** [recover:P\@T] clauses that fired during the run. *)
   mean_op_latency : float;
       (** Mean virtual time from an operation's start to its last
           delivery — the asynchronous-model time cost under the chosen

@@ -77,7 +77,11 @@ let reject_probabilistic (faults : Sim.Fault.t) =
   then
     invalid_arg
       "Mc.Explore: probabilistic fault clauses (drop/dup/partitions) cannot \
-       be model-checked; only crash victims are supported"
+       be model-checked; only crash victims are supported";
+  if faults.recovers <> [] then
+    invalid_arg
+      "Mc.Explore: recover clauses cannot be model-checked; the adversary \
+       re-decides crash times, so a fixed revival time has no meaning"
 
 (* The counter is created with the plan's crash victims re-triggered at
    [After max_int]: the network itself never fires them (so runs stay a
@@ -99,9 +103,15 @@ let execute (module C : Counter_intf.S) ~seed ~neutered ~n ~schedule ~victims
   let policy (choices : Sim.Network.choice array) =
     let base = Array.map Enabled.of_choice choices in
     let live = List.filter (fun p -> not (List.mem p !crashed)) victims in
+    (* Crash choices go first so depth-first order is crash-eager: the
+       interesting branches (victim dies before/between deliveries) are
+       reached immediately instead of after exhausting every benign
+       timer interleaving — with bounded budgets the late branches may
+       never be reached at all. *)
     let keys =
-      Array.append base
+      Array.append
         (Array.of_list (List.map (fun p -> Enabled.Crash p) live))
+        base
     in
     match (choose keys : Enabled.key) with
     | Enabled.Crash p ->
@@ -151,6 +161,32 @@ let is_each_once = function
   | Schedule.Each_once | Schedule.Each_once_shuffled -> true
   | _ -> false
 
+(* Completed values must rise strictly in completion order: operations
+   are sequential, so a later operation observing a smaller-or-equal
+   value than an earlier one is a linearizability violation (the
+   signature of a re-staffed counter role losing its state). *)
+let values_monotonic values =
+  let ok = ref true in
+  Array.iteri (fun i v -> if i > 0 && v <= values.(i - 1) then ok := false) values;
+  !ok
+
+(* Hot Spot Lemma under a crash adversary: the lemma is proven for
+   crash-free execution, so check it within crash-free segments — an
+   operation during which a fault fired breaks the chain (its own
+   intersection with either neighbour is excused), and an operation that
+   delivered no message at all (e.g. its origin was already dead) is
+   transparent rather than a break. *)
+let faulty_hotspot traces =
+  let segments =
+    List.fold_left
+      (fun segs t ->
+        if Sim.Trace.fault_count t > 0 then [] :: segs
+        else if Sim.Trace.message_count t = 0 then segs
+        else match segs with cur :: rest -> (t :: cur) :: rest | [] -> [ [ t ] ])
+      [ [] ] traces
+  in
+  List.concat_map (fun seg -> Hotspot.check (List.rev seg)) segments
+
 let check_properties ~config ~faulty ~schedule ~origins ~n exec =
   let values =
     Array.of_list (List.filter_map Counter_intf.outcome_value exec.outcomes)
@@ -159,9 +195,22 @@ let check_properties ~config ~faulty ~schedule ~origins ~n exec =
   let stalls = ops - Array.length values in
   if faulty then
     (* Crashes may legitimately stall operations and lose values (gaps),
-       so only the weakest guarantee is checkable: no duplicates. *)
-    if Driver.values_distinct values then None
-    else Some (Duplicate_value, "completed values " ^ string_of_values values)
+       so the full-permutation check does not apply; what must survive
+       any interleaving of crashes is: no duplicates, linearizable
+       completion order, and the Hot Spot Lemma on crash-free segments. *)
+    if not (Driver.values_distinct values) then
+      Some (Duplicate_value, "completed values " ^ string_of_values values)
+    else if not (values_monotonic values) then
+      Some
+        ( Not_linearizable,
+          "completed values " ^ string_of_values values
+          ^ " do not rise monotonically across sequential operations" )
+    else begin
+      match faulty_hotspot exec.traces with
+      | v :: _ ->
+          Some (Hotspot_violated, Format.asprintf "%a" Hotspot.pp_violation v)
+      | [] -> None
+    end
   else if stalls > 0 then
     let reason =
       match

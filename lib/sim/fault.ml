@@ -2,6 +2,8 @@ type trigger = At of float | After of int
 
 type crash = { processor : int; trigger : trigger }
 
+type recover = { processor : int; time : float }
+
 type partition = {
   lo : int;
   hi : int;
@@ -11,6 +13,7 @@ type partition = {
 
 type t = {
   crashes : crash list;
+  recovers : recover list;
   drop : float;
   drop_links : ((int * int) * float) list;
   duplicate : float;
@@ -18,10 +21,18 @@ type t = {
 }
 
 let none =
-  { crashes = []; drop = 0.; drop_links = []; duplicate = 0.; partitions = [] }
+  {
+    crashes = [];
+    recovers = [];
+    drop = 0.;
+    drop_links = [];
+    duplicate = 0.;
+    partitions = [];
+  }
 
 let is_none t =
   t.crashes = []
+  && t.recovers = []
   && Float.equal t.drop 0.
   && t.drop_links = []
   && Float.equal t.duplicate 0.
@@ -43,6 +54,19 @@ let validate t =
               err "crash:%d: delivery count must be >= 0" processor
           | At _ | After _ -> check_crashes rest
         end
+  in
+  let crashes_processor p =
+    List.exists (fun (c : crash) -> c.processor = p) t.crashes
+  in
+  let rec check_recovers = function
+    | [] -> Ok ()
+    | ({ processor; time } : recover) :: rest ->
+        if processor < 1 then err "recover: processor ids start at 1"
+        else if (not (Float.is_finite time)) || time < 0. then
+          err "recover:%d: time must be finite and >= 0" processor
+        else if not (crashes_processor processor) then
+          err "recover:%d: processor never crashes in this plan" processor
+        else check_recovers rest
   in
   let rec check_links = function
     | [] -> Ok ()
@@ -67,6 +91,9 @@ let validate t =
   match check_crashes t.crashes with
   | Error _ as e -> e
   | Ok () -> (
+      match check_recovers t.recovers with
+      | Error _ as e -> e
+      | Ok () ->
       if not (valid_prob t.drop) then err "drop: probability must be in [0, 1]"
       else if not (valid_prob t.duplicate) then
         err "dup: probability must be in [0, 1]"
@@ -95,7 +122,7 @@ module Int_set = Set.Make (Int)
 let crash_processors t =
   Int_set.elements
     (List.fold_left
-       (fun acc c -> Int_set.add c.processor acc)
+       (fun acc (c : crash) -> Int_set.add c.processor acc)
        Int_set.empty t.crashes)
 
 let crash_count t = List.length (crash_processors t)
@@ -109,6 +136,8 @@ let pp_clause ppf = function
       Format.fprintf ppf "crash:%d@@%g" processor time
   | `Crash { processor; trigger = After d } ->
       Format.fprintf ppf "crash:%d@@#%d" processor d
+  | `Recover ({ processor; time } : recover) ->
+      Format.fprintf ppf "recover:%d@@%g" processor time
   | `Drop p -> Format.fprintf ppf "drop:%g" p
   | `Drop_link ((src, dst), p) -> Format.fprintf ppf "drop:%d,%d:%g" src dst p
   | `Dup p -> Format.fprintf ppf "dup:%g" p
@@ -117,6 +146,7 @@ let pp_clause ppf = function
 
 let clauses t =
   List.map (fun c -> `Crash c) t.crashes
+  @ List.map (fun r -> `Recover r) t.recovers
   @ (if not (Float.equal t.drop 0.) then [ `Drop t.drop ] else [])
   @ List.map (fun l -> `Drop_link l) t.drop_links
   @ (if not (Float.equal t.duplicate 0.) then [ `Dup t.duplicate ] else [])
@@ -166,6 +196,18 @@ let of_string s =
                           {
                             t with
                             crashes = t.crashes @ [ { processor; trigger } ];
+                          }
+                    | _ -> fail ())
+                | None -> fail ())
+            | "recover" -> (
+                match split2 '@' rest with
+                | Some (p, at) -> (
+                    match (int_of p, float_of at) with
+                    | Some processor, Some time ->
+                        Ok
+                          {
+                            t with
+                            recovers = t.recovers @ [ { processor; time } ];
                           }
                     | _ -> fail ())
                 | None -> fail ())

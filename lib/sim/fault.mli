@@ -19,6 +19,7 @@
     none                    the empty plan
     crash:P@T               crash processor P at virtual time T
     crash:P@#D              crash processor P after D total deliveries
+    recover:P@T             revive crashed processor P at virtual time T
     drop:F                  drop every message with probability F
     drop:S,D:F              drop messages on link S->D with probability F
     dup:F                   duplicate every message with probability F
@@ -34,6 +35,13 @@ type trigger =
 
 type crash = { processor : int; trigger : trigger }
 
+type recover = { processor : int; time : float }
+(** Revival of a crashed processor at a virtual time. The processor
+    rejoins with its protocol role already reassigned (crash-recovery
+    model, see docs/FAULTS.md): failure-aware protocols return it to
+    their spare-processor pool instead of letting it resume a stale
+    role. A plan may re-crash a processor after it recovers. *)
+
 type partition = {
   lo : int;
   hi : int;  (** one side of the cut: processors [lo .. hi] inclusive *)
@@ -43,6 +51,9 @@ type partition = {
 
 type t = {
   crashes : crash list;
+  recovers : recover list;
+      (** revivals; {!validate} rejects a recovery for a processor the
+          plan never crashes *)
   drop : float;  (** global per-message drop probability *)
   drop_links : ((int * int) * float) list;
       (** per-link overrides of [drop], keyed by (src, dst) *)
@@ -61,7 +72,10 @@ val is_none : t -> bool
 val validate : t -> (t, string) result
 (** Check the plan is well-formed: probabilities within [0, 1], processor
     ids positive, partition ranges non-empty with [from_time <= heal_time],
-    triggers non-negative. {!of_string} validates automatically. *)
+    triggers non-negative, and every [recover] clause naming a processor
+    that some [crash] clause kills (recovering a never-crashed processor
+    is a typed [Error], not a silent no-op). {!of_string} validates
+    automatically. *)
 
 val drop_on : t -> src:int -> dst:int -> float
 (** Effective drop probability for one message on a directed link: the

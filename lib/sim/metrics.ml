@@ -6,6 +6,8 @@ type t = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable crashes : int;
+  mutable recoveries : int;
+  mutable emergency_retirements : int;
 }
 
 let create ~n =
@@ -17,6 +19,8 @@ let create ~n =
     dropped = 0;
     duplicated = 0;
     crashes = 0;
+    recoveries = 0;
+    emergency_retirements = 0;
   }
 
 let n t = t.n
@@ -49,11 +53,20 @@ let on_duplicate t = t.duplicated <- t.duplicated + 1
 
 let on_crash t = t.crashes <- t.crashes + 1
 
+let on_recover t = t.recoveries <- t.recoveries + 1
+
+let on_emergency_retirement t =
+  t.emergency_retirements <- t.emergency_retirements + 1
+
 let dropped t = t.dropped
 
 let duplicated t = t.duplicated
 
 let crashes t = t.crashes
+
+let recoveries t = t.recoveries
+
+let emergency_retirements t = t.emergency_retirements
 
 let sent t p = if p < Array.length t.sent then t.sent.(p) else 0
 
@@ -124,6 +137,13 @@ let checksum t =
     mix t.duplicated;
     mix t.crashes
   end;
+  (* Recovery-era counters get their own guarded block so every pre-existing
+     run — fault-free or crash-only — keeps its historical checksum. *)
+  if t.recoveries <> 0 || t.emergency_retirements <> 0 then begin
+    mix 0x7265766976;  (* "reviv" *)
+    mix t.recoveries;
+    mix t.emergency_retirements
+  end;
   !h land max_int
 
 let reset t =
@@ -132,7 +152,9 @@ let reset t =
   t.total <- 0;
   t.dropped <- 0;
   t.duplicated <- 0;
-  t.crashes <- 0
+  t.crashes <- 0;
+  t.recoveries <- 0;
+  t.emergency_retirements <- 0
 
 let copy t =
   {
@@ -143,6 +165,8 @@ let copy t =
     dropped = t.dropped;
     duplicated = t.duplicated;
     crashes = t.crashes;
+    recoveries = t.recoveries;
+    emergency_retirements = t.emergency_retirements;
   }
 
 let merge_into ~dst src =
@@ -159,7 +183,10 @@ let merge_into ~dst src =
   dst.total <- dst.total + src.total;
   dst.dropped <- dst.dropped + src.dropped;
   dst.duplicated <- dst.duplicated + src.duplicated;
-  dst.crashes <- dst.crashes + src.crashes
+  dst.crashes <- dst.crashes + src.crashes;
+  dst.recoveries <- dst.recoveries + src.recoveries;
+  dst.emergency_retirements <-
+    dst.emergency_retirements + src.emergency_retirements
 
 let pp_summary ppf t =
   let p, b = bottleneck t in
@@ -169,4 +196,7 @@ let pp_summary ppf t =
     (overflow_processors t);
   if t.dropped <> 0 || t.duplicated <> 0 || t.crashes <> 0 then
     Format.fprintf ppf " dropped=%d duplicated=%d crashed=%d" t.dropped
-      t.duplicated t.crashes
+      t.duplicated t.crashes;
+  if t.recoveries <> 0 || t.emergency_retirements <> 0 then
+    Format.fprintf ppf " recovered=%d emergency_retired=%d" t.recoveries
+      t.emergency_retirements

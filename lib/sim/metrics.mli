@@ -33,7 +33,17 @@ val on_duplicate : t -> unit
 (** Charge one spurious extra delivery injected by the fault layer. *)
 
 val on_crash : t -> unit
-(** Record one processor crash (each processor crashes at most once). *)
+(** Record one processor crash (a processor crashes at most once per life:
+    a second crash needs an intervening {!on_recover}). *)
+
+val on_recover : t -> unit
+(** Record one crashed processor rejoining ([recover:P@T] firing). *)
+
+val on_emergency_retirement : t -> unit
+(** Record one crash-triggered role reassignment: a failure-aware protocol
+    retired a dead (or deposed) worker's role to a fresh processor outside
+    the normal age-triggered retirement path. Charged by the protocol, not
+    the network. *)
 
 val dropped : t -> int
 (** Messages the fault layer discarded (never delivered). Their sends are
@@ -44,7 +54,13 @@ val duplicated : t -> int
     to the destination on delivery. *)
 
 val crashes : t -> int
-(** Processors crash-stopped so far. *)
+(** Crash events so far (a recover-then-re-crash counts twice). *)
+
+val recoveries : t -> int
+(** Crashed processors revived so far. *)
+
+val emergency_retirements : t -> int
+(** Crash-triggered role reassignments recorded by the protocol. *)
 
 val sent : t -> int -> int
 (** Messages sent by a processor so far. *)
@@ -84,7 +100,10 @@ val checksum : t -> int
     checksums iff their complete load vectors are identical — the compact
     golden value the determinism regression tests pin. The fault counters
     ({!dropped}, {!duplicated}, {!crashes}) are mixed in only when one of
-    them is non-zero, so fault-free runs keep their historical values. *)
+    them is non-zero, so fault-free runs keep their historical values; the
+    recovery-era counters ({!recoveries}, {!emergency_retirements}) get the
+    same treatment in their own guarded block, preserving crash-only
+    checksums too. *)
 
 val reset : t -> unit
 

@@ -149,8 +149,12 @@ type 'msg t = {
          zero Rng draws are made), keeping Fault.none runs bit-identical;
          flipped on by a plan or by a manual [crash] *)
   mutable crashed_tbl : bool array;  (* index = processor id; grows *)
-  time_crashes : (float * int) array;  (* (At trigger, processor), sorted *)
-  mutable time_crash_idx : int;
+  mutable recovered_tbl : bool array;  (* ever recovered; index = id; grows *)
+  time_events : (float * int * int) array;
+      (* (At trigger, kind, processor) with kind 0 = crash, 1 = recover,
+         sorted by time then kind then processor — a crash and a recovery
+         of the same processor at the same instant apply crash-first *)
+  mutable time_event_idx : int;
   count_crashes : (int * int) array;  (* (After trigger, processor), sorted *)
   mutable count_crash_idx : int;
   mutable sched : 'msg sched option;
@@ -171,32 +175,61 @@ let record_fault t ~src ~dst kind =
 
 let crashed t p = p >= 0 && p < Array.length t.crashed_tbl && t.crashed_tbl.(p)
 
+let recovered t p =
+  p >= 0 && p < Array.length t.recovered_tbl && t.recovered_tbl.(p)
+
+let ever_crashed t p = crashed t p || recovered t p
+
+let grown tbl p =
+  let cap = Array.length tbl in
+  if p < cap then tbl
+  else begin
+    let tbl' = Array.make (max (p + 1) (2 * max cap 8)) false in
+    Array.blit tbl 0 tbl' 0 cap;
+    tbl'
+  end
+
 let crash t p =
   if p < 1 then invalid_arg "Network.crash: ids start at 1";
   if not (crashed t p) then begin
     t.faults_active <- true;
-    let cap = Array.length t.crashed_tbl in
-    if p >= cap then begin
-      let tbl = Array.make (max (p + 1) (2 * max cap 8)) false in
-      Array.blit t.crashed_tbl 0 tbl 0 cap;
-      t.crashed_tbl <- tbl
-    end;
+    t.crashed_tbl <- grown t.crashed_tbl p;
     t.crashed_tbl.(p) <- true;
     Metrics.on_crash t.metrics;
     record_fault t ~src:p ~dst:p Trace.Crashed
   end
 
-(* Crash triggers are applied between deliveries: time triggers fire
-   before the first event at or past their instant, count triggers once
-   the delivery total reaches them. *)
+let recover t p =
+  if p < 1 then invalid_arg "Network.recover: ids start at 1";
+  (* Reviving a processor that is not down is a no-op, so a plan whose
+     recovery time lands before its crash time degrades gracefully. *)
+  if crashed t p then begin
+    t.crashed_tbl.(p) <- false;
+    t.recovered_tbl <- grown t.recovered_tbl p;
+    t.recovered_tbl.(p) <- true;
+    Metrics.on_recover t.metrics;
+    record_fault t ~src:p ~dst:p Trace.Recovered
+  end
+
+let recovered_processors t =
+  let acc = ref [] in
+  for p = Array.length t.recovered_tbl - 1 downto 1 do
+    if t.recovered_tbl.(p) && not (crashed t p) then acc := p :: !acc
+  done;
+  !acc
+
+(* Crash/recover triggers are applied between deliveries: time triggers
+   fire before the first event at or past their instant, count triggers
+   once the delivery total reaches them. *)
 let apply_due_crashes t ~at =
   while
-    t.time_crash_idx < Array.length t.time_crashes
-    && fst t.time_crashes.(t.time_crash_idx) <= at
+    t.time_event_idx < Array.length t.time_events
+    && (let time, _, _ = t.time_events.(t.time_event_idx) in
+        time <= at)
   do
-    let _, p = t.time_crashes.(t.time_crash_idx) in
-    t.time_crash_idx <- t.time_crash_idx + 1;
-    crash t p
+    let _, kind, p = t.time_events.(t.time_event_idx) in
+    t.time_event_idx <- t.time_event_idx + 1;
+    if kind = 0 then crash t p else recover t p
   done;
   while
     t.count_crash_idx < Array.length t.count_crashes
@@ -226,21 +259,31 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
   (match Fault.validate faults with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Network.create: bad fault plan: " ^ e));
-  let time_crashes, count_crashes =
+  let time_events, count_crashes =
     let at, after =
       List.partition_map
         (fun { Fault.processor; trigger } ->
           match trigger with
-          | Fault.At time -> Either.Left (time, processor)
+          | Fault.At time -> Either.Left (time, 0, processor)
           | Fault.After d -> Either.Right (d, processor))
         faults.Fault.crashes
     in
-    (* (time, proc) and (delivery-count, proc) pairs, ordered by
-       trigger then victim — spelled out so the tie-break is typed. *)
+    let at =
+      at
+      @ List.map
+          (fun ({ processor; time } : Fault.recover) -> (time, 1, processor))
+          faults.Fault.recovers
+    in
+    (* (time, kind, proc) and (delivery-count, proc) tuples, ordered by
+       trigger then kind (crash before recover) then victim — spelled out
+       so the tie-break is typed. *)
     let sort_at =
       List.sort
-        (fun (t1, p1) (t2, p2) ->
-          match Float.compare t1 t2 with 0 -> Int.compare p1 p2 | c -> c)
+        (fun (t1, k1, p1) (t2, k2, p2) ->
+          match Float.compare t1 t2 with
+          | 0 -> (
+              match Int.compare k1 k2 with 0 -> Int.compare p1 p2 | c -> c)
+          | c -> c)
         at
     and sort_after =
       List.sort
@@ -272,8 +315,9 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
       faults;
       faults_active = not (Fault.is_none faults);
       crashed_tbl = [||];
-      time_crashes;
-      time_crash_idx = 0;
+      recovered_tbl = [||];
+      time_events;
+      time_event_idx = 0;
       count_crashes;
       count_crash_idx = 0;
       sched =
@@ -651,8 +695,9 @@ let clone_quiescent t =
     faults = t.faults;
     faults_active = t.faults_active;
     crashed_tbl = Array.copy t.crashed_tbl;
-    time_crashes = t.time_crashes;
-    time_crash_idx = t.time_crash_idx;
+    recovered_tbl = Array.copy t.recovered_tbl;
+    time_events = t.time_events;
+    time_event_idx = t.time_event_idx;
     count_crashes = t.count_crashes;
     count_crash_idx = t.count_crash_idx;
     sched =

@@ -167,6 +167,30 @@ val crash : 'msg t -> int -> unit
     Idempotent. Counted in {!Metrics.crashes} and annotated on the open
     trace. Works even on a network created without a fault plan. *)
 
+val recover : 'msg t -> int -> unit
+(** Revive a crashed processor immediately (the [recover:P@T] clause calls
+    this when virtual time reaches [T]): its handler runs again and
+    messages flow to and from it. A no-op when the processor is not
+    currently down. Counted in {!Metrics.recoveries} and annotated on the
+    open trace. Recovery restores {e delivery}, not state: any protocol
+    role the processor held when it crashed is gone, and failure-aware
+    protocols must return it to their spare pool rather than let it resume
+    a stale role (see {!recovered_processors}). Messages that were already
+    dropped while it was down stay dropped. *)
+
+val recovered : 'msg t -> int -> bool
+(** Whether a processor has recovered at least once (it may have crashed
+    again since — check {!crashed}). *)
+
+val ever_crashed : 'msg t -> int -> bool
+(** Whether a processor has crashed at any point: currently down, or alive
+    again after a recovery. Failure-aware protocols use this to refuse to
+    trust state a processor held before its first crash. *)
+
+val recovered_processors : 'msg t -> int list
+(** Processors that have recovered and are currently alive, ascending —
+    the rejoin pool a failure-aware allocator draws fresh workers from. *)
+
 val total_bits : 'msg t -> int
 (** Sum of payload sizes of all sent messages (per the [bits] function
     given at {!create}). *)

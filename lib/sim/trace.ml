@@ -7,7 +7,7 @@ type event = {
   parent : int;
 }
 
-type fault_kind = Dropped | Duplicated | Crashed
+type fault_kind = Dropped | Duplicated | Crashed | Recovered
 
 type fault = { fault_time : float; fault_src : int; fault_dst : int; kind : fault_kind }
 
@@ -55,6 +55,7 @@ let fault_kind_label = function
   | Dropped -> "dropped"
   | Duplicated -> "duplicated"
   | Crashed -> "crashed"
+  | Recovered -> "recovered"
 
 let duration t =
   if t.count = 0 then 0. else t.events_arr.(t.count - 1).time -. t.start_time

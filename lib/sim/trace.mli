@@ -31,6 +31,7 @@ type fault_kind =
   | Dropped  (** lost in transit (random drop, partition cut, dead peer) *)
   | Duplicated  (** a spurious extra copy was injected *)
   | Crashed  (** a processor crash-stopped ([fault_src = fault_dst]) *)
+  | Recovered  (** a crashed processor rejoined ([fault_src = fault_dst]) *)
 
 type fault = {
   fault_time : float;

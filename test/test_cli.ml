@@ -90,6 +90,51 @@ let test_mc_crash_faults () =
   check_exit "adversarial crash exploration" 0
     "mc -c central -n 3 --faults crash:1@99"
 
+let test_mc_retire_ft () =
+  (* Fault-free, the failure-aware tree is bit-identical to retire-tree,
+     so the same explicit schedule exhausts. *)
+  check_exit "retire-ft fault-free" 0 "mc -c retire-ft -n 8 -s explicit:1,8,4";
+  (* Under a crash adversary the audit's timer interleavings are
+     intractable exhaustively: without --allow-incomplete the bounded
+     sweep reports exit 3, with it the clean bounded verdict is 0. *)
+  check_exit "crash adversary, bounded = exit 3" 3
+    "mc -c retire-ft -n 8 -s explicit:2 --faults crash:1@99 --max-depth 4 \
+     --max-states 2000";
+  check_exit "--allow-incomplete accepts the bounded verdict" 0
+    "mc -c retire-ft -n 8 -s explicit:2 --faults crash:1@99 --max-depth 4 \
+     --max-states 2000 --allow-incomplete";
+  (* A failed hunt is never a success, bounded or not. *)
+  check_exit "--expect-violation still fails on budget" 3
+    "mc -c retire-ft -n 8 -s explicit:2 --faults crash:1@99 --max-depth 4 \
+     --max-states 2000 --allow-incomplete --expect-violation";
+  (* recover clauses stay rejected: revival times are wall-clock, which
+     the decision-sequence exploration cannot re-derive. *)
+  let code =
+    run "mc -c retire-ft -n 8 --faults crash:1@99/recover:1@120"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "recover plan rejected (exit %d)" code)
+    true
+    (code <> 0 && code <> 1 && code <> 3)
+
+let test_mc_ft_no_handoff_stored () =
+  let out = Filename.concat tmp "dcount_cli_ft_cx.mcs" in
+  (try Sys.remove out with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      check_exit "crash adversary finds the duplicate" 0
+        ("mc -c ft-no-handoff -n 8 -s explicit:2,5 --faults crash:1@99 \
+          --max-depth 6 --expect-violation --counterexample-out "
+        ^ Filename.quote out);
+      let slurp p = In_channel.with_open_text p In_channel.input_all in
+      Alcotest.(check string)
+        "canonical bytes match the stored negative control"
+        (slurp "data/ft_no_handoff_n8.mcs")
+        (slurp out));
+  check_exit "stored counterexample replays" 0
+    "mc --replay data/ft_no_handoff_n8.mcs"
+
 (* ------------------------------------------------------------------ *)
 (* dcount chaos *)
 
@@ -101,6 +146,31 @@ let test_chaos_check_ok () =
 
 let test_chaos_plain_sweep () =
   check_exit "sweep without --check" 0 "chaos -c retire-tree -n 8 --crashes 0,1"
+
+let test_chaos_recover () =
+  check_exit "retire-ft --recover --check" 0
+    "chaos -c retire-ft -n 8 --crashes 0,2 --recover --check";
+  (* --recover output contract: rows report emergency retirements and
+     actual revivals; the header echoes the flag. *)
+  let out = Filename.concat tmp "dcount_cli_chaos_rec.txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Filename.quote dcount
+          ^ " chaos -c retire-ft -n 8 --crashes 2 --recover --check > "
+          ^ Filename.quote out ^ " 2>/dev/null")
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      let s = In_channel.with_open_text out In_channel.input_all in
+      let contains needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "recover flag echoed" true (contains "recover=true");
+      Alcotest.(check bool) "revivals reported" true (contains "recovered="))
 
 let test_chaos_output_shape () =
   (* Smoke the stdout contract the docs quote: the check line and the
@@ -212,11 +282,15 @@ let () =
           Alcotest.test_case "probabilistic rejected" `Quick
             test_mc_probabilistic_faults_rejected;
           Alcotest.test_case "crash faults" `Quick test_mc_crash_faults;
+          Alcotest.test_case "retire-ft bounded" `Quick test_mc_retire_ft;
+          Alcotest.test_case "ft-no-handoff stored" `Quick
+            test_mc_ft_no_handoff_stored;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "--check ok" `Quick test_chaos_check_ok;
           Alcotest.test_case "plain sweep" `Quick test_chaos_plain_sweep;
+          Alcotest.test_case "--recover" `Quick test_chaos_recover;
           Alcotest.test_case "output shape" `Quick test_chaos_output_shape;
         ] );
       ( "lint",

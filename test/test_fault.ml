@@ -34,11 +34,14 @@ let test_parse_round_trips () =
       "none";
       "crash:3@1.5";
       "crash:2@#10";
+      "crash:3@1.5/recover:3@9";
+      "crash:2@#10/recover:2@12.5/recover:2@40";
       "drop:0.25";
       "drop:1,2:0.5";
       "dup:0.1";
       "part:1-4@2,10";
       "crash:3@1.5/crash:7@#40/drop:0.01/drop:2,5:1/dup:0.05/part:1-4@2,10";
+      "crash:3@1.5/crash:7@#40/recover:7@50/drop:0.01/dup:0.05/part:1-4@2,10";
     ]
 
 let test_parse_structure () =
@@ -78,7 +81,27 @@ let test_parse_rejects () =
       "part:4-1@2,10";
       "part:1-4@10,2";
       "nonsense:1";
+      "recover:3";
+      "recover:0@1";
+      "crash:3@1/recover:3@-2";
+      "crash:3@1/recover:3@#5";
     ]
+
+let test_recover_requires_crash () =
+  (* Reviving a processor the plan never kills is a typed error, not a
+     silent no-op clause. *)
+  match Sim.Fault.of_string "crash:2@1/recover:5@3" with
+  | Ok _ -> Alcotest.fail "recover for a never-crashed processor accepted"
+  | Error e ->
+      check Alcotest.bool
+        (Printf.sprintf "error names the victim: %s" e)
+        true
+        (String.length e > 0
+        &&
+        let needle = "never crashes" in
+        let nl = String.length needle and el = String.length e in
+        let rec go i = i + nl <= el && (String.sub e i nl = needle || go (i + 1)) in
+        go 0)
 
 let test_is_none () =
   check Alcotest.bool "none is none" true (Sim.Fault.is_none Sim.Fault.none);
@@ -158,11 +181,27 @@ let gen_fault =
       (int_bound 10) (int_bound 5) (int_bound 100)
   in
   list_size (int_bound 3) crash >>= fun crashes ->
+  (* Recoveries may only name processors the plan crashes (validate
+     enforces it), so draw them from the crash clauses just generated. *)
+  (match crashes with
+  | [] -> return []
+  | _ :: _ ->
+      let pick =
+        oneofl (List.map (fun (c : Sim.Fault.crash) -> c.processor) crashes)
+      in
+      let recover =
+        map2
+          (fun processor t ->
+            ({ processor; time = float_of_int t /. 4. } : Sim.Fault.recover))
+          pick (int_bound 400)
+      in
+      list_size (int_bound 2) recover)
+  >>= fun recovers ->
   gen_prob >>= fun drop ->
   list_size (int_bound 2) link >>= fun drop_links ->
   gen_prob >>= fun duplicate ->
   list_size (int_bound 2) part >>= fun partitions ->
-  return { Sim.Fault.crashes; drop; drop_links; duplicate; partitions }
+  return { Sim.Fault.crashes; recovers; drop; drop_links; duplicate; partitions }
 
 let qcheck_delay_round_trip =
   QCheck.Test.make ~name:"Delay.of_string round-trips to_string" ~count:500
@@ -308,6 +347,62 @@ let test_partition_heals () =
   check Alcotest.int "intra-side 1 -> 2" 1 (Sim.Metrics.received (m net) 2);
   check Alcotest.int "intra-side 3 -> 4" 1 (Sim.Metrics.received (m net) 4)
 
+let test_recover_at_time () =
+  (* 2 crashes at t = 1.5 and rejoins at t = 5: a probe at t = 2 dies on
+     the corpse, a probe launched by timer at t = 6 is answered again. *)
+  let net = Sim.Network.create ~faults:(plan "crash:2@1.5/recover:2@5") ~n:2 () in
+  let replies = ref 0 in
+  Sim.Network.set_handler net (fun ~self ~src (_ : int) ->
+      if self = 2 then Sim.Network.send net ~src:2 ~dst:1 0
+      else begin
+        incr replies;
+        ignore src
+      end);
+  Sim.Network.send net ~src:1 ~dst:2 0 (* t=1: answered (reply 1) *);
+  Sim.Network.schedule_local net ~delay:2. (fun () ->
+      Sim.Network.send net ~src:1 ~dst:2 0 (* t=3: dropped on corpse *));
+  Sim.Network.schedule_local net ~delay:6. (fun () ->
+      Sim.Network.send net ~src:1 ~dst:2 0 (* t=7: answered (reply 2) *));
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.bool "2 alive again" false (Sim.Network.crashed net 2);
+  check Alcotest.bool "2 recovered" true (Sim.Network.recovered net 2);
+  check Alcotest.bool "2 ever crashed" true (Sim.Network.ever_crashed net 2);
+  check Alcotest.bool "1 never crashed" false (Sim.Network.ever_crashed net 1);
+  check Alcotest.(list int) "rejoin pool" [ 2 ]
+    (Sim.Network.recovered_processors net);
+  check Alcotest.int "replies before and after" 2 !replies;
+  check Alcotest.int "mid-outage probe lost" 1 (Sim.Metrics.dropped (m net));
+  check Alcotest.int "one crash" 1 (Sim.Metrics.crashes (m net));
+  check Alcotest.int "one recovery" 1 (Sim.Metrics.recoveries (m net))
+
+let test_recover_then_recrash () =
+  (* crash@1 / recover@3 / crash@5: the second crash clause re-applies
+     after the revival, and the pool no longer lists the processor. *)
+  let net =
+    Sim.Network.create ~faults:(plan "crash:2@1/recover:2@3/crash:2@5") ~n:2 ()
+  in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  Sim.Network.schedule_local net ~delay:4. (fun () ->
+      check Alcotest.bool "alive between" false (Sim.Network.crashed net 2));
+  Sim.Network.schedule_local net ~delay:6. (fun () ->
+      check Alcotest.bool "down again" true (Sim.Network.crashed net 2));
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.bool "still down at quiescence" true (Sim.Network.crashed net 2);
+  check Alcotest.(list int) "pool empty while down" []
+    (Sim.Network.recovered_processors net);
+  check Alcotest.int "two crash events" 2 (Sim.Metrics.crashes (m net));
+  check Alcotest.int "one recovery" 1 (Sim.Metrics.recoveries (m net))
+
+let test_recover_before_crash_is_noop () =
+  (* A revival scheduled before the processor ever goes down fizzles; the
+     later crash still applies. *)
+  let net = Sim.Network.create ~faults:(plan "crash:2@9/recover:2@1") ~n:2 () in
+  Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
+  Sim.Network.schedule_local net ~delay:10. (fun () -> ());
+  ignore (Sim.Network.run_to_quiescence net);
+  check Alcotest.bool "crashed in the end" true (Sim.Network.crashed net 2);
+  check Alcotest.int "no recovery fired" 0 (Sim.Metrics.recoveries (m net))
+
 let test_trace_annotations () =
   let net = Sim.Network.create ~faults:(plan "drop:1") ~n:2 () in
   Sim.Network.set_handler net (fun ~self:_ ~src:_ (_ : int) -> ());
@@ -428,6 +523,8 @@ let () =
           Alcotest.test_case "round-trips" `Quick test_parse_round_trips;
           Alcotest.test_case "structure" `Quick test_parse_structure;
           Alcotest.test_case "rejects malformed" `Quick test_parse_rejects;
+          Alcotest.test_case "recover requires crash" `Quick
+            test_recover_requires_crash;
           Alcotest.test_case "is_none" `Quick test_is_none;
           Alcotest.test_case "drop_on" `Quick test_drop_on;
           Alcotest.test_case "partitioned" `Quick test_partitioned;
@@ -449,6 +546,11 @@ let () =
           Alcotest.test_case "duplicate all" `Quick test_duplicate_all;
           Alcotest.test_case "per-link drop" `Quick test_per_link_drop;
           Alcotest.test_case "partition heals" `Quick test_partition_heals;
+          Alcotest.test_case "recover at time" `Quick test_recover_at_time;
+          Alcotest.test_case "recover then re-crash" `Quick
+            test_recover_then_recrash;
+          Alcotest.test_case "recover before crash no-op" `Quick
+            test_recover_before_crash_is_noop;
           Alcotest.test_case "trace annotations" `Quick test_trace_annotations;
           Alcotest.test_case "faults accessor" `Quick
             test_network_faults_accessor;

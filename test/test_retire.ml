@@ -105,6 +105,63 @@ let test_grow_old_bound_tight () =
   Alcotest.(check int) "bound is the documented constant" 4
     Core.Grow_old.bound
 
+let plan s =
+  match Sim.Fault.of_string s with Ok f -> f | Error e -> Alcotest.fail e
+
+let test_grow_old_ft_fault_free_matches () =
+  (* Without faults the failure-aware checker is the plain checker: one
+     attempt per op, no emergency activity, identical age deltas. *)
+  List.iter
+    (fun k ->
+      let r = Core.Grow_old.check ~k () in
+      let rf = Core.Grow_old.check_ft ~k () in
+      Alcotest.(check bool) "holds" true (Core.Grow_old.holds_ft rf);
+      Alcotest.(check int) "same max delta" r.Core.Grow_old.max_delta
+        rf.Core.Grow_old.base.Core.Grow_old.max_delta;
+      Alcotest.(check int) "single attempts" 1 rf.Core.Grow_old.max_attempts;
+      Alcotest.(check int) "no emergencies" 0 rf.Core.Grow_old.emergency_ops)
+    [ 2; 3 ]
+
+let test_grow_old_ft_under_crashes () =
+  (* The lemma's constants survive emergency retirement: per attempt, a
+     non-retiring node still ages at most 4 even while the audit deposes
+     crashed workers around it. Each plan kills one worker on a request
+     path, so at least one op must actually go through the emergency
+     machinery (non-vacuous). *)
+  List.iter
+    (fun (k, p) ->
+      let rf = Core.Grow_old.check_ft ~k ~faults:(plan p) () in
+      Alcotest.(check bool)
+        (Fmt.str "k=%d %s: %a" k p Core.Grow_old.pp_report
+           rf.Core.Grow_old.base)
+        true
+        (Core.Grow_old.holds_ft rf);
+      Alcotest.(check bool)
+        (Fmt.str "k=%d %s: emergency exercised" k p)
+        true
+        (rf.Core.Grow_old.emergency_ops > 0);
+      Alcotest.(check bool)
+        (Fmt.str "k=%d %s: retried at least once" k p)
+        true
+        (rf.Core.Grow_old.max_attempts >= 2))
+    (* Victims must hold a role on a *future* request path when they die:
+       roles migrate off their initial processors every few ops, so the
+       mid-run plans crash the processor currently walking the busy l1
+       node rather than an original (long-since-spare) worker. *)
+    [ (2, "crash:1@0"); (2, "crash:3@40"); (3, "crash:1@0"); (3, "crash:4@200") ]
+
+let test_retirement_lemma_crash_triggered () =
+  (* Retirement Lemma under faults: no node retires twice within one
+     attempt even when one of the retirements was crash-triggered rather
+     than age-triggered. *)
+  let rf = Core.Grow_old.check_ft ~k:3 ~faults:(plan "crash:1@0") () in
+  Alcotest.(check int) "no double retirement per attempt" 0
+    rf.Core.Grow_old.retire_violations;
+  Alcotest.(check bool) "some node did retire during an op" true
+    (rf.Core.Grow_old.max_retire_delta >= 1);
+  Alcotest.(check bool) "emergency retirements happened" true
+    (rf.Core.Grow_old.emergency_ops > 0)
+
 let test_load_distribution_flat () =
   (* The whole point of the construction: no processor stands out. Every
      processor pays its leaf role (>= 2 messages: the inc request and the
@@ -467,6 +524,12 @@ let () =
           Alcotest.test_case "beats static tree" `Quick test_bottleneck_beats_static_tree;
           Alcotest.test_case "hot spot lemma" `Quick test_hotspot_lemma_holds;
           Alcotest.test_case "grow old lemma" `Quick test_grow_old_lemma_holds;
+          Alcotest.test_case "grow old ft fault-free" `Quick
+            test_grow_old_ft_fault_free_matches;
+          Alcotest.test_case "grow old under crashes" `Quick
+            test_grow_old_ft_under_crashes;
+          Alcotest.test_case "retirement lemma crash-triggered" `Quick
+            test_retirement_lemma_crash_triggered;
           Alcotest.test_case "grow old bound tight" `Quick
             test_grow_old_bound_tight;
           Alcotest.test_case "load distribution flat" `Quick test_load_distribution_flat;

@@ -1,0 +1,318 @@
+(* Tests for the failure-aware retirement tree (Core.Retire_ft):
+
+   - golden determinism: under Fault.none the counter is bit-identical to
+     Retire_counter (same values, same metrics checksum, same traces);
+   - liveness under crashes: every live-origin inc completes and the
+     values handed out are exactly 0 .. m-1, for random seeds and crash
+     plans with fewer victims than the overflow pool (qcheck);
+   - recovery/rejoin: recovered processors re-enter the allocator pool
+     and are re-hired into fresh roles, never resuming stale ones;
+   - the deliberately-broken no-emergency-handoff variant loses the
+     counter value (the positive control for the model-check negative
+     control in test/data/). *)
+
+let check = Alcotest.check
+
+module R = Core.Retire_counter
+module F = Core.Retire_ft
+
+let plan s =
+  match Sim.Fault.of_string s with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "bad plan %S: %s" s e
+
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Golden determinism: Fault.none must disarm the failure-aware client
+   entirely.                                                           *)
+
+let test_golden_matches_retire_counter () =
+  List.iter
+    (fun (k, seed) ->
+      let n = Core.Params.n_of_k k in
+      let r = R.create ~seed ~n () in
+      let f = F.create ~seed ~n () in
+      for origin = 1 to n do
+        let a = R.inc r ~origin and b = F.inc f ~origin in
+        check Alcotest.int (Printf.sprintf "k=%d op %d" k origin) a b
+      done;
+      check Alcotest.int "same metrics checksum"
+        (Sim.Metrics.checksum (R.metrics r))
+        (Sim.Metrics.checksum (F.metrics f));
+      check Alcotest.int "same total bits" (R.total_bits r) (F.total_bits f);
+      check Alcotest.int "same max message bits" (R.max_message_bits r)
+        (F.max_message_bits f);
+      check Alcotest.int "same retirements" (R.total_retirements r)
+        (F.total_retirements f);
+      check Alcotest.int "same stale forwards" (R.stale_forwards r)
+        (F.stale_forwards f);
+      let shape t =
+        List.map
+          (fun tr -> (Sim.Trace.message_count tr, Sim.Trace.processors tr))
+          t
+      in
+      Alcotest.(check (list (pair int (list int))))
+        "same trace shapes"
+        (shape (R.traces r))
+        (shape (F.traces f)))
+    [ (2, 42); (2, 7); (3, 42) ]
+
+let test_fault_none_explicit_plan_also_golden () =
+  (* Passing Fault.none explicitly must not arm the client either. *)
+  let n = 8 in
+  let r = R.create ~seed:11 ~n () in
+  let f = F.create ~seed:11 ~faults:Sim.Fault.none ~n () in
+  Alcotest.(check bool) "client disarmed" false (F.failure_aware f);
+  for origin = 1 to n do
+    check Alcotest.int "value" (R.inc r ~origin) (F.inc f ~origin)
+  done;
+  check Alcotest.int "checksum"
+    (Sim.Metrics.checksum (R.metrics r))
+    (Sim.Metrics.checksum (F.metrics f))
+
+(* ------------------------------------------------------------------ *)
+(* Liveness under crashes                                              *)
+
+let live_origins_complete ~seed ~k ~fault_str =
+  let faults = plan fault_str in
+  let n = Core.Params.n_of_k k in
+  let victims = Sim.Fault.crash_processors faults in
+  let f = F.create ~seed ~faults ~n () in
+  let live = List.filter (fun o -> not (List.mem o victims)) (List.init n (fun i -> i + 1)) in
+  List.iteri
+    (fun i origin ->
+      check Alcotest.int
+        (Printf.sprintf "seed=%d %s op %d (origin %d)" seed fault_str i origin)
+        i (F.inc f ~origin))
+    live;
+  f
+
+let test_survives_root_worker_crash () =
+  (* Processor 1 starts as the root's worker: kill it before the first
+     operation and the very first inc must emergency-retire the root. *)
+  let f = live_origins_complete ~seed:42 ~k:2 ~fault_str:"crash:1@0" in
+  Alcotest.(check bool) "emergency retirements happened" true
+    (Sim.Metrics.emergency_retirements (F.metrics f) >= 1)
+
+let test_survives_midrun_crashes () =
+  ignore
+    (live_origins_complete ~seed:3 ~k:2 ~fault_str:"crash:2@100/crash:5@300");
+  ignore (live_origins_complete ~seed:9 ~k:3 ~fault_str:"crash:1@50/crash:4@200")
+
+let test_crashed_origin_stalls_with_reason () =
+  let faults = plan "crash:3@0" in
+  let f = F.create ~seed:42 ~faults ~n:8 () in
+  (match F.inc_result f ~origin:3 with
+  | Counter.Counter_intf.Stalled reason ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reason mentions origin crash: %s" reason)
+        true
+        (contains ~sub:"origin" reason)
+  | Completed v -> Alcotest.failf "crashed origin completed with %d" v);
+  (* The counter keeps serving everyone else. *)
+  check Alcotest.int "next live origin" 0 (F.inc f ~origin:4)
+
+let test_recover_rejoins_pool_not_role () =
+  (* Processor 1 (root worker) crashes at t=0 and recovers at t=50.
+     Recovery must put it in the rejoin pool; it must not silently resume
+     the root role it lost. *)
+  let faults = plan "crash:1@0/recover:1@50" in
+  let n = 8 in
+  let f = F.create ~seed:42 ~faults ~n () in
+  check Alcotest.int "first inc completes" 0 (F.inc f ~origin:2);
+  (* Root was emergency-retired away from processor 1. *)
+  Alcotest.(check bool) "root left the corpse" true
+    (F.node_worker f Core.Tree.root <> 1);
+  (* Burn virtual time until past the recovery, then keep counting. *)
+  for i = 1 to n - 2 do
+    check Alcotest.int "inc" i (F.inc f ~origin:(i + 2))
+  done;
+  check Alcotest.int "recovered once" 1
+    (Sim.Metrics.recoveries (F.metrics f))
+
+let test_recovered_processor_is_rehired_first () =
+  (* Kill the root's worker (processor 1) and a spare (processor 2) that
+     recovers early; with a zero overflow budget the only way the first
+     inc can complete is by re-hiring the recovered processor from the
+     rejoin pool into the root role. Origin 5's path (workers 7, 3, 1 at
+     t=0 for k=2) keeps the root the only dead role on the path. *)
+  let faults = plan "crash:1@0/crash:2@0/recover:2@5" in
+  let f =
+    F.create_with ~seed:42 ~faults ~overflow_pool:0 (F.paper_config ~k:2)
+  in
+  check Alcotest.int "first live inc" 0 (F.inc f ~origin:5);
+  Alcotest.(check bool) "emergency retirement happened" true
+    (Sim.Metrics.emergency_retirements (F.metrics f) >= 1);
+  check Alcotest.int "no overflow budget consumed" 0 (F.emergency_hires f);
+  check Alcotest.int "recovered processor took the role" 2
+    (F.node_worker f Core.Tree.root);
+  for i = 1 to 4 do
+    check Alcotest.int "keeps counting" i (F.inc f ~origin:(i + 4))
+  done
+
+let test_overflow_pool_exhaustion_stalls () =
+  (* With a zero emergency budget and no recovered processors, the first
+     emergency retirement must stall with the documented reason. *)
+  let faults = plan "crash:1@0" in
+  let f =
+    F.create_with ~seed:42 ~faults ~overflow_pool:0 (F.paper_config ~k:2)
+  in
+  match F.inc_result f ~origin:2 with
+  | Stalled reason ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions the pool: %s" reason)
+        true
+        (Astring.String.is_infix ~affix:"pool" reason)
+  | Completed v -> Alcotest.failf "completed with %d despite empty pool" v
+
+let test_broken_variant_loses_values () =
+  (* Positive control for the stored model-check counterexample: with the
+     emergency handoff disabled, killing the root's worker after the
+     first operation makes the fresh root restart at zero — a duplicate
+     value. (The first op takes 4 deliveries; crash after 6 kills the
+     root's processor mid-way through the second op.) *)
+  let faults = plan "crash:1@#6" in
+  let f =
+    F.create_with ~seed:42 ~faults ~emergency_handoff:false
+      (F.paper_config ~k:2)
+  in
+  let a = F.inc f ~origin:2 in
+  let b = F.inc f ~origin:3 in
+  check Alcotest.int "first value" 0 a;
+  check Alcotest.int "duplicate value" 0 b
+
+let test_emergency_nodes_reported () =
+  let faults = plan "crash:1@0" in
+  let f = F.create ~seed:42 ~faults ~n:8 () in
+  ignore (F.inc f ~origin:2);
+  Alcotest.(check bool) "root among emergency-retired nodes" true
+    (List.mem Core.Tree.root (F.emergency_nodes f));
+  ignore (F.inc f ~origin:3);
+  Alcotest.(check (list int)) "per-op data resets" [] (F.emergency_nodes f)
+
+let test_determinism_under_crash_plan () =
+  (* Same (seed, plan, schedule) -> same values, same checksum. *)
+  let run () =
+    let faults = plan "crash:2@40/crash:5@500/recover:2@600" in
+    let f = F.create ~seed:7 ~faults ~n:8 () in
+    let values = ref [] in
+    for o = 1 to 8 do
+      match F.inc_result f ~origin:o with
+      | Completed v -> values := v :: !values
+      | Stalled _ -> values := -1 :: !values
+    done;
+    (!values, Sim.Metrics.checksum (F.metrics f))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (pair (list int) int)) "replay identical" a b
+
+let test_clone_equivalent_under_faults () =
+  let faults = plan "crash:2@40" in
+  let f = F.create ~seed:7 ~faults ~n:8 () in
+  ignore (F.inc f ~origin:1);
+  let g = F.clone f in
+  for o = 3 to 8 do
+    let a = F.inc_result f ~origin:o and b = F.inc_result g ~origin:o in
+    let show = function
+      | Counter.Counter_intf.Completed v -> Printf.sprintf "ok:%d" v
+      | Stalled r -> "stall:" ^ r
+    in
+    check Alcotest.string "clone agrees" (show a) (show b)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: liveness for random seeds and crash plans below the pool     *)
+
+let prop_live_origins_get_permutation =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:
+         "every live-origin inc completes; values are exactly 0..m-1 \
+          (crashes < overflow pool)"
+       ~count:40
+       QCheck2.Gen.(
+         tup3 (int_range 0 9999)
+           (list_size (int_range 1 3) (tup2 (int_range 1 8) (int_range 0 600)))
+           (list_size (int_bound 2) (tup2 (int_range 0 2) (int_range 0 900))))
+       (fun (seed, crashes, recover_picks) ->
+         (* De-dup victims: one crash per processor keeps the plan within
+            the at-most-two-roles accounting. *)
+         let crashes =
+           List.sort_uniq (fun (a, _) (b, _) -> compare a b) crashes
+         in
+         let victims = List.map fst crashes in
+         let recovers =
+           List.filter_map
+             (fun (i, t) -> Option.map (fun p -> (p, t))
+                (List.nth_opt victims (i mod List.length victims)))
+             recover_picks
+         in
+         let fault_str =
+           String.concat "/"
+             (List.map (fun (p, t) -> Printf.sprintf "crash:%d@%d" p t) crashes
+             @ List.map
+                 (fun (p, t) -> Printf.sprintf "recover:%d@%d" p t)
+                 recovers)
+         in
+         let f = F.create ~seed ~faults:(plan fault_str) ~n:8 () in
+         let live =
+           List.filter
+             (fun o -> not (List.mem o victims))
+             (List.init 8 (fun i -> i + 1))
+         in
+         List.for_all2
+           (fun origin expected ->
+             match F.inc_result f ~origin with
+             | Counter.Counter_intf.Completed v -> v = expected
+             | Stalled _ -> false)
+           live
+           (List.init (List.length live) Fun.id)))
+
+let () =
+  Alcotest.run "retire-ft"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "bit-identical to retire-tree" `Quick
+            test_golden_matches_retire_counter;
+          Alcotest.test_case "explicit Fault.none also golden" `Quick
+            test_fault_none_explicit_plan_also_golden;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "root worker crash" `Quick
+            test_survives_root_worker_crash;
+          Alcotest.test_case "mid-run crashes" `Quick
+            test_survives_midrun_crashes;
+          Alcotest.test_case "crashed origin stalls" `Quick
+            test_crashed_origin_stalls_with_reason;
+          Alcotest.test_case "pool exhaustion stalls" `Quick
+            test_overflow_pool_exhaustion_stalls;
+          prop_live_origins_get_permutation;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "rejoin pool, not stale role" `Quick
+            test_recover_rejoins_pool_not_role;
+          Alcotest.test_case "recovered rehired first" `Quick
+            test_recovered_processor_is_rehired_first;
+        ] );
+      ( "controls",
+        [
+          Alcotest.test_case "no-handoff variant duplicates" `Quick
+            test_broken_variant_loses_values;
+          Alcotest.test_case "emergency nodes reported" `Quick
+            test_emergency_nodes_reported;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "replay identical under crash plan" `Quick
+            test_determinism_under_crash_plan;
+          Alcotest.test_case "clone equivalent under faults" `Quick
+            test_clone_equivalent_under_faults;
+        ] );
+    ]
