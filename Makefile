@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint test-chaos test-mc bench bench-big bench-perf bench-smoke examples doc clean outputs
+.PHONY: all build test lint test-chaos test-mc bench bench-big bench-perf bench-smoke bench-gate-selftest examples doc clean outputs
 
 all: build
 
@@ -55,17 +55,30 @@ bench:
 bench-big:
 	dune exec bench/main.exe -- --big
 
-# Full engine-throughput suite; writes BENCH_1.json (docs/PERFORMANCE.md).
+# Full engine-throughput suite; writes BENCH_2.json (docs/PERFORMANCE.md).
+# Always the release profile, so committed artefacts are comparable.
 bench-perf:
 	dune build --profile release bench/perf.exe
-	./_build/default/bench/perf.exe --json --out BENCH_1.json
+	./_build/default/bench/perf.exe --json --out BENCH_2.json
 
-# Seconds-scale CI gate: tiny benchmark run, then re-parse and validate
-# the emitted artefact.
+# Seconds-scale CI regression gate: a smoke benchmark run compared
+# against the newest committed BENCH_*.json (rates must stay within the
+# gate tolerance — cross-mode smoke-vs-full comparisons double it; see
+# bench/perf.ml), then the emitted artefact is re-parsed and validated.
+# Non-zero exit on regression.
 bench-smoke:
-	dune build bench/perf.exe
-	dune exec bench/perf.exe -- --smoke --json --out BENCH_smoke.json
-	dune exec bench/perf.exe -- --validate BENCH_smoke.json
+	dune build --profile release bench/perf.exe
+	./_build/default/bench/perf.exe --smoke --json --out BENCH_smoke.json \
+	  --gate "$$(ls BENCH_[0-9]*.json | sort -V | tail -1)"
+	./_build/default/bench/perf.exe --validate BENCH_smoke.json
+
+# Prove the gate has teeth: a 4x synthetic slowdown (--handicap 0.25)
+# must make bench-smoke's comparison fail. Exit 0 here means the gate
+# correctly rejected the handicapped run.
+bench-gate-selftest:
+	dune build --profile release bench/perf.exe
+	! ./_build/default/bench/perf.exe --smoke --handicap 0.25 \
+	  --gate "$$(ls BENCH_[0-9]*.json | sort -V | tail -1)"
 
 examples:
 	dune exec examples/quickstart.exe

@@ -115,10 +115,15 @@ let schedule_conv =
   Arg.conv (parse, Counter.Schedule.pp)
 
 let run_cmd =
-  let run counter n seed delay faults schedule debug seeds domains =
+  let run counter n seed delay faults schedule debug seeds domains sim_domains
+      =
     if debug then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
+    end;
+    if sim_domains < 1 then begin
+      Format.eprintf "dcount run: --sim-domains must be >= 1@.";
+      exit 2
     end;
     (* Under an active fault plan stalls and value gaps are expected, so
        the correctness verdict only gates the exit code on fault-free
@@ -127,7 +132,10 @@ let run_cmd =
       match faults with None -> true | Some f -> Sim.Fault.is_none f
     in
     if seeds <= 1 then begin
-      let r = Counter.Driver.run ~seed ?delay ?faults counter ~n ~schedule in
+      let r =
+        Counter.Driver.run ~seed ?delay ?faults ~sim_domains counter ~n
+          ~schedule
+      in
       Format.printf "%a@." Counter.Driver.pp_report r;
       if fault_free && not r.Counter.Driver.correct then exit 1
     end
@@ -139,7 +147,8 @@ let run_cmd =
       let reports =
         Analysis.Replicate.parallel_map ?domains
           (fun s ->
-            Counter.Driver.run ~seed:s ?delay ?faults counter ~n ~schedule)
+            Counter.Driver.run ~seed:s ?delay ?faults ~sim_domains counter ~n
+              ~schedule)
           seed_list
       in
       let by_seed = List.combine seed_list reports in
@@ -207,11 +216,21 @@ let run_cmd =
             "Number of domains for replicated runs (default: the runtime's \
              recommended count). Only meaningful with $(b,--seeds).")
   in
+  let sim_domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sim-domains" ] ~docv:"D"
+          ~doc:
+            "Shard the simulator's event queue across D per-block heaps \
+             merged in one canonical order (see docs/PERFORMANCE.md). \
+             Reports are bit-identical for every D — this exercises the \
+             sharded engine's storage layout, not a different semantics.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a schedule against a counter and report loads.")
     Term.(
       const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ faults_arg
-      $ schedule_arg $ debug_arg $ seeds_arg $ domains_arg)
+      $ schedule_arg $ debug_arg $ seeds_arg $ domains_arg $ sim_domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos *)

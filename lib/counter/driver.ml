@@ -41,9 +41,18 @@ let values_distinct values =
     sorted;
   !ok
 
-let run ?(seed = 42) ?delay ?faults (module C : Counter_intf.S) ~n ~schedule =
+let run ?(seed = 42) ?delay ?faults ?(sim_domains = 1)
+    (module C : Counter_intf.S) ~n ~schedule =
   let n = C.supported_n n in
-  let counter = C.create ?delay ?faults ~seed ~n () in
+  let counter =
+    (* Counters build their networks inside [create]; the ambient shard
+       count reaches them there (see Sim.Network.with_shards). Dispatch
+       stays sequential, so reports are bit-identical for any count. *)
+    if sim_domains = 1 then C.create ?delay ?faults ~seed ~n ()
+    else
+      Sim.Network.with_shards sim_domains (fun () ->
+          C.create ?delay ?faults ~seed ~n ())
+  in
   let schedule_rng = Sim.Rng.create ~seed:(seed + 1) in
   let origins = Schedule.origins schedule schedule_rng ~n in
   let outcomes = List.map (fun origin -> C.inc_result counter ~origin) origins in

@@ -49,6 +49,7 @@ val run :
   ?seed:int ->
   ?delay:Sim.Delay.t ->
   ?faults:Sim.Fault.t ->
+  ?sim_domains:int ->
   Counter_intf.counter ->
   n:int ->
   schedule:Schedule.t ->
@@ -57,7 +58,12 @@ val run :
     [C.supported_n n] processors and executes the schedule. [seed]
     (default 42) seeds both the counter and the schedule's own draws.
     [faults] (default {!Sim.Fault.none}) is handed to the counter;
-    stalled operations are tallied in the report instead of raising. *)
+    stalled operations are tallied in the report instead of raising.
+    [sim_domains] (default 1) is the event-queue shard count installed
+    around counter creation via {!Sim.Network.with_shards}: reports are
+    bit-identical for every value — the determinism matrix in
+    [test/test_determinism.ml] pins this — so it is a storage/layout
+    knob, not a semantics knob. *)
 
 val run_each_once : ?seed:int -> ?delay:Sim.Delay.t -> Counter_intf.counter -> n:int -> report
 (** The lower-bound setting: each processor increments exactly once. *)

@@ -1,0 +1,100 @@
+(* Linear-probing open addressing over two parallel flat arrays. The
+   capacity is always a power of two; the probe start comes from a
+   multiplicative (Fibonacci) hash taken from the TOP bits of key * phi,
+   which spreads the sequential link keys real networks produce. Load
+   factor is capped at 1/2 so expected probe chains stay O(1). *)
+
+type t = {
+  mutable keys : int array;  (* 0 = empty slot; live keys are > 0 *)
+  mutable vals : float array;
+  mutable mask : int;  (* capacity - 1 *)
+  mutable shift : int;  (* 63 - log2 capacity, for the hash *)
+  mutable len : int;
+  absent : float;
+}
+
+(* A well-mixed odd multiplier (the xorshift1024* constant, which fits
+   OCaml's 62-bit int literals). Deterministic by construction (rule D1:
+   no layout- or process-dependent hashing). *)
+let multiplier = 0x2545F4914F6CDD1D
+
+let slot_of t key = (key * multiplier) lsr t.shift
+
+let log2_ceil n =
+  let b = ref 0 in
+  while 1 lsl !b < n do
+    incr b
+  done;
+  !b
+
+let create ?(initial = 64) ~absent () =
+  let bits = max 3 (log2_ceil (max initial 1)) in
+  let cap = 1 lsl bits in
+  {
+    keys = Array.make cap 0;
+    vals = Array.make cap absent;
+    mask = cap - 1;
+    shift = 63 - bits;
+    len = 0;
+    absent;
+  }
+
+let max_id = (1 lsl 31) - 1
+
+let link_key ~src ~dst =
+  if src < 1 || src > max_id || dst < 1 || dst > max_id then
+    invalid_arg "Ltbl.link_key: ids must be in 1 .. 2^31 - 1";
+  (src lsl 31) lor dst
+
+let length t = t.len
+
+(* Find the slot holding [key], or the empty slot where it belongs. *)
+let probe t key =
+  let keys = t.keys and mask = t.mask in
+  let i = ref (slot_of t key land mask) in
+  while
+    let k = keys.(!i) in
+    k <> 0 && k <> key
+  do
+    i := (!i + 1) land mask
+  done;
+  !i
+
+let get t key =
+  let i = probe t key in
+  if t.keys.(i) = 0 then t.absent else t.vals.(i)
+
+let rec grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap 0;
+  t.vals <- Array.make cap t.absent;
+  t.mask <- cap - 1;
+  t.shift <- t.shift - 1;
+  t.len <- 0;
+  for i = 0 to Array.length old_keys - 1 do
+    let k = old_keys.(i) in
+    if k <> 0 then set t k old_vals.(i)
+  done
+
+and set t key v =
+  if key <= 0 then invalid_arg "Ltbl.set: keys must be positive";
+  let i = probe t key in
+  if t.keys.(i) = 0 then begin
+    t.keys.(i) <- key;
+    t.vals.(i) <- v;
+    t.len <- t.len + 1;
+    (* Doubling at load 1/2 keeps linear probing short. *)
+    if 2 * t.len > t.mask then grow t
+  end
+  else t.vals.(i) <- v
+
+let copy t =
+  {
+    keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    mask = t.mask;
+    shift = t.shift;
+    len = t.len;
+    absent = t.absent;
+  }

@@ -14,15 +14,19 @@ type 'msg event =
 (* Per-link last-scheduled-arrival table for FIFO links. Small networks get
    a pre-sized flat array indexed by src * stride + dst (no hashing, no
    allocation on the send path); ids beyond the pre-sized range — overflow
-   hires — spill into a hash table. Large networks use the hash table
-   only: a dense (n+1)^2 table at n = 10^5 would be 80 GB. *)
+   hires — spill into an open-addressing {!Ltbl}. Large networks use the
+   Ltbl only: a dense (n+1)^2 table at n = 10^5 would be 80 GB, while the
+   Ltbl stays proportional to the links actually exercised. The
+   ((src, dst), float) Hashtbl it replaces allocated a tuple key per
+   lookup and boxed every stored float — the locality cliff behind the
+   n = 10^4 fifo-network rows of BENCH_1 (words/event 32 -> 45). *)
 type fifo_links =
   | Dense of {
       stride : int;  (* ids 1 .. stride - 1 are in the flat table *)
       last : float array;  (* neg_infinity = no message on this link yet *)
-      mutable spill : (int * int, float) Hashtbl.t option;
+      mutable spill : Ltbl.t option;
     }
-  | Sparse of (int * int, float) Hashtbl.t
+  | Sparse of Ltbl.t
 
 (* Flat tables up to this many entries (8 MB of floats): n <= 1023. *)
 let fifo_dense_limit = 1 lsl 20
@@ -36,7 +40,7 @@ let make_fifo_links n =
         last = Array.make (stride * stride) neg_infinity;
         spill = None;
       }
-  else Sparse (Hashtbl.create 4096)
+  else Sparse (Ltbl.create ~initial:4096 ~absent:neg_infinity ())
 
 (* A message never overtakes an earlier one on the same (src, dst) link. *)
 let fifo_arrival links ~src ~dst arrival =
@@ -52,24 +56,20 @@ let fifo_arrival links ~src ~dst arrival =
         match d.spill with
         | Some h -> h
         | None ->
-            let h = Hashtbl.create 64 in
+            let h = Ltbl.create ~initial:64 ~absent:neg_infinity () in
             d.spill <- Some h;
             h
       in
-      let a =
-        match Hashtbl.find_opt spill (src, dst) with
-        | Some prev -> bump prev
-        | None -> arrival
-      in
-      Hashtbl.replace spill (src, dst) a;
+      let key = Ltbl.link_key ~src ~dst in
+      (* [absent] is neg_infinity, which [bump] maps to [arrival]: a
+         virgin link never bumps. *)
+      let a = bump (Ltbl.get spill key) in
+      Ltbl.set spill key a;
       a
   | Sparse h ->
-      let a =
-        match Hashtbl.find_opt h (src, dst) with
-        | Some prev -> bump prev
-        | None -> arrival
-      in
-      Hashtbl.replace h (src, dst) a;
+      let key = Ltbl.link_key ~src ~dst in
+      let a = bump (Ltbl.get h key) in
+      Ltbl.set h key a;
       a
 
 let copy_fifo_links = function
@@ -78,9 +78,9 @@ let copy_fifo_links = function
         {
           d with
           last = Array.copy d.last;
-          spill = Option.map Hashtbl.copy d.spill;
+          spill = Option.map Ltbl.copy d.spill;
         }
-  | Sparse h -> Sparse (Hashtbl.copy h)
+  | Sparse h -> Sparse (Ltbl.copy h)
 
 (* ------------------------------------------------------------------ *)
 (* Pluggable delivery scheduling.
@@ -129,7 +129,18 @@ type 'msg t = {
   bits : 'msg -> int;
   measure_bits : bool;
       (* skip the [bits] call entirely when no measure was supplied *)
-  queue : 'msg event Heap.t;
+  queues : 'msg event Heap.t array;
+      (* one SoA heap per shard, processors partitioned into contiguous
+         blocks. A single network-global monotone [gseq], keyed through
+         [Heap.push_keyed], imposes one canonical (arrival, gseq) total
+         order across every shard, so the merged pop order — and with it
+         every checksum — is independent of the shard count. At
+         shards = 1 the keys coincide with the per-heap auto-sequence the
+         engine used before sharding, keeping historical goldens. *)
+  mutable gseq : int;
+  debug : bool;
+      (* [Logs] debug level sampled once at [create]: the per-delivery
+         [Log.debug] closure is only allocated when someone could see it *)
   metrics : Metrics.t;
   mutable handler : (self:int -> src:int -> 'msg -> unit) option;
   clock : float array;
@@ -251,8 +262,34 @@ let with_scheduler policy f =
   ambient_policy := Some policy;
   Fun.protect ~finally:(fun () -> ambient_policy := saved) f
 
+(* Ambient default shard count, same pattern as [ambient_policy]:
+   counters build their own networks inside their [create], so
+   [Driver.run ~sim_domains] installs the count for the dynamic extent of
+   the constructor instead of widening every counter signature. *)
+let ambient_shards = ref 1
+
+let with_shards s f =
+  if s < 1 then invalid_arg "Network.with_shards: shard count must be >= 1";
+  let saved = !ambient_shards in
+  ambient_shards := s;
+  Fun.protect ~finally:(fun () -> ambient_shards := saved) f
+
+(* Owner shard of a destination: contiguous blocks of the id space, with
+   overflow hires (ids above n) living in the last shard and timers in
+   shard 0. Pure arithmetic on (dst, n, shards) — no per-network state —
+   so the same destination always lands in the same shard. *)
+let shard_of ~n ~shards dst =
+  if shards = 1 || dst > n then shards - 1
+  else (dst - 1) * shards / n
+
 let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
-    ?(fifo = false) ?(faults = Fault.none) ~n () =
+    ?(fifo = false) ?(faults = Fault.none) ?shards ~n () =
+  let shards =
+    match shards with Some s -> s | None -> !ambient_shards
+  in
+  if shards < 1 then invalid_arg "Network.create: shards must be >= 1";
+  (* More shards than processors would leave empty blocks; clamp. *)
+  let shards = max 1 (min shards (max 1 n)) in
   let measure_bits = bits <> None in
   let label = match label with Some f -> f | None -> fun _ -> "msg" in
   let bits = match bits with Some f -> f | None -> fun _ -> 0 in
@@ -301,7 +338,14 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
       label;
       bits;
       measure_bits;
-      queue = Heap.create ~capacity:(max 16 (min (2 * n) (1 lsl 16))) ();
+      queues =
+        (let cap = max 16 (min (2 * n) (1 lsl 16) / shards) in
+         Array.init shards (fun _ -> Heap.create ~capacity:cap ()));
+      gseq = 0;
+      debug =
+        (match Logs.Src.level log_src with
+        | Some Logs.Debug -> true
+        | Some _ | None -> false);
       metrics = Metrics.create ~n;
       handler = None;
       clock = [| 0. |];
@@ -334,13 +378,15 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
 let set_handler t h = t.handler <- Some h
 
 let set_scheduler t policy =
-  if Heap.size t.queue > 0 then
+  if Array.exists (fun q -> not (Heap.is_empty q)) t.queues then
     failwith "Network.set_scheduler: events already pending in the heap";
   t.sched <- Some { policy; spending = []; sseq = 0 }
 
 let has_scheduler t = t.sched <> None
 
 let n t = t.n
+
+let shards t = Array.length t.queues
 
 let rng t = t.rng
 
@@ -352,8 +398,40 @@ let faults t = t.faults
 
 let pending t =
   match t.sched with
-  | None -> Heap.size t.queue
+  | None -> Array.fold_left (fun acc q -> acc + Heap.size q) 0 t.queues
   | Some s -> List.length s.spending
+
+(* Shard holding the globally next event — the argmin over shard tops of
+   the canonical (arrival, gseq) pair — or -1 when every heap is drained.
+   The single-shard fast path keeps the historical engine's hot loop. *)
+let best_shard t =
+  let qs = t.queues in
+  if Array.length qs = 1 then (if Heap.is_empty qs.(0) then -1 else 0)
+  else begin
+    let best = ref (-1) and bp = ref infinity and bk = ref max_int in
+    for s = 0 to Array.length qs - 1 do
+      if not (Heap.is_empty qs.(s)) then begin
+        let p = Heap.top_prio qs.(s) in
+        let c = Float.compare p !bp in
+        if c < 0 || (c = 0 && Heap.top_key qs.(s) < !bk) then begin
+          best := s;
+          bp := p;
+          bk := Heap.top_key qs.(s)
+        end
+      end
+    done;
+    !best
+  end
+
+let push_event t ~dst ~prio ev =
+  let key = t.gseq in
+  t.gseq <- key + 1;
+  let s =
+    match ev with
+    | Local _ -> 0
+    | Deliver _ -> shard_of ~n:t.n ~shards:(Array.length t.queues) dst
+  in
+  Heap.push_keyed t.queues.(s) ~prio ~key ev
 
 let deliveries t = t.deliveries
 
@@ -376,7 +454,7 @@ let enqueue_delivery t ~src ~dst payload =
         | None -> arrival
         | Some links -> fifo_arrival links ~src ~dst arrival
       in
-      Heap.push t.queue ~prio:arrival
+      push_event t ~dst ~prio:arrival
         (Deliver { src; dst; payload; parent = t.current_event })
 
 let send t ~src ~dst payload =
@@ -444,7 +522,7 @@ let schedule_local t ~delay callback =
         Pend_timer { pseq = s.sseq; tparent = t.current_event; callback }
         :: s.spending
   | None ->
-      Heap.push t.queue
+      push_event t ~dst:0
         ~prio:(t.clock.(0) +. delay)
         (Local (t.current_event, callback))
 
@@ -562,9 +640,10 @@ let rec sched_step t s =
               | None -> failwith "Network.step: no handler installed"
             in
             t.deliveries <- t.deliveries + 1;
-            Log.debug (fun m ->
-                m "t=%.3f deliver %d -> %d [%s] (scheduled)" t.clock.(0) src
-                  dst (t.label payload));
+            if t.debug then
+              Log.debug (fun m ->
+                  m "t=%.3f deliver %d -> %d [%s] (scheduled)" t.clock.(0) src
+                    dst (t.label payload));
             Metrics.on_recv t.metrics dst;
             (match t.trace with
             | Some trace ->
@@ -588,12 +667,14 @@ let step t =
   match t.sched with
   | Some s -> sched_step t s
   | None ->
-  if Heap.is_empty t.queue then false
+  let shard = best_shard t in
+  if shard < 0 then false
   else begin
-    let at = Heap.top_prio t.queue in
+    let q = t.queues.(shard) in
+    let at = Heap.top_prio q in
     if at > t.clock.(0) then t.clock.(0) <- at;
     if t.faults_active then apply_due_crashes t ~at;
-    match Heap.pop_top t.queue with
+    match Heap.pop_top q with
     | Local (parent, callback) ->
         (* The timer's effects are causal consequences of the event that
            armed it. *)
@@ -617,9 +698,10 @@ let step t =
           | None -> failwith "Network.step: no handler installed"
         in
         t.deliveries <- t.deliveries + 1;
-        Log.debug (fun m ->
-            m "t=%.3f deliver %d -> %d [%s]" t.clock.(0) src dst
-              (t.label payload));
+        if t.debug then
+          Log.debug (fun m ->
+              m "t=%.3f deliver %d -> %d [%s]" t.clock.(0) src dst
+                (t.label payload));
         Metrics.on_recv t.metrics dst;
         (match t.trace with
         | Some trace ->
@@ -660,7 +742,7 @@ let run_to_quiescence ?(max_steps = 100_000_000) t =
         (Storm
            {
              max_steps;
-             pending = Heap.size t.queue;
+             pending = pending t;
              now = t.clock.(0);
              deliveries = t.deliveries;
            })
@@ -681,7 +763,9 @@ let clone_quiescent t =
     label = t.label;
     bits = t.bits;
     measure_bits = t.measure_bits;
-    queue = Heap.create ();
+    queues = Array.map (fun _ -> Heap.create ()) t.queues;
+    gseq = t.gseq;
+    debug = t.debug;
     metrics = Metrics.copy t.metrics;
     handler = None;
     clock = Array.copy t.clock;

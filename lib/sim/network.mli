@@ -86,6 +86,7 @@ val create :
   ?bits:('msg -> int) ->
   ?fifo:bool ->
   ?faults:Fault.t ->
+  ?shards:int ->
   n:int ->
   unit ->
   'msg t
@@ -103,7 +104,30 @@ val create :
     crash triggers apply between deliveries, per-message drop and
     duplication decisions draw from the network's own random stream, and
     partition cuts are evaluated at send time. Raises [Invalid_argument]
-    if the plan fails {!Fault.validate}. *)
+    if the plan fails {!Fault.validate}.
+
+    [shards] (default: the ambient count installed by {!with_shards},
+    itself defaulting to 1) splits the event queue into that many
+    per-block heaps, processors partitioned into contiguous id blocks.
+    Dispatch stays single-threaded; what sharding buys here is the
+    storage layout of {!Par}'s multi-domain engine under the sequential
+    dispatcher, so the CLI's [--sim-domains] flag exercises the sharded
+    structures on {e every} counter. Events are keyed by one
+    network-global send sequence, so the merged delivery order — and
+    every {!Metrics.checksum} — is bit-identical for any shard count,
+    all delay models and all fault plans. Counts above [n] are clamped
+    to [n]. *)
+
+val with_shards : int -> (unit -> 'a) -> 'a
+(** [with_shards s f] runs [f] with [s] installed as the ambient default
+    shard count: every network {!create}d during [f] without an explicit
+    [?shards] is born with [s] event-queue shards. Same pattern (and same
+    motivation) as {!with_scheduler}; the previous count is restored on
+    exit, exceptions included. Raises [Invalid_argument] when [s < 1]. *)
+
+val shards : 'msg t -> int
+(** Number of event-queue shards this network was created with (after
+    clamping to [n]). *)
 
 val set_handler : 'msg t -> (self:int -> src:int -> 'msg -> unit) -> unit
 (** Install the protocol: [handler ~self ~src msg] runs when processor

@@ -1,0 +1,542 @@
+(* Conservative (Chandy–Misra) sharded discrete-event engine. The model,
+   the protocol contract and the determinism argument live in par.mli and
+   docs/PERFORMANCE.md; this file is the mechanism.
+
+   Execution is bulk-synchronous: every shard drains its cross-shard
+   inboxes and publishes its earliest pending time; the coordinator takes
+   the global minimum, adds the delay model's lookahead, and every shard
+   processes exactly its events strictly below that horizon. Any message
+   generated inside a window arrives at or past the horizon (send time
+   >= global min, delay >= lookahead), so windows are conflict-free and
+   the per-processor delivery sequence — ordered by the canonical
+   (arrival, source lsl 40 lor send-index) key — is a pure function of
+   the inputs, never of the shard count or domain scheduling. *)
+
+exception
+  Storm of { max_steps : int; pending : int; now : float; deliveries : int }
+
+let () =
+  Printexc.register_printer (function
+    | Storm { max_steps; pending; now; deliveries } ->
+        Some
+          (Printf.sprintf
+             "Par.Storm { max_steps = %d; pending = %d; now = %g; \
+              deliveries = %d } — protocol probably diverges"
+             max_steps pending now deliveries)
+    | _ -> None)
+
+(* Processor ids and per-source send indices share the 62-bit canonical
+   key as (src lsl 40) lor index, so n < 2^22 and index < 2^40. *)
+let max_n = (1 lsl 22) - 1
+
+let max_sseq = 1 lsl 40
+
+type cfg = {
+  n : int;
+  nshards : int;
+  seed : int;
+  delay : Delay.t;
+  la : float;  (* conservative lookahead: Delay.lookahead delay *)
+  faults : Fault.t;
+  partitions_active : bool;
+      (* skip the partition test entirely on fault-free plans *)
+}
+
+(* One queued delivery. The arrival time lives in the heap's unboxed
+   priority column and the canonical key in its key column, so the cell
+   itself is three words of payload. *)
+type 'msg cell = { csrc : int; cdst : int; cpay : 'msg }
+
+(* One cross-shard message parked in an outbox between rounds. *)
+type 'msg packet = {
+  ptime : float;
+  pkey : int;
+  psrc : int;
+  pdst : int;
+  ppay : 'msg;
+}
+
+type 'msg shard = {
+  sid : int;
+  lo : int;  (* owns processors lo .. hi; local index = id - lo *)
+  hi : int;
+  heap : 'msg cell Heap.t;
+  sseq : int array;
+      (* per-owned-processor send counter — with the keyed Rng stream,
+         the whole canonicalization: both advance in the processor's own
+         delivery order, which the horizon argument makes shard-count
+         independent *)
+  s_sent : int array;
+  s_recv : int array;
+  crashed_l : bool array;
+  tev : (float * int * int) array;
+      (* this shard's (time, kind, victim) triggers, kind 0 = crash,
+         1 = recover, sorted by (time, kind, victim) as in Network *)
+  mutable tev_idx : int;
+  mutable s_dropped : int;
+  mutable s_crashes : int;
+  mutable s_recoveries : int;
+  mutable s_deliveries : int;
+  mutable s_events : int;  (* deliveries + crash-drops: the Storm meter *)
+  mutable min_pub : float;  (* earliest pending time, published at drain *)
+  clock : float array;  (* length 1; monotone across rounds *)
+  out : 'msg packet list ref array;  (* this shard's outbox row *)
+}
+
+type 'msg ctx = { cfg : cfg; sh : 'msg shard; mutable cself : int }
+
+type 'msg t = {
+  c : cfg;
+  shards : 'msg shard array;
+  ctxs : 'msg ctx array;
+  mail : 'msg packet list ref array array;
+      (* mail.(i).(j) is written only by shard i (inside its window) and
+         read only by shard j (inside its drain); the barrier between the
+         two phases is the happens-before edge that publishes it *)
+  mutable handler : ('msg ctx -> src:int -> 'msg -> unit) option;
+  mutable running : bool;
+}
+
+let shard_of c p = if c.nshards = 1 then 0 else (p - 1) * c.nshards / c.n
+
+(* Time triggers apply lazily, before the first owned event at or past
+   their instant — the per-shard restriction of Network's rule. Crash is
+   idempotent and recovery of a live processor is a graceful no-op,
+   matching the sequential engine's counters exactly. *)
+let apply_due sh ~at =
+  while
+    sh.tev_idx < Array.length sh.tev
+    && (let time, _, _ = sh.tev.(sh.tev_idx) in
+        time <= at)
+  do
+    let _, kind, p = sh.tev.(sh.tev_idx) in
+    sh.tev_idx <- sh.tev_idx + 1;
+    let i = p - sh.lo in
+    if kind = 0 then begin
+      if not sh.crashed_l.(i) then begin
+        sh.crashed_l.(i) <- true;
+        sh.s_crashes <- sh.s_crashes + 1
+      end
+    end
+    else if sh.crashed_l.(i) then begin
+      sh.crashed_l.(i) <- false;
+      sh.s_recoveries <- sh.s_recoveries + 1
+    end
+  done
+
+(* Charge and route one approved send from [src] (owned by [src_sh]) at
+   virtual time [at]. Same-shard messages go straight into the heap (they
+   arrive at or past the horizon, so they cannot re-enter the current
+   window); cross-shard messages are parked in the outbox for the
+   destination's next drain. *)
+let enqueue_from c src_sh ~at ~src ~dst pay =
+  let i = src - src_sh.lo in
+  let q = src_sh.sseq.(i) in
+  if q >= max_sseq then failwith "Par: per-source send index overflow";
+  src_sh.sseq.(i) <- q + 1;
+  src_sh.s_sent.(i) <- src_sh.s_sent.(i) + 1;
+  if c.partitions_active && Fault.partitioned c.faults ~src ~dst ~at then
+    src_sh.s_dropped <- src_sh.s_dropped + 1
+  else begin
+    let rng = Rng.keyed ~seed:c.seed src q in
+    let time = at +. Delay.sample c.delay rng in
+    let key = (src lsl 40) lor q in
+    let ds = shard_of c dst in
+    if ds = src_sh.sid then
+      Heap.push_keyed src_sh.heap ~prio:time ~key
+        { csrc = src; cdst = dst; cpay = pay }
+    else begin
+      let box = src_sh.out.(ds) in
+      box :=
+        { ptime = time; pkey = key; psrc = src; pdst = dst; ppay = pay }
+        :: !box
+    end
+  end
+
+let send ctx ~dst pay =
+  if dst < 1 || dst > ctx.cfg.n then invalid_arg "Par.send: dst out of range";
+  enqueue_from ctx.cfg ctx.sh ~at:ctx.sh.clock.(0) ~src:ctx.cself ~dst pay
+
+let self ctx = ctx.cself
+
+let now ctx = ctx.sh.clock.(0)
+
+let n t = t.c.n
+
+let domains t = t.c.nshards
+
+let lookahead t = t.c.la
+
+let set_handler t h = t.handler <- Some h
+
+let deliveries t =
+  Array.fold_left (fun acc sh -> acc + sh.s_deliveries) 0 t.shards
+
+let total_events t =
+  Array.fold_left (fun acc sh -> acc + sh.s_events) 0 t.shards
+
+let pending t =
+  let heaps =
+    Array.fold_left (fun acc sh -> acc + Heap.size sh.heap) 0 t.shards
+  in
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc box -> acc + List.length !box) acc row)
+    heaps t.mail
+
+(* Last processed event time across all shards — identical for every
+   shard count (it is a property of the execution, not the layout). *)
+let global_now t =
+  Array.fold_left (fun acc sh -> Float.max acc sh.clock.(0)) 0. t.shards
+
+let crashed t p =
+  p >= 1 && p <= t.c.n
+  &&
+  let sh = t.shards.(shard_of t.c p) in
+  sh.crashed_l.(p - sh.lo)
+
+let inject t ~src ~dst pay =
+  if t.running then failwith "Par.inject: engine is running";
+  if src < 1 || src > t.c.n || dst < 1 || dst > t.c.n then
+    invalid_arg "Par.inject: ids must be in 1 .. n";
+  let at = global_now t in
+  let sh = t.shards.(shard_of t.c src) in
+  apply_due sh ~at;
+  if sh.crashed_l.(src - sh.lo) then
+    (* a crash-stopped processor emits nothing: suppressed before any
+       send charge, as in Network.send *)
+    sh.s_dropped <- sh.s_dropped + 1
+  else enqueue_from t.c sh ~at ~src ~dst pay
+
+(* --- Round phases ---------------------------------------------------- *)
+
+let drain t sh =
+  for i = 0 to t.c.nshards - 1 do
+    let box = t.mail.(i).(sh.sid) in
+    match !box with
+    | [] -> ()
+    | l ->
+        box := [];
+        (* Push order is irrelevant: the heap orders by (time, key). *)
+        List.iter
+          (fun p ->
+            Heap.push_keyed sh.heap ~prio:p.ptime ~key:p.pkey
+              { csrc = p.psrc; cdst = p.pdst; cpay = p.ppay })
+          l
+  done;
+  sh.min_pub <-
+    (if Heap.is_empty sh.heap then infinity else Heap.top_prio sh.heap)
+
+let process ctx handler ~horizon =
+  let sh = ctx.sh in
+  let have_tev = sh.tev_idx < Array.length sh.tev in
+  while (not (Heap.is_empty sh.heap)) && Heap.top_prio sh.heap < horizon do
+    let at = Heap.top_prio sh.heap in
+    if at > sh.clock.(0) then sh.clock.(0) <- at;
+    if have_tev then apply_due sh ~at;
+    let cell = Heap.pop_top sh.heap in
+    sh.s_events <- sh.s_events + 1;
+    let i = cell.cdst - sh.lo in
+    if sh.crashed_l.(i) then
+      (* crash-stop: the send was charged at the source; the message is
+         lost here with no receive charge *)
+      sh.s_dropped <- sh.s_dropped + 1
+    else begin
+      sh.s_deliveries <- sh.s_deliveries + 1;
+      sh.s_recv.(i) <- sh.s_recv.(i) + 1;
+      ctx.cself <- cell.cdst;
+      handler ctx ~src:cell.csrc cell.cpay
+    end
+  done
+
+(* --- Domain pool ----------------------------------------------------- *)
+
+type job = Drain | Process of float | Quit
+
+type ctrl = {
+  m : Mutex.t;
+  cv_start : Condition.t;
+  cv_done : Condition.t;
+  mutable gen : int;  (* round generation; a bump publishes a new job *)
+  mutable job : job;
+  mutable ndone : int;
+  mutable failure : exn option;  (* first worker exception of the round *)
+}
+
+let[@dlint.allow
+     "P1: a worker domain cannot let an exception escape (the coordinator \
+      would deadlock at the barrier); it is parked under the pool mutex \
+      and re-raised by the coordinator right after the round, so nothing \
+      is swallowed"] run_job ctrl f =
+  (try f ()
+   with e ->
+     Mutex.lock ctrl.m;
+     (match ctrl.failure with
+     | None -> ctrl.failure <- Some e
+     | Some _ -> ());
+     Mutex.unlock ctrl.m);
+  Mutex.lock ctrl.m;
+  ctrl.ndone <- ctrl.ndone + 1;
+  Condition.signal ctrl.cv_done;
+  Mutex.unlock ctrl.m
+
+let worker_loop t ctrl w handler =
+  let ctx = t.ctxs.(w) in
+  let sh = t.shards.(w) in
+  let mygen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock ctrl.m;
+    while ctrl.gen = !mygen do
+      Condition.wait ctrl.cv_start ctrl.m
+    done;
+    mygen := ctrl.gen;
+    let job = ctrl.job in
+    Mutex.unlock ctrl.m;
+    match job with
+    | Quit -> live := false
+    | Drain -> run_job ctrl (fun () -> drain t sh)
+    | Process horizon -> run_job ctrl (fun () -> process ctx handler ~horizon)
+  done
+
+let issue ctrl job =
+  Mutex.lock ctrl.m;
+  ctrl.job <- job;
+  ctrl.gen <- ctrl.gen + 1;
+  ctrl.ndone <- 0;
+  Condition.broadcast ctrl.cv_start;
+  Mutex.unlock ctrl.m
+
+let await ctrl ~workers =
+  Mutex.lock ctrl.m;
+  while ctrl.ndone < workers do
+    Condition.wait ctrl.cv_done ctrl.m
+  done;
+  let f = ctrl.failure in
+  ctrl.failure <- None;
+  Mutex.unlock ctrl.m;
+  match f with None -> () | Some e -> raise e
+
+let run_to_quiescence ?(max_steps = 100_000_000) t =
+  if t.running then failwith "Par.run_to_quiescence: engine is running";
+  let handler =
+    match t.handler with
+    | Some h -> h
+    | None ->
+        if pending t > 0 then
+          failwith "Par.run_to_quiescence: no handler installed";
+        fun _ ~src:_ _ -> ()
+  in
+  t.running <- true;
+  let start_events = total_events t in
+  let nsh = t.c.nshards in
+  let round_drain, round_process, shutdown =
+    if nsh = 1 then
+      ( (fun () -> drain t t.shards.(0)),
+        (fun horizon -> process t.ctxs.(0) handler ~horizon),
+        fun () -> () )
+    else begin
+      let ctrl =
+        {
+          m = Mutex.create ();
+          cv_start = Condition.create ();
+          cv_done = Condition.create ();
+          gen = 0;
+          job = Drain;
+          ndone = 0;
+          failure = None;
+        }
+      in
+      let doms =
+        List.init (nsh - 1) (fun i ->
+            let w = i + 1 in
+            Domain.spawn (fun () -> worker_loop t ctrl w handler))
+      in
+      let workers = nsh - 1 in
+      ( (fun () ->
+          issue ctrl Drain;
+          drain t t.shards.(0);
+          await ctrl ~workers),
+        (fun horizon ->
+          issue ctrl (Process horizon);
+          process t.ctxs.(0) handler ~horizon;
+          await ctrl ~workers),
+        fun () ->
+          issue ctrl Quit;
+          List.iter Domain.join doms )
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown ();
+      t.running <- false)
+    (fun () ->
+      let rec loop () =
+        round_drain ();
+        let gmin =
+          Array.fold_left
+            (fun acc sh -> Float.min acc sh.min_pub)
+            infinity t.shards
+        in
+        if gmin < infinity then begin
+          if total_events t - start_events >= max_steps then
+            raise
+              (Storm
+                 {
+                   max_steps;
+                   pending = pending t;
+                   now = global_now t;
+                   deliveries = deliveries t;
+                 });
+          round_process (gmin +. t.c.la);
+          loop ()
+        end
+      in
+      loop ();
+      (* Remaining triggers up to the final event time fire now: the
+         sequential engine applies triggers at or before each pop, so a
+         trigger no later than the run's last event has fired there too —
+         and the cutoff is layout-independent, keeping the crash counters
+         identical for every domain count. *)
+      let final = global_now t in
+      Array.iter (fun sh -> apply_due sh ~at:final) t.shards;
+      total_events t - start_events)
+
+let metrics t =
+  let m = Metrics.create ~n:t.c.n in
+  Array.iter
+    (fun sh ->
+      for p = sh.lo to sh.hi do
+        let i = p - sh.lo in
+        Metrics.absorb_load m ~p ~sent:sh.s_sent.(i) ~recv:sh.s_recv.(i)
+      done)
+    t.shards;
+  let dropped = Array.fold_left (fun a sh -> a + sh.s_dropped) 0 t.shards in
+  let crashes = Array.fold_left (fun a sh -> a + sh.s_crashes) 0 t.shards in
+  let recoveries =
+    Array.fold_left (fun a sh -> a + sh.s_recoveries) 0 t.shards
+  in
+  Metrics.absorb_faults m ~dropped ~duplicated:0 ~crashes ~recoveries;
+  m
+
+let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
+    ?(domains = 1) ~n () =
+  if n < 1 then invalid_arg "Par.create: n must be >= 1";
+  if n > max_n then
+    invalid_arg "Par.create: n too large for the canonical event key";
+  if domains < 1 then invalid_arg "Par.create: domains must be >= 1";
+  let nshards = min domains n in
+  let la = Delay.lookahead delay in
+  if la < 1e-6 then
+    invalid_arg
+      "Par.create: delay model has a (near-)zero minimum delay, so there \
+       is no usable conservative lookahead; use the sequential engine";
+  (match Fault.validate faults with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Par.create: bad fault plan: " ^ e));
+  if faults.Fault.drop > 0. || faults.Fault.duplicate > 0. then
+    invalid_arg
+      "Par.create: probabilistic drop/duplication needs a globally \
+       ordered random stream; use the sequential engine";
+  (match faults.Fault.drop_links with
+  | [] -> ()
+  | _ :: _ ->
+      invalid_arg
+        "Par.create: per-link drop probabilities need a globally ordered \
+         random stream; use the sequential engine");
+  List.iter
+    (fun { Fault.processor; trigger } ->
+      (match trigger with
+      | Fault.At _ -> ()
+      | Fault.After _ ->
+          invalid_arg
+            "Par.create: delivery-count triggers (crash:P@#D) need the \
+             global delivery order; use the sequential engine");
+      if processor > n then
+        invalid_arg "Par.create: fault plan names a processor above n")
+    faults.Fault.crashes;
+  List.iter
+    (fun ({ processor; _ } : Fault.recover) ->
+      if processor > n then
+        invalid_arg "Par.create: fault plan names a processor above n")
+    faults.Fault.recovers;
+  let c =
+    {
+      n;
+      nshards;
+      seed;
+      delay;
+      la;
+      faults;
+      partitions_active =
+        (match faults.Fault.partitions with [] -> false | _ :: _ -> true);
+    }
+  in
+  let triggers =
+    let at =
+      List.map
+        (fun { Fault.processor; trigger } ->
+          match trigger with
+          | Fault.At time -> (time, 0, processor)
+          | Fault.After _ -> assert false)
+        faults.Fault.crashes
+      @ List.map
+          (fun ({ processor; time } : Fault.recover) -> (time, 1, processor))
+          faults.Fault.recovers
+    in
+    List.sort
+      (fun (t1, k1, p1) (t2, k2, p2) ->
+        match Float.compare t1 t2 with
+        | 0 -> (
+            match Int.compare k1 k2 with 0 -> Int.compare p1 p2 | c -> c)
+        | c -> c)
+      at
+  in
+  let mail =
+    Array.init nshards (fun _ -> Array.init nshards (fun _ -> ref []))
+  in
+  let ceil_div a b = (a + b - 1) / b in
+  let shards =
+    Array.init nshards (fun s ->
+        (* smallest / largest p with shard_of p = s: the inverse image of
+           the floor in shard_of, hence the ceilings *)
+        let lo = ceil_div (s * n) nshards + 1
+        and hi = ceil_div ((s + 1) * n) nshards in
+        let len = hi - lo + 1 in
+        {
+          sid = s;
+          lo;
+          hi;
+          heap = Heap.create ~capacity:(max 16 (min (2 * len) (1 lsl 14))) ();
+          sseq = Array.make len 0;
+          s_sent = Array.make len 0;
+          s_recv = Array.make len 0;
+          crashed_l = Array.make len false;
+          tev =
+            Array.of_list
+              (List.filter (fun (_, _, p) -> p >= lo && p <= hi) triggers);
+          tev_idx = 0;
+          s_dropped = 0;
+          s_crashes = 0;
+          s_recoveries = 0;
+          s_deliveries = 0;
+          s_events = 0;
+          min_pub = infinity;
+          clock = [| 0. |];
+          out = mail.(s);
+        })
+  in
+  let t =
+    {
+      c;
+      shards;
+      ctxs = Array.map (fun sh -> { cfg = c; sh; cself = 0 }) shards;
+      mail;
+      handler = None;
+      running = false;
+    }
+  in
+  (* "Crashed from the start" (At 0.) applies before any send, as in the
+     sequential engine. *)
+  Array.iter (fun sh -> apply_due sh ~at:0.) t.shards;
+  t

@@ -24,6 +24,13 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the exact current state (same future stream). *)
 
+val keyed : seed:int -> int -> int -> t
+(** [keyed ~seed a b] is a stream that is a pure function of the triple
+    [(seed, a, b)] — stateless derivation, no shared generator advanced.
+    The sharded engine ({!Par}) keys one on (sender, per-sender send
+    index) per message so that delay draws are independent of domain
+    execution order. Distinct triples give independent streams. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -133,6 +133,93 @@ let test_fault_plan_reproducible () =
      this test would silently degenerate into the Fault.none case. *)
   check Alcotest.bool "plan actually fired" true (Sim.Metrics.dropped a > 0)
 
+(* Sharding the event queue must not move a single event: for every shard
+   count the canonical (arrival, gseq) merge across the per-shard heaps
+   reproduces the sequential goldens bit-for-bit. This is the counter-side
+   determinism matrix for the sharded engine (Sim.Par has its own in
+   test_par.ml). *)
+let shard_counts = [ 1; 2; 4; 8 ]
+
+let test_shard_matrix_goldens () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun s ->
+          let m = Sim.Network.with_shards s (fun () -> run_metrics g) in
+          check Alcotest.int
+            (Printf.sprintf "%s: golden checksum under %d shards" g.name s)
+            g.checksum (Sim.Metrics.checksum m))
+        shard_counts)
+    goldens
+
+(* Same matrix under fault plans — a deterministic crash/recover plan and
+   a probabilistic drop/dup/partition plan. Faults touch the Rng draw
+   order (at send time) and the crash trigger order (at pop time); both
+   are layout-independent, so every shard count must agree with the
+   unsharded run, fault counters included. *)
+let test_shard_matrix_fault_plans () =
+  let plan s =
+    match Sim.Fault.of_string s with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "bad plan: %s" e
+  in
+  (* Stalls are expected under a fault plan, so this runner goes through
+     inc_result instead of run_metrics's raising inc. *)
+  let run_faulted faults =
+    let module R = Core.Retire_counter in
+    let c = R.create ~faults ~n:81 ~seed:42 () in
+    let order = Sim.Rng.permutation (Sim.Rng.create ~seed:42) 81 in
+    Array.iter (fun p -> ignore (R.inc_result c ~origin:(p + 1))) order;
+    R.metrics c
+  in
+  List.iter
+    (fun spec ->
+      let faults = plan spec in
+      let base = run_faulted faults in
+      List.iter
+        (fun s ->
+          let m = Sim.Network.with_shards s (fun () -> run_faulted faults) in
+          check Alcotest.int
+            (Printf.sprintf "%s: checksum under %d shards" spec s)
+            (Sim.Metrics.checksum base) (Sim.Metrics.checksum m);
+          check Alcotest.int
+            (Printf.sprintf "%s: drops under %d shards" spec s)
+            (Sim.Metrics.dropped base) (Sim.Metrics.dropped m);
+          check Alcotest.int
+            (Printf.sprintf "%s: recoveries under %d shards" spec s)
+            (Sim.Metrics.recoveries base)
+            (Sim.Metrics.recoveries m))
+        shard_counts;
+      (* the plan must actually fire, or the matrix degenerates *)
+      check Alcotest.bool
+        (Printf.sprintf "%s: plan bites" spec)
+        true
+        (Sim.Metrics.dropped base > 0 || Sim.Metrics.crashes base > 0))
+    [ "crash:3@4/recover:3@40"; "drop:0.02/dup:0.01/part:1-9@3,20" ]
+
+(* The driver-level wiring of the same knob: --sim-domains reports are
+   byte-identical for every value. *)
+let test_driver_sim_domains_identical () =
+  let run d =
+    Counter.Driver.run ~seed:1234 ~sim_domains:d
+      Baselines.Registry.retire_tree ~n:81
+      ~schedule:Counter.Schedule.Each_once_shuffled
+  in
+  let base = run 1 in
+  List.iter
+    (fun d ->
+      let r = run d in
+      Alcotest.(check (array int))
+        (Printf.sprintf "values identical, sim_domains=%d" d)
+        base.Counter.Driver.values r.Counter.Driver.values;
+      check Alcotest.int
+        (Printf.sprintf "messages identical, sim_domains=%d" d)
+        base.Counter.Driver.total_messages r.Counter.Driver.total_messages;
+      check Alcotest.int
+        (Printf.sprintf "bottleneck identical, sim_domains=%d" d)
+        base.Counter.Driver.bottleneck_load r.Counter.Driver.bottleneck_load)
+    [ 2; 4; 8 ]
+
 (* The driver's shuffled schedule must also be reproducible end-to-end. *)
 let test_driver_reports_reproducible () =
   let run () =
@@ -165,5 +252,14 @@ let () =
             test_fault_plan_reproducible;
           Alcotest.test_case "driver reports reproducible" `Quick
             test_driver_reports_reproducible;
+        ] );
+      ( "shard matrix",
+        [
+          Alcotest.test_case "goldens bit-identical under 1/2/4/8 shards"
+            `Quick test_shard_matrix_goldens;
+          Alcotest.test_case "fault plans bit-identical under 1/2/4/8 shards"
+            `Quick test_shard_matrix_fault_plans;
+          Alcotest.test_case "driver --sim-domains reports identical" `Quick
+            test_driver_sim_domains_identical;
         ] );
     ]
