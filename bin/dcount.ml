@@ -45,7 +45,8 @@ let faults_arg =
     & info [ "faults" ] ~docv:"PLAN"
         ~doc:
           "Deterministic fault plan: clauses crash:P@T, crash:P@#D, \
-           recover:P@T, drop:F, drop:S,D:F, dup:F and part:LO-HI@T0,T1 \
+           recover:P@T, drop:F, drop:S,D:F, dup:F, part:LO-HI@T0,T1 and \
+           the store-RPC clauses sdrop:F, sdup:F, sslow:F:D, sout:T0,T1 \
            joined with '/', or $(b,none). Example: \
            crash:3@1.5/recover:3@40/drop:0.01.")
 
@@ -241,7 +242,193 @@ let chaos_cmd =
     let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
     go 0
   in
-  let run counter n seed delay crash_counts drop_rates dup ops check recover =
+  (* Durable sweep: runs Core.Durable_counter concretely (the generic
+     row loop cannot reach durable-only accessors through the sealed
+     module type). Victims are drawn from 1..n, so the store — processor
+     n+1 in the counter's own network — never crashes: the object store
+     models an external service that outlives processor failures. Rows
+     report [replayed=] (WAL replays: recoveries that reconstructed the
+     pre-crash count from the store) where the amnesiac sweep reports
+     [recovered=]; --check asserts zero lost increments instead of
+     completion bounds. *)
+  let run_durable n seed delay crash_counts drop_rates dup ops check recover
+      =
+    let module D = Core.Durable_counter in
+    let n = D.supported_n n in
+    let ops = if ops <= 0 then 2 * n else ops in
+    let run_ops c =
+      let values = ref [] and stalled = ref 0 and skipped = ref 0 in
+      let last_stall = ref "" in
+      let origin = ref 0 in
+      for _ = 1 to ops do
+        let rec advance tries =
+          origin := (!origin mod n) + 1;
+          if D.crashed c !origin && tries < n then advance (tries + 1)
+        in
+        advance 0;
+        if D.crashed c !origin then incr skipped
+        else
+          match D.inc_result c ~origin:!origin with
+          | Counter.Counter_intf.Completed v -> values := v :: !values
+          | Counter.Counter_intf.Stalled reason ->
+              incr stalled;
+              last_stall := reason
+      done;
+      (List.rev !values, !stalled, !skipped, !last_stall)
+    in
+    let baseline = D.create ~seed ?delay ~n () in
+    let _ = run_ops baseline in
+    let base_metrics = D.metrics baseline in
+    let base_total = Sim.Metrics.total_messages base_metrics in
+    let base_bproc, base_bload = Sim.Metrics.bottleneck base_metrics in
+    let base_per_op = float_of_int base_total /. float_of_int (max 1 ops) in
+    let base_span =
+      List.fold_left
+        (fun acc t -> acc +. Sim.Trace.duration t)
+        0. (D.traces baseline)
+    in
+    Format.printf
+      "chaos sweep (durable): counter=%s n=%d ops=%d seed=%d dup=%g \
+       recover=%b@.\
+       baseline: %d msgs (%.1f/op), bottleneck p%d(%d)@.@."
+      D.name n ops seed dup recover base_total base_per_op base_bproc
+      base_bload;
+    Format.printf
+      "%7s %6s  %-11s %7s %7s  %8s %8s  %-12s %s@." "crashes" "drop"
+      "done/req" "skipped" "stalled" "msgs/op" "load+%" "bottleneck" "notes";
+    let check_failures = ref [] in
+    List.iter
+      (fun f ->
+        List.iteri
+          (fun di d ->
+            let rng =
+              Sim.Rng.create
+                ~seed:(seed lxor (f * 7919) lxor ((di + 1) * 104729))
+            in
+            let perm = Sim.Rng.permutation rng n in
+            let crashes, recovers =
+              if not recover then
+                ( List.init (min f n) (fun i ->
+                      {
+                        Sim.Fault.processor = perm.(i) + 1;
+                        trigger =
+                          Sim.Fault.After
+                            (1 + Sim.Rng.int rng (max 1 base_total));
+                      }),
+                  [] )
+              else
+                let cells =
+                  List.init (min f n) (fun i ->
+                      let tc =
+                        Sim.Rng.float rng (Float.max 1. base_span)
+                      in
+                      ( {
+                          Sim.Fault.processor = perm.(i) + 1;
+                          trigger = Sim.Fault.At tc;
+                        },
+                        {
+                          Sim.Fault.processor = perm.(i) + 1;
+                          time = tc +. 32. +. Sim.Rng.float rng 64.;
+                        } ))
+                in
+                (List.map fst cells, List.map snd cells)
+            in
+            let faults =
+              {
+                Sim.Fault.none with
+                Sim.Fault.crashes;
+                recovers;
+                drop = d;
+                duplicate = dup;
+              }
+            in
+            let c = D.create ~seed ?delay ~faults ~n () in
+            let values, stalled, skipped, last_stall = run_ops c in
+            let completed = List.length values in
+            let m = D.metrics c in
+            let total = Sim.Metrics.total_messages m in
+            let replayed = D.replays c in
+            let bproc, bload = Sim.Metrics.bottleneck m in
+            let attempted = ops - skipped in
+            let per_op =
+              float_of_int total /. float_of_int (max 1 attempted)
+            in
+            let added_pct =
+              if base_per_op > 0. then
+                100. *. ((per_op /. base_per_op) -. 1.)
+              else 0.
+            in
+            let shifted = bproc <> base_bproc in
+            let durable = D.value c in
+            let notes =
+              (if replayed > 0 then
+                 [ Printf.sprintf "replayed=%d" replayed ]
+               else [])
+              @ [ Printf.sprintf "durable=%d" durable ]
+              @
+              if stalled > 0 then [ "last stall: " ^ last_stall ] else []
+            in
+            Format.printf
+              "%7d %6.2f  %5d/%-5d %7d %7d  %8.1f %+7.0f%%  p%d(%d)%s %s@."
+              f d completed attempted skipped stalled per_op added_pct
+              bproc bload
+              (if shifted then "*" else " ")
+              (String.concat "; " notes);
+            if check then begin
+              let fail fmt = Printf.ksprintf (fun s ->
+                  check_failures :=
+                    Printf.sprintf "crashes=%d drop=%g: %s" f d s
+                    :: !check_failures) fmt
+              in
+              (* Zero lost increments: every value acked to a client must
+                 survive in the store — distinct, below the durable
+                 count, with the WAL monitor quiet. The durable count may
+                 exceed the completed count (an applied increment whose
+                 ack was lost is durable but unacked), never trail it. *)
+              let sorted = List.sort Int.compare values in
+              let rec dup_in = function
+                | a :: (b :: _ as rest) ->
+                    if a = b then Some a else dup_in rest
+                | _ -> None
+              in
+              (match dup_in sorted with
+              | Some v -> fail "value %d acked twice" v
+              | None -> ());
+              List.iter
+                (fun v ->
+                  if v >= durable then
+                    fail "acked value %d lost (durable count %d)" v durable)
+                values;
+              if completed > durable then
+                fail "%d acks but durable count %d" completed durable;
+              (match D.spec_violation c with
+              | Some s -> fail "spec violation: %s" s
+              | None -> ());
+              if f = 0 && Float.equal d 0. && Float.equal dup 0.
+                 && completed <> ops
+              then fail "fault-free row completed %d/%d operations"
+                     completed ops
+            end)
+          drop_rates)
+      crash_counts;
+    Format.printf
+      "@.(* = bottleneck moved off the fault-free bottleneck processor \
+       p%d)@."
+      base_bproc;
+    if check then
+      match !check_failures with
+      | [] -> Format.printf "chaos check (durable): OK@."
+      | fs ->
+          List.iter
+            (fun f -> Format.eprintf "chaos check FAILED: %s@." f)
+            fs;
+          exit 1
+  in
+  let run counter n seed delay crash_counts drop_rates dup ops check recover
+      durable =
+    if durable then
+      run_durable n seed delay crash_counts drop_rates dup ops check recover
+    else
     let (module C : Counter.Counter_intf.S) = counter in
     let n = C.supported_n n in
     let ops = if ops <= 0 then 2 * n else ops in
@@ -486,6 +673,21 @@ let chaos_cmd =
              report emergency retirements and actual revivals in the \
              notes column.")
   in
+  let durable_arg =
+    Arg.(
+      value & flag
+      & info [ "durable" ]
+          ~doc:
+            "Sweep the WAL-backed $(b,durable) counter (ignores \
+             $(b,--counter)). Rows report $(b,replayed=) — recoveries \
+             that reconstructed the pre-crash count from the object \
+             store — where the amnesiac sweep reports $(b,recovered=), \
+             plus the durable count from an offline WAL audit. With \
+             $(b,--check), asserts zero lost increments on every row: \
+             acked values are distinct, below the durable count, and the \
+             WAL monitor saw no violation. Combine with $(b,--recover) \
+             to exercise crash-recovery.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -493,7 +695,8 @@ let chaos_cmd =
           completion rate, added message load and bottleneck shift.")
     Term.(
       const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ crashes_arg
-      $ drops_arg $ dup_arg $ ops_arg $ check_arg $ recover_arg)
+      $ drops_arg $ dup_arg $ ops_arg $ check_arg $ recover_arg
+      $ durable_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)
@@ -723,12 +926,14 @@ let exhaustive_cmd =
 
 let mc_cmd =
   let run counter n seed faults schedule max_states max_depth prune
-      expect_violation allow_incomplete cx_out replay_file sweep_all =
+      expect_violation allow_incomplete cx_out replay_file sweep_all
+      progress =
     let config =
       {
         Mc.Explore.default_config with
         max_states;
         max_depth;
+        check_progress = progress;
         prune =
           (match Mc.Prune.of_string prune with
           | Ok m -> m
@@ -931,6 +1136,16 @@ let mc_cmd =
             "Number of processors (rounded up to a supported size). Keep \
              small: the interleaving space is exponential.")
   in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Also check CounterProgress on crash/recover executions: once \
+             every crashed victim has been revived and the run is \
+             quiescent, an operation may only stall for an origin-local \
+             reason (its origin was down, or it gave up retrying).")
+  in
   Cmd.v
     (Cmd.info "mc"
        ~doc:
@@ -942,7 +1157,7 @@ let mc_cmd =
       const run $ counter_arg $ n_mc_arg $ seed_arg $ faults_arg
       $ schedule_arg $ max_states_arg $ max_depth_arg $ prune_arg
       $ expect_violation_arg $ allow_incomplete_arg $ cx_out_arg
-      $ replay_arg $ all_arg)
+      $ replay_arg $ all_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

@@ -32,6 +32,8 @@ let quorum_wall : Counter.Counter_intf.counter =
 let quorum_plane : Counter.Counter_intf.counter =
   (module Quorum_counter.Over_plane)
 
+let durable : Counter.Counter_intf.counter = (module Core.Durable_counter)
+
 let all =
   [
     retire_tree;
@@ -48,6 +50,7 @@ let all =
     quorum_tree;
     quorum_wall;
     quorum_plane;
+    durable;
   ]
 
 let amnesiac : Counter.Counter_intf.counter = (module Amnesiac)
@@ -56,7 +59,9 @@ let race_reply : Counter.Counter_intf.counter = (module Race_reply)
 
 let ft_no_handoff : Counter.Counter_intf.counter = (module Ft_no_handoff)
 
-let broken = [ amnesiac; race_reply; ft_no_handoff ]
+let durable_no_cas : Counter.Counter_intf.counter = (module Durable_no_cas)
+
+let broken = [ amnesiac; race_reply; ft_no_handoff; durable_no_cas ]
 
 let find name =
   List.find_opt

@@ -33,6 +33,11 @@ val quorum_wall : Counter.Counter_intf.counter
 
 val quorum_plane : Counter.Counter_intf.counter
 
+val durable : Counter.Counter_intf.counter
+(** The durable WAL-backed counter on the simulated object store
+    ({!Core.Durable_counter}) — the one counter whose [recover:P@T]
+    revival is not amnesia. *)
+
 val all : Counter.Counter_intf.counter list
 (** Every {e correct} counter, the paper's first. *)
 
@@ -45,6 +50,10 @@ val race_reply : Counter.Counter_intf.counter
 val ft_no_handoff : Counter.Counter_intf.counter
 (** Deliberately broken under crashes: {!Core.Retire_ft} without the
     emergency job-description handoff ({!Ft_no_handoff}). *)
+
+val durable_no_cas : Counter.Counter_intf.counter
+(** Deliberately broken under reordering: {!Core.Durable_counter} with
+    blind puts instead of compare-and-swap ({!Durable_no_cas}). *)
 
 val broken : Counter.Counter_intf.counter list
 (** The deliberately broken counters — negative controls for the

@@ -1,0 +1,361 @@
+(* Write-ahead-log object layout for the durable counter, plus the pure
+   replay function shared by live recovery and the offline audit, and
+   the runtime monitor that checks the oswald safety specs against the
+   store's actual mutation history (see docs/DURABILITY.md).
+
+   Objects (all plain ASCII, deterministic encodings):
+
+     manifest          epoch=E;snap=S;low=L;active=A
+     chunk.%06d        base=B;recs=lsn:origin:op,...
+     snap.%09d         lsn=S;table=origin:op:value|...
+
+   LSNs are the counter values themselves: record [lsn] is the value the
+   increment returned, so "count" and "next LSN" are the same number.
+   Chunk K holds the consecutive LSNs [base .. base + |recs| - 1];
+   [manifest.snap] is the number of increments covered by the latest
+   snapshot (0 = none), [low .. active] the live chunk range. *)
+
+type record = { lsn : int; origin : int; op : int }
+
+type chunk = { base : int; recs : record list }
+
+type manifest = { epoch : int; snap : int; low : int; active : int }
+
+type snapshot = { covered : int; table : (int * (int * int)) list }
+
+let manifest_key = "manifest"
+
+let chunk_prefix = "chunk."
+
+let snap_prefix = "snap."
+
+let chunk_key k = Printf.sprintf "chunk.%06d" k
+
+let snap_key s = Printf.sprintf "snap.%09d" s
+
+let initial_manifest = { epoch = 0; snap = 0; low = 0; active = 0 }
+
+let record_equal a b = a.lsn = b.lsn && a.origin = b.origin && a.op = b.op
+
+(* ------------------------------------------------------------------ *)
+(* Codecs *)
+
+let encode_record r = Printf.sprintf "%d:%d:%d" r.lsn r.origin r.op
+
+let encode_chunk c =
+  Printf.sprintf "base=%d;recs=%s" c.base
+    (String.concat "," (List.map encode_record c.recs))
+
+let encode_manifest m =
+  Printf.sprintf "epoch=%d;snap=%d;low=%d;active=%d" m.epoch m.snap m.low
+    m.active
+
+let encode_snapshot s =
+  Printf.sprintf "lsn=%d;table=%s" s.covered
+    (String.concat "|"
+       (List.map
+          (fun (origin, (op, value)) ->
+            Printf.sprintf "%d:%d:%d" origin op value)
+          s.table))
+
+let split2 c x =
+  match String.index_opt x c with
+  | None -> None
+  | Some i ->
+      Some (String.sub x 0 i, String.sub x (i + 1) (String.length x - i - 1))
+
+(* "name=value" field with the expected name, or Error. *)
+let field name x =
+  match split2 '=' x with
+  | Some (n, v) when String.equal n name -> Ok v
+  | Some _ | None -> Error (Printf.sprintf "expected field %s= in %S" name x)
+
+let int_field name x =
+  match field name x with
+  | Error _ as e -> e
+  | Ok v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %s: not an integer: %S" name v))
+
+let ( let* ) = Result.bind
+
+let decode_record x =
+  match String.split_on_char ':' x with
+  | [ a; b; c ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      | Some lsn, Some origin, Some op -> Ok { lsn; origin; op }
+      | _ -> Error (Printf.sprintf "bad record %S" x))
+  | _ -> Error (Printf.sprintf "bad record %S" x)
+
+let decode_chunk x =
+  match String.split_on_char ';' x with
+  | [ b; r ] ->
+      let* base = int_field "base" b in
+      let* recs_s = field "recs" r in
+      let* recs =
+        if String.equal recs_s "" then Ok []
+        else
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              let* r = decode_record s in
+              Ok (r :: acc))
+            (Ok [])
+            (String.split_on_char ',' recs_s)
+      in
+      Ok { base; recs = List.rev recs }
+  | _ -> Error (Printf.sprintf "bad chunk %S" x)
+
+let decode_manifest x =
+  match String.split_on_char ';' x with
+  | [ e; s; l; a ] ->
+      let* epoch = int_field "epoch" e in
+      let* snap = int_field "snap" s in
+      let* low = int_field "low" l in
+      let* active = int_field "active" a in
+      Ok { epoch; snap; low; active }
+  | _ -> Error (Printf.sprintf "bad manifest %S" x)
+
+let decode_snapshot x =
+  match String.split_on_char ';' x with
+  | [ l; t ] ->
+      let* covered = int_field "lsn" l in
+      let* table_s = field "table" t in
+      let* table =
+        if String.equal table_s "" then Ok []
+        else
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match String.split_on_char ':' s with
+              | [ a; b; c ] -> (
+                  match
+                    ( int_of_string_opt a,
+                      int_of_string_opt b,
+                      int_of_string_opt c )
+                  with
+                  | Some origin, Some op, Some value ->
+                      Ok ((origin, (op, value)) :: acc)
+                  | _ -> Error (Printf.sprintf "bad table entry %S" s))
+              | _ -> Error (Printf.sprintf "bad table entry %S" s))
+            (Ok [])
+            (String.split_on_char '|' table_s)
+      in
+      Ok { covered; table = List.rev table }
+  | _ -> Error (Printf.sprintf "bad snapshot %S" x)
+
+let chunk_index_of_key k =
+  let pl = String.length chunk_prefix in
+  if String.length k > pl && String.equal (String.sub k 0 pl) chunk_prefix then
+    int_of_string_opt (String.sub k pl (String.length k - pl))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Replay: fold snapshot + live chunks back into (count, dedup table).
+   Shared by the counter's live recovery (over fetched objects) and the
+   offline [audit] (over direct store reads): one code path, so the
+   recovery a crashed writer performs is exactly the oracle tests check
+   against. *)
+
+let table_set table origin entry =
+  (origin, entry) :: List.filter (fun (o, _) -> o <> origin) table
+
+let replay (m : manifest) (snap : snapshot option) (chunks : chunk list) =
+  let* count0, table0 =
+    match snap with
+    | None ->
+        if m.snap = 0 then Ok (0, [])
+        else Error "manifest names a snapshot that was not supplied"
+    | Some s ->
+        if s.covered = m.snap then Ok (s.covered, s.table)
+        else Error "snapshot coverage disagrees with manifest"
+  in
+  let chunks = List.sort (fun a b -> Int.compare a.base b.base) chunks in
+  let* count, table =
+    List.fold_left
+      (fun acc (c : chunk) ->
+        let* acc = acc in
+        List.fold_left
+          (fun acc (r : record) ->
+            let* count, table = acc in
+            if r.lsn < count then Ok (count, table)
+              (* covered by the snapshot (or an overlapping re-read) *)
+            else if r.lsn > count then
+              Error
+                (Printf.sprintf "lsn gap: expected %d, found %d" count r.lsn)
+            else Ok (count + 1, table_set table r.origin (r.op, r.lsn)))
+          (Ok acc) c.recs)
+      (Ok (count0, table0))
+      chunks
+  in
+  Ok (count, List.sort (fun (a, _) (b, _) -> Int.compare a b) table)
+
+let audit store =
+  let* m =
+    match Sim.Store.find store manifest_key with
+    | None -> Ok initial_manifest
+    | Some enc -> decode_manifest enc
+  in
+  let* snap =
+    if m.snap = 0 then Ok None
+    else
+      match Sim.Store.find store (snap_key m.snap) with
+      | None -> Error "manifest names a missing snapshot object"
+      | Some enc ->
+          let* s = decode_snapshot enc in
+          Ok (Some s)
+  in
+  let* chunks =
+    List.fold_left
+      (fun acc (k, enc) ->
+        let* acc = acc in
+        match chunk_index_of_key k with
+        | None -> Ok acc
+        | Some idx ->
+            if idx < m.low || idx > m.active then Ok acc
+            else
+              let* c = decode_chunk enc in
+              Ok (c :: acc))
+      (Ok [])
+      (Sim.Store.bindings store)
+  in
+  replay m snap chunks
+
+(* ------------------------------------------------------------------ *)
+(* Spec monitor: the oswald safety specs checked against every store
+   mutation, via {!Sim.Store.set_monitor}. A violation sticks (first one
+   wins) and surfaces as a ["spec: ..."] stall at the end of the
+   operation that caused it. *)
+
+module Monitor = struct
+  type t = {
+    mutable violation : string option;
+    mutable acked_max : int;
+        (* ghost: highest counter value acked to any origin *)
+    mutable last_manifest : manifest;
+        (* shadow of the manifest as actually stored *)
+  }
+
+  let create () =
+    { violation = None; acked_max = -1; last_manifest = initial_manifest }
+
+  let copy m = { m with violation = m.violation }
+
+  let violation m = m.violation
+
+  let flag m reason = if m.violation = None then m.violation <- Some reason
+
+  let note_ack m v = if v > m.acked_max then m.acked_max <- v
+
+  let note_recovered_count m count =
+    if count <= m.acked_max then
+      flag m
+        (Printf.sprintf
+           "counter-monotonicity: recovered count %d loses acked value %d"
+           count m.acked_max)
+
+  let is_prefix p s =
+    String.length s >= String.length p
+    && String.equal (String.sub s 0 (String.length p)) p
+
+  let check_consecutive m ~key (c : chunk) =
+    List.iteri
+      (fun i (r : record) ->
+        if r.lsn <> c.base + i then
+          flag m
+            (Printf.sprintf
+               "lsn-consistency: %s holds lsn %d at offset %d (base %d)" key
+               r.lsn i c.base))
+      c.recs
+
+  let check_chunk m ~key ~prev ~next =
+    match next with
+    | None -> (
+        (* GC: deleting a chunk is only safe once a snapshot covers it. *)
+        match Option.map decode_chunk prev with
+        | Some (Ok c) ->
+            if c.base + List.length c.recs > m.last_manifest.snap then
+              flag m
+                (Printf.sprintf
+                   "lsn-consistency: %s deleted while uncovered (snap=%d)" key
+                   m.last_manifest.snap)
+        | Some (Error e) -> flag m ("lsn-consistency: " ^ e)
+        | None -> ())
+    | Some next_enc -> (
+        match decode_chunk next_enc with
+        | Error e -> flag m ("lsn-consistency: " ^ e)
+        | Ok c -> (
+            check_consecutive m ~key c;
+            match Option.map decode_chunk prev with
+            | None -> ()
+            | Some (Error e) -> flag m ("lsn-consistency: " ^ e)
+            | Some (Ok p) ->
+                let rec prefix = function
+                  | [], _ -> true
+                  | _ :: _, [] -> false
+                  | a :: ra, b :: rb ->
+                      record_equal a b && prefix (ra, rb)
+                in
+                if c.base <> p.base || not (prefix (p.recs, c.recs)) then
+                  flag m
+                    (Printf.sprintf
+                       "lsn-consistency: %s rewritten non-append (%d->%d \
+                        records)"
+                       key (List.length p.recs) (List.length c.recs))))
+
+  let check_manifest m ~prev ~next =
+    match next with
+    | None -> flag m "manifest-monotonicity: manifest deleted"
+    | Some next_enc -> (
+        match decode_manifest next_enc with
+        | Error e -> flag m ("manifest-monotonicity: " ^ e)
+        | Ok nm ->
+            (match Option.map decode_manifest prev with
+            | None -> ()
+            | Some (Error e) -> flag m ("manifest-monotonicity: " ^ e)
+            | Some (Ok pm) ->
+                if
+                  nm.epoch < pm.epoch || nm.snap < pm.snap || nm.low < pm.low
+                  || nm.active < pm.active
+                then
+                  flag m
+                    (Printf.sprintf
+                       "manifest-monotonicity: %s regressed to %s"
+                       (encode_manifest pm) (encode_manifest nm)));
+            if nm.low > nm.active then
+              flag m
+                (Printf.sprintf "manifest-monotonicity: low %d > active %d"
+                   nm.low nm.active);
+            m.last_manifest <- nm)
+
+  let check_snapshot m ~key ~prev ~next =
+    match next with
+    | None -> (
+        (* Deleting an old snapshot is GC; deleting the one the manifest
+           still points to loses the covered prefix. *)
+        match Option.map decode_snapshot prev with
+        | Some (Ok s) ->
+            if s.covered >= m.last_manifest.snap && m.last_manifest.snap > 0
+            then flag m (Printf.sprintf "lsn-consistency: %s deleted live" key)
+        | Some (Error e) -> flag m ("lsn-consistency: " ^ e)
+        | None -> ())
+    | Some next_enc -> (
+        match decode_snapshot next_enc with
+        | Error e -> flag m ("lsn-consistency: " ^ e)
+        | Ok _ -> (
+            (* Snapshot objects are immutable once written. *)
+            match prev with
+            | Some prev_enc when not (String.equal prev_enc next_enc) ->
+                flag m (Printf.sprintf "lsn-consistency: %s rewritten" key)
+            | Some _ | None -> ()))
+
+  let observe m ~key ~prev ~next =
+    if String.equal key manifest_key then check_manifest m ~prev ~next
+    else if is_prefix chunk_prefix key then check_chunk m ~key ~prev ~next
+    else if is_prefix snap_prefix key then check_snapshot m ~key ~prev ~next
+
+  let attach m store =
+    Sim.Store.set_monitor store (fun ~key ~prev ~next ->
+        observe m ~key ~prev ~next)
+end

@@ -1,0 +1,127 @@
+(** WAL object layout, replay, and the oswald spec monitor.
+
+    The durable counter ({!Durable_counter}) persists its state in a
+    {!Sim.Store} as three kinds of objects — a [manifest], numbered
+    [chunk.*] WAL segments, and [snap.*] snapshots — with the layout and
+    recovery procedure described in docs/DURABILITY.md. This module owns
+    the deterministic ASCII codecs, the pure {!replay} fold shared by
+    live recovery and the offline {!audit} oracle, and {!Monitor}, the
+    runtime checker for the ported oswald safety specs. *)
+
+type record = { lsn : int; origin : int; op : int }
+(** One logged increment: [lsn] is the counter value the operation
+    returned (LSNs {e are} values), [origin]/[op] identify the request
+    for idempotent replay — an origin's [op] sequence numbers are issued
+    in order, so "last op per origin" suffices to dedup retries. *)
+
+type chunk = { base : int; recs : record list }
+(** WAL segment holding the consecutive LSNs
+    [base .. base + length recs - 1]. *)
+
+type manifest = { epoch : int; snap : int; low : int; active : int }
+(** Root metadata: [epoch] fences superseded writer incarnations (every
+    manifest CAS from a pre-crash incarnation fails once recovery bumps
+    it), [snap] is the LSN count covered by the latest snapshot (0 =
+    none), [low .. active] the live chunk index range. *)
+
+type snapshot = { covered : int; table : (int * (int * int)) list }
+(** Materialized state at LSN [covered]: count plus the per-origin
+    [(op, value)] dedup table, ascending by origin. *)
+
+val manifest_key : string
+
+val chunk_prefix : string
+
+val snap_prefix : string
+
+val chunk_key : int -> string
+(** [chunk_key k] = ["chunk.%06d"] — zero-padded so {!Sim.Store.List}'s
+    lexicographic order is numeric order. *)
+
+val snap_key : int -> string
+
+val initial_manifest : manifest
+(** [{epoch = 0; snap = 0; low = 0; active = 0}] — what a fresh writer
+    CAS-creates when the store has no manifest yet. *)
+
+val record_equal : record -> record -> bool
+
+val encode_chunk : chunk -> string
+
+val encode_manifest : manifest -> string
+
+val encode_snapshot : snapshot -> string
+
+val decode_chunk : string -> (chunk, string) result
+
+val decode_manifest : string -> (manifest, string) result
+
+val decode_snapshot : string -> (snapshot, string) result
+
+val chunk_index_of_key : string -> int option
+(** Parse ["chunk.%06d"] back to the index; [None] for other keys. *)
+
+val table_set :
+  (int * (int * int)) list -> int -> int * int -> (int * (int * int)) list
+(** Replace origin's dedup entry. *)
+
+val replay :
+  manifest ->
+  snapshot option ->
+  chunk list ->
+  (int * (int * (int * int)) list, string) result
+(** Fold a snapshot and the live chunks back into
+    [(count, dedup table)]. Checks LSN continuity (a gap or a
+    snapshot/manifest mismatch is a typed [Error], not a wrong count);
+    records below the snapshot's coverage are skipped, so re-reading an
+    overlapping chunk is harmless. This is the one recovery code path:
+    the live writer runs it over fetched objects, {!audit} over direct
+    store reads. *)
+
+val audit : Sim.Store.t -> (int * (int * (int * int)) list, string) result
+(** Offline recovery oracle: read manifest + snapshot + live chunks
+    straight out of the store (uncharged) and {!replay} them — what a
+    freshly recovered writer {e would} reconstruct. Tests compare this
+    against the live counter's value after every chaos plan: equal
+    means zero completed increments were lost. *)
+
+(** Runtime checker for the four ported oswald specs (the safety three
+    here; liveness — CounterProgress — is an {!Mc.Explore} property).
+    Attach to the store with {!Monitor.attach}; every mutation is
+    checked synchronously and the first violation sticks, surfacing as
+    a ["spec: ..."] stall at the end of the operation that caused it:
+
+    - {b SafetyLsnConsistency} — chunks only ever extend (append-only
+      prefix rule) with consecutive LSNs from their base; snapshots are
+      immutable; GC deletes only covered objects.
+    - {b SafetyManifestMonotonicity} — epoch/snap/low/active never
+      regress, [low <= active], the manifest is never deleted.
+    - {b SafetyCounterMonotonicity} — ghost check: after recovery the
+      reconstructed count must exceed every value already acked to an
+      origin ({!Monitor.note_ack} / {!Monitor.note_recovered_count}). *)
+module Monitor : sig
+  type t
+
+  val create : unit -> t
+
+  val copy : t -> t
+  (** Independent copy, for counter clones — branches must not pollute
+      each other's ghost state. *)
+
+  val attach : t -> Sim.Store.t -> unit
+
+  val violation : t -> string option
+  (** First violation detected, e.g.
+      ["lsn-consistency: chunk.000001 rewritten non-append"]. *)
+
+  val note_ack : t -> int -> unit
+  (** A counter value was returned to an origin. *)
+
+  val note_recovered_count : t -> int -> unit
+  (** Recovery reconstructed this count; must exceed every acked
+      value. *)
+
+  val observe :
+    t -> key:string -> prev:string option -> next:string option -> unit
+  (** The raw {!Sim.Store.monitor} entry point (exposed for tests). *)
+end

@@ -1,30 +1,41 @@
 (** Decision alphabet of the model checker.
 
     A {!key} names one enabled event at a decision point: delivering the
-    oldest pending message of a (src, dst) link, firing the
-    earliest-armed local timer, or crash-stopping a processor. Keys are
-    what the explorer branches over, what counterexample files serialise
+    oldest pending message of a (src, dst) link — or one {e specific}
+    pending message, for destinations declared delivery-unordered
+    ({!Sim.Network.declare_unordered}) — firing the earliest-armed local
+    timer, or crash-stopping / reviving a processor. Keys are what the
+    explorer branches over, what counterexample files serialise
     ({!to_token}), and what the sleep-set pruner compares for
     independence. *)
 
 type key =
   | Link of int * int  (** Deliver the oldest message on link (src, dst). *)
+  | Linkn of int * int * int
+      (** Deliver the message with per-link send ordinal [k] on link
+          (src, dst) — only emitted for unordered destinations, where
+          every pending message is individually enabled and the
+          adversary may deliver a later send before an earlier one. *)
   | Timer  (** Fire the earliest-armed local timer. *)
   | Crash of int  (** Crash-stop this processor before the next delivery. *)
+  | Recover of int
+      (** Revive this crashed processor before the next delivery. *)
 
 val of_choice : Sim.Network.choice -> key
 (** Map the network's enabled-event descriptor to a key (the timer
-    pseudo-choice [{0, 0, _}] becomes {!Timer}). Crash keys are added by
-    the explorer, not the network. *)
+    pseudo-choice [{0, 0, _}] becomes {!Timer}; a choice with
+    [link_seq >= 0] becomes {!Linkn}). Crash and recover keys are added
+    by the explorer, not the network. *)
 
 val equal : key -> key -> bool
 
 val compare : key -> key -> int
-(** Links ascending by (src, dst), then the timer, then crashes — the
+(** Links ascending by (src, dst), then numbered links by
+    (src, dst, seq), then the timer, then crashes, then recovers — the
     same canonical order the enabled array uses. *)
 
 val to_token : key -> string
-(** Compact serial form: ["S>D"], ["@"], ["!P"]. *)
+(** Compact serial form: ["S>D"], ["S>D#K"], ["@"], ["!P"], ["^P"]. *)
 
 val of_token : string -> (key, string) result
 (** Inverse of {!to_token}. *)
@@ -33,9 +44,12 @@ val independent : key -> key -> bool
 (** Receiver-locality independence heuristic: two keys are independent
     when executing them in either order from any state reaches the same
     state. [Link (s1, d1)] ⊥ [Link (s2, d2)] iff [d1 <> d2 && d1 <> s2 &&
-    d2 <> s1]; {!Timer} is dependent with everything; [Crash p] ⊥
-    anything not involving [p]. Exact for receiver-local protocols (every
-    handler touches only the receiving processor's state); protocols with
+    d2 <> s1], with {!Linkn} projecting onto its (src, dst) — two
+    numbered deliveries on the same link are exactly the reorderings
+    unordered destinations exist to explore, hence dependent; {!Timer}
+    is dependent with everything; [Crash p] and [Recover p] ⊥ anything
+    not involving [p]. Exact for receiver-local protocols (every handler
+    touches only the receiving processor's state); protocols with
     cross-processor shared state should explore with pruning off
     ({!Prune.No_prune}). *)
 

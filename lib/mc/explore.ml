@@ -5,10 +5,17 @@ type config = {
   max_depth : int;
   prune : Prune.mode;
   check_bound : bool;
+  check_progress : bool;
 }
 
 let default_config =
-  { max_states = 200_000; max_depth = 400; prune = Prune.Sleep; check_bound = true }
+  {
+    max_states = 200_000;
+    max_depth = 400;
+    prune = Prune.Sleep;
+    check_bound = true;
+    check_progress = false;
+  }
 
 type property =
   | Values_wrong
@@ -18,6 +25,10 @@ type property =
   | Unexpected_stall
   | Bound_violated
   | Diverged
+  | Lsn_inconsistent
+  | Manifest_regressed
+  | Counter_regressed
+  | No_progress
 
 let property_name = function
   | Values_wrong -> "values-wrong"
@@ -27,6 +38,10 @@ let property_name = function
   | Unexpected_stall -> "unexpected-stall"
   | Bound_violated -> "bound-violated"
   | Diverged -> "diverged"
+  | Lsn_inconsistent -> "lsn-inconsistent"
+  | Manifest_regressed -> "manifest-regressed"
+  | Counter_regressed -> "counter-regressed"
+  | No_progress -> "no-progress"
 
 let property_of_name = function
   | "values-wrong" -> Ok Values_wrong
@@ -36,6 +51,10 @@ let property_of_name = function
   | "unexpected-stall" -> Ok Unexpected_stall
   | "bound-violated" -> Ok Bound_violated
   | "diverged" -> Ok Diverged
+  | "lsn-inconsistent" -> Ok Lsn_inconsistent
+  | "manifest-regressed" -> Ok Manifest_regressed
+  | "counter-regressed" -> Ok Counter_regressed
+  | "no-progress" -> Ok No_progress
   | s -> Error (Printf.sprintf "unknown property %S" s)
 
 type violation = {
@@ -67,6 +86,7 @@ type exec = {
   outcomes : Counter_intf.outcome list;
   traces : Sim.Trace.t list;
   bottleneck : int;
+  down_at_end : int list;  (* victims still crashed after the last op *)
 }
 
 let reject_probabilistic (faults : Sim.Fault.t) =
@@ -77,46 +97,70 @@ let reject_probabilistic (faults : Sim.Fault.t) =
   then
     invalid_arg
       "Mc.Explore: probabilistic fault clauses (drop/dup/partitions) cannot \
-       be model-checked; only crash victims are supported";
-  if faults.recovers <> [] then
+       be model-checked; only crash/recover victims are supported";
+  if Sim.Fault.store_active faults then
     invalid_arg
-      "Mc.Explore: recover clauses cannot be model-checked; the adversary \
-       re-decides crash times, so a fixed revival time has no meaning"
+      "Mc.Explore: store-RPC fault clauses (sdrop/sdup/sslow/sout) cannot be \
+       model-checked; the adversary already owns delivery nondeterminism, \
+       including store traffic"
+
+let recover_processors (faults : Sim.Fault.t) =
+  List.sort_uniq Int.compare
+    (List.map (fun (r : Sim.Fault.recover) -> r.processor) faults.recovers)
 
 (* The counter is created with the plan's crash victims re-triggered at
-   [After max_int]: the network itself never fires them (so runs stay a
-   pure function of the decision sequence), but failure-aware protocols
-   still see a non-empty plan and arm their timeout machinery. The
-   explorer injects the actual crashes as [Crash_now] decisions. *)
-let neuter victims =
+   [After max_int] and its revivals at [Float.max_float]: the network
+   itself never fires either (so runs stay a pure function of the
+   decision sequence), but failure-aware protocols still see a non-empty
+   plan and arm their timeout machinery. The explorer injects the actual
+   crashes as [Crash_now] decisions and revivals as [Recover_now]. *)
+let neuter (faults : Sim.Fault.t) =
   {
     Sim.Fault.none with
     crashes =
       List.map
         (fun p -> { Sim.Fault.processor = p; trigger = Sim.Fault.After max_int })
-        victims;
+        (Sim.Fault.crash_processors faults);
+    recovers =
+      List.map
+        (fun p -> ({ processor = p; time = Float.max_float } : Sim.Fault.recover))
+        (recover_processors faults);
   }
 
 let execute (module C : Counter_intf.S) ~seed ~neutered ~n ~schedule ~victims
-    ~choose =
+    ~revivable ~choose =
   let crashed = ref [] in
+  let revived = ref [] in
   let policy (choices : Sim.Network.choice array) =
     let base = Array.map Enabled.of_choice choices in
     let live = List.filter (fun p -> not (List.mem p !crashed)) victims in
-    (* Crash choices go first so depth-first order is crash-eager: the
-       interesting branches (victim dies before/between deliveries) are
-       reached immediately instead of after exhausting every benign
-       timer interleaving — with bounded budgets the late branches may
-       never be reached at all. *)
+    (* Each victim crashes at most once and revives at most once: the
+       adversary decides *when*, the plan decides *whether*. *)
+    let downed =
+      List.filter
+        (fun p -> List.mem p !crashed && not (List.mem p !revived))
+        revivable
+    in
+    (* Crash choices go first (then revivals) so depth-first order is
+       crash-eager: the interesting branches (victim dies before/between
+       deliveries, revives mid-recovery) are reached immediately instead
+       of after exhausting every benign timer interleaving — with
+       bounded budgets the late branches may never be reached at all. *)
     let keys =
-      Array.append
-        (Array.of_list (List.map (fun p -> Enabled.Crash p) live))
-        base
+      Array.concat
+        [
+          Array.of_list (List.map (fun p -> Enabled.Crash p) live);
+          Array.of_list (List.map (fun p -> Enabled.Recover p) downed);
+          base;
+        ]
     in
     match (choose keys : Enabled.key) with
     | Enabled.Crash p ->
         crashed := p :: !crashed;
         Sim.Network.Crash_now p
+    | Enabled.Recover p ->
+        revived := p :: !revived;
+        Sim.Network.Recover_now p
     | key ->
         let idx = ref (-1) in
         Array.iteri
@@ -133,7 +177,12 @@ let execute (module C : Counter_intf.S) ~seed ~neutered ~n ~schedule ~victims
         List.map (fun origin -> C.inc_result counter ~origin) origins
       in
       let _, bottleneck = Sim.Metrics.bottleneck (C.metrics counter) in
-      { outcomes; traces = C.traces counter; bottleneck })
+      {
+        outcomes;
+        traces = C.traces counter;
+        bottleneck;
+        down_at_end = List.filter (fun p -> C.crashed counter p) victims;
+      })
 
 (* ------------------------------------------------------------------ *)
 (* Property checks on one completed execution.                         *)
@@ -187,12 +236,59 @@ let faulty_hotspot traces =
   in
   List.concat_map (fun seg -> Hotspot.check (List.rev seg)) segments
 
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+(* A ["spec: ..."] stall is a durability-spec violation the runtime
+   monitor (Core.Wal.Monitor) detected against the store's actual
+   history; map its prefix to the matching checker property. *)
+let spec_stall_violation outcomes =
+  List.find_map
+    (function
+      | Counter_intf.Stalled r when contains ~sub:"spec: " r ->
+          let property =
+            if contains ~sub:"manifest-monotonicity" r then Manifest_regressed
+            else if contains ~sub:"counter-monotonicity" r then
+              Counter_regressed
+            else Lsn_inconsistent
+          in
+          Some (property, r)
+      | Counter_intf.Stalled _ | Counter_intf.Completed _ -> None)
+    outcomes
+
+(* CounterProgress: once every victim the adversary crashed has been
+   revived and every message delivered (quiescence at op end), an
+   operation may only stall for a reason local to its origin — the
+   origin was down when it ran, or it stopped retrying before the
+   revival came. Anything else (a writer wedged mid-recovery, a lost
+   continuation) is a liveness bug. *)
+let progress_violation exec =
+  if exec.down_at_end <> [] then None
+  else
+    List.find_map
+      (function
+        | Counter_intf.Stalled r
+          when not (contains ~sub:"origin" r || contains ~sub:"gave up" r) ->
+            Some
+              ( No_progress,
+                Printf.sprintf
+                  "operation stalled (%s) though every crashed processor \
+                   recovered and all messages were delivered"
+                  r )
+        | Counter_intf.Stalled _ | Counter_intf.Completed _ -> None)
+      exec.outcomes
+
 let check_properties ~config ~faulty ~schedule ~origins ~n exec =
   let values =
     Array.of_list (List.filter_map Counter_intf.outcome_value exec.outcomes)
   in
   let ops = List.length exec.outcomes in
   let stalls = ops - Array.length values in
+  match spec_stall_violation exec.outcomes with
+  | Some v -> Some v
+  | None ->
   if faulty then
     (* Crashes may legitimately stall operations and lose values (gaps),
        so the full-permutation check does not apply; what must survive
@@ -209,7 +305,7 @@ let check_properties ~config ~faulty ~schedule ~origins ~n exec =
       match faulty_hotspot exec.traces with
       | v :: _ ->
           Some (Hotspot_violated, Format.asprintf "%a" Hotspot.pp_violation v)
-      | [] -> None
+      | [] -> if config.check_progress then progress_violation exec else None
     end
   else if stalls > 0 then
     let reason =
@@ -287,7 +383,8 @@ let check ?(seed = 42) ?(faults = Sim.Fault.none) ?(config = default_config)
         invalid_arg
           (Printf.sprintf "Mc.Explore: crash victim %d outside 1..%d" p n))
     victims;
-  let neutered = neuter victims in
+  let revivable = recover_processors faults in
+  let neutered = neuter faults in
   let schedule_origins =
     Schedule.origins schedule (Sim.Rng.create ~seed:(seed + 1)) ~n
   in
@@ -369,7 +466,7 @@ let check ?(seed = 42) ?(faults = Sim.Fault.none) ?(config = default_config)
       run_decisions := key :: !run_decisions;
       key
     in
-    execute (module C) ~seed ~neutered ~n ~schedule ~victims ~choose
+    execute (module C) ~seed ~neutered ~n ~schedule ~victims ~revivable ~choose
   in
   (* After a subtree is done: put the explored choice to sleep at the
      deepest frame and move to its next awake choice, popping frames
@@ -445,7 +542,8 @@ let run_schedule ?(seed = 42) ?(faults = Sim.Fault.none)
   reject_probabilistic faults;
   let n = C.supported_n n in
   let victims = Sim.Fault.crash_processors faults in
-  let neutered = neuter victims in
+  let revivable = recover_processors faults in
+  let neutered = neuter faults in
   let schedule_origins =
     Schedule.origins schedule (Sim.Rng.create ~seed:(seed + 1)) ~n
   in
@@ -461,7 +559,9 @@ let run_schedule ?(seed = 42) ?(faults = Sim.Fault.none)
     end
     else keys.(0)
   in
-  match execute (module C) ~seed ~neutered ~n ~schedule ~victims ~choose with
+  match
+    execute (module C) ~seed ~neutered ~n ~schedule ~victims ~revivable ~choose
+  with
   | exception Replay_diverged (d, key) ->
       Error
         (Printf.sprintf

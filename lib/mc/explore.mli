@@ -8,8 +8,10 @@ open Counter
     explores {e all} of them for small configurations: it runs a counter
     under {!Sim.Network.with_scheduler}, branching at every decision
     point over every enabled event (the oldest pending message of each
-    (src, dst) link, the earliest-armed timer, and — when a fault plan
-    names crash victims — crashing one of them), and checks properties on
+    (src, dst) link — or each individual pending message, for
+    destinations the protocol declared delivery-unordered — the
+    earliest-armed timer, and, when a fault plan names them, crashing a
+    living victim or reviving a crashed one), and checks properties on
     every complete execution.
 
     The search is a stateless DFS: executions are replayed from scratch
@@ -46,11 +48,16 @@ type config = {
   prune : Prune.mode;
   check_bound : bool;
       (** Check [m_b >= k] on fault-free each-once executions. *)
+  check_progress : bool;
+      (** Check CounterProgress on crash/recover executions: once every
+          crashed victim has been revived and quiescence reached, an
+          operation may only stall for an origin-local reason (its
+          origin was down, or it gave up retrying). *)
 }
 
 val default_config : config
 (** [{ max_states = 200_000; max_depth = 400; prune = Sleep;
-      check_bound = true }] *)
+      check_bound = true; check_progress = false }] *)
 
 type property =
   | Values_wrong  (** Completed values are not a permutation of 0..ops-1. *)
@@ -60,6 +67,20 @@ type property =
   | Unexpected_stall  (** An operation stalled with no fault plan. *)
   | Bound_violated  (** Bottleneck load below the paper's [k]. *)
   | Diverged  (** No quiescence: the engine's storm guard tripped. *)
+  | Lsn_inconsistent
+      (** Durability: a WAL chunk was rewritten non-append, held
+          non-consecutive LSNs, or a covered object was lost
+          (SafetyLsnConsistency, via {!Core.Wal.Monitor}). *)
+  | Manifest_regressed
+      (** Durability: the manifest regressed or was deleted
+          (SafetyManifestMonotonicity). *)
+  | Counter_regressed
+      (** Durability: recovery reconstructed a count at or below a value
+          already acked to an origin (SafetyCounterMonotonicity). *)
+  | No_progress
+      (** Liveness: an operation stalled for a non-origin-local reason
+          though every crashed victim was revived and all messages
+          delivered (CounterProgress; requires [config.check_progress]). *)
 
 val property_name : property -> string
 (** Stable kebab-case name, used in counterexample files. *)
@@ -106,11 +127,15 @@ val check :
     default 42, fixes the counter's internal seed and the schedule's own
     draws — exploration branches over {e delivery order}, not seeds).
 
-    [faults] may name crash victims ([crash:P@...] clauses — the trigger
-    times are ignored and re-decided adversarially: the explorer branches
-    over crashing each living victim at {e every} decision point).
-    Probabilistic clauses (drop/dup/partitions) raise [Invalid_argument]:
-    they sample the engine's rng and cannot be enumerated. *)
+    [faults] may name crash victims ([crash:P@...] clauses) and revivals
+    ([recover:P@...]) — the trigger times are ignored and re-decided
+    adversarially: the explorer branches over crashing each living
+    victim and reviving each crashed one at {e every} decision point
+    (each victim crashes at most once and revives at most once per
+    execution). Probabilistic clauses (drop/dup/partitions) and store
+    clauses (sdrop/sdup/sslow/sout) raise [Invalid_argument]: the former
+    sample the engine's rng, the latter are subsumed by the adversary
+    already owning delivery of store traffic. *)
 
 val run_schedule :
   ?seed:int ->

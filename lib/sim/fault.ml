@@ -18,6 +18,10 @@ type t = {
   drop_links : ((int * int) * float) list;
   duplicate : float;
   partitions : partition list;
+  store_drop : float;
+  store_dup : float;
+  store_slow : float * float;
+  store_outages : (float * float) list;
 }
 
 let none =
@@ -28,7 +32,17 @@ let none =
     drop_links = [];
     duplicate = 0.;
     partitions = [];
+    store_drop = 0.;
+    store_dup = 0.;
+    store_slow = (0., 0.);
+    store_outages = [];
   }
+
+let store_active t =
+  (not (Float.equal t.store_drop 0.))
+  || (not (Float.equal t.store_dup 0.))
+  || (not (Float.equal (fst t.store_slow) 0.))
+  || t.store_outages <> []
 
 let is_none t =
   t.crashes = []
@@ -37,6 +51,7 @@ let is_none t =
   && t.drop_links = []
   && Float.equal t.duplicate 0.
   && t.partitions = []
+  && not (store_active t)
 
 let valid_prob p = Float.is_finite p && p >= 0. && p <= 1.
 
@@ -88,6 +103,28 @@ let validate t =
         then err "part:%d-%d: need 0 <= T0 <= T1" lo hi
         else check_partitions rest
   in
+  let rec check_outages = function
+    | [] -> Ok ()
+    | (t0, t1) :: rest ->
+        if
+          (not (Float.is_finite t0))
+          || (not (Float.is_finite t1))
+          || t0 < 0. || t1 < t0
+        then err "sout: need 0 <= T0 <= T1"
+        else check_outages rest
+  in
+  let check_store () =
+    let slow_p, slow_d = t.store_slow in
+    if not (valid_prob t.store_drop) then
+      err "sdrop: probability must be in [0, 1]"
+    else if not (valid_prob t.store_dup) then
+      err "sdup: probability must be in [0, 1]"
+    else if not (valid_prob slow_p) then
+      err "sslow: probability must be in [0, 1]"
+    else if (not (Float.is_finite slow_d)) || slow_d < 0. then
+      err "sslow: extra delay must be finite and >= 0"
+    else check_outages t.store_outages
+  in
   match check_crashes t.crashes with
   | Error _ as e -> e
   | Ok () -> (
@@ -103,7 +140,10 @@ let validate t =
         | Ok () -> (
             match check_partitions t.partitions with
             | Error _ as e -> e
-            | Ok () -> Ok t))
+            | Ok () -> (
+                match check_store () with
+                | Error _ as e -> e
+                | Ok () -> Ok t)))
 
 let drop_on t ~src ~dst =
   match List.assoc_opt (src, dst) t.drop_links with
@@ -116,6 +156,9 @@ let partitioned t ~src ~dst ~at =
       at >= from_time && at < heal_time
       && (src >= lo && src <= hi) <> (dst >= lo && dst <= hi))
     t.partitions
+
+let store_down t ~at =
+  List.exists (fun (t0, t1) -> at >= t0 && at < t1) t.store_outages
 
 module Int_set = Set.Make (Int)
 
@@ -143,6 +186,10 @@ let pp_clause ppf = function
   | `Dup p -> Format.fprintf ppf "dup:%g" p
   | `Part { lo; hi; from_time; heal_time } ->
       Format.fprintf ppf "part:%d-%d@@%g,%g" lo hi from_time heal_time
+  | `Store_drop p -> Format.fprintf ppf "sdrop:%g" p
+  | `Store_dup p -> Format.fprintf ppf "sdup:%g" p
+  | `Store_slow (p, d) -> Format.fprintf ppf "sslow:%g:%g" p d
+  | `Store_out (t0, t1) -> Format.fprintf ppf "sout:%g,%g" t0 t1
 
 let clauses t =
   List.map (fun c -> `Crash c) t.crashes
@@ -151,6 +198,14 @@ let clauses t =
   @ List.map (fun l -> `Drop_link l) t.drop_links
   @ (if not (Float.equal t.duplicate 0.) then [ `Dup t.duplicate ] else [])
   @ List.map (fun p -> `Part p) t.partitions
+  @ (if not (Float.equal t.store_drop 0.) then [ `Store_drop t.store_drop ]
+     else [])
+  @ (if not (Float.equal t.store_dup 0.) then [ `Store_dup t.store_dup ]
+     else [])
+  @ (if not (Float.equal (fst t.store_slow) 0.) then
+       [ `Store_slow t.store_slow ]
+     else [])
+  @ List.map (fun w -> `Store_out w) t.store_outages
 
 let pp ppf t =
   match clauses t with
@@ -232,6 +287,33 @@ let of_string s =
             | "dup" -> (
                 match float_of rest with
                 | Some p -> Ok { t with duplicate = p }
+                | None -> fail ())
+            | "sdrop" -> (
+                match float_of rest with
+                | Some p -> Ok { t with store_drop = p }
+                | None -> fail ())
+            | "sdup" -> (
+                match float_of rest with
+                | Some p -> Ok { t with store_dup = p }
+                | None -> fail ())
+            | "sslow" -> (
+                match split2 ':' rest with
+                | Some (p, d) -> (
+                    match (float_of p, float_of d) with
+                    | Some p, Some d -> Ok { t with store_slow = (p, d) }
+                    | _ -> fail ())
+                | None -> fail ())
+            | "sout" -> (
+                match split2 ',' rest with
+                | Some (t0, t1) -> (
+                    match (float_of t0, float_of t1) with
+                    | Some t0, Some t1 ->
+                        Ok
+                          {
+                            t with
+                            store_outages = t.store_outages @ [ (t0, t1) ];
+                          }
+                    | _ -> fail ())
                 | None -> fail ())
             | "part" -> (
                 match split2 '@' rest with

@@ -25,9 +25,23 @@
     dup:F                   duplicate every message with probability F
     part:LO-HI@T0,T1        cut processors LO..HI off from the rest
                             during the half-open interval [T0, T1)
+    sdrop:F                 lose either leg of a store RPC with probability F
+    sdup:F                  duplicate a store RPC response with probability F
+    sslow:F:D               delay a store RPC response by D extra time
+                            units with probability F
+    sout:T0,T1              store outage: the store answers Unavailable
+                            during the half-open interval [T0, T1)
     v}
 
-    Clauses combine with ['/']: ["crash:3@1.5/drop:0.01/part:1-4@2,10"]. *)
+    Clauses combine with ['/']: ["crash:3@1.5/drop:0.01/part:1-4@2,10"].
+
+    The [s*] clauses target the simulated object-store service
+    ({!Store}): they are interpreted by {!Store.serve} at the store
+    processor, not by the network, so they model RPC-level faults
+    (a request lost before it was applied, a response lost after — the
+    distinction idempotent recovery protocols exist for; see
+    docs/DURABILITY.md). Like the network clauses they draw from the
+    network's own {!Rng} stream, and make zero draws when absent. *)
 
 type trigger =
   | At of float  (** at a virtual time *)
@@ -59,6 +73,16 @@ type t = {
       (** per-link overrides of [drop], keyed by (src, dst) *)
   duplicate : float;  (** per-message duplication probability *)
   partitions : partition list;
+  store_drop : float;
+      (** per-leg store-RPC loss probability (request and response legs
+          draw independently) *)
+  store_dup : float;  (** store-RPC response duplication probability *)
+  store_slow : float * float;
+      (** [(probability, extra delay)]: a response is held back at the
+          store for the extra delay before being sent *)
+  store_outages : (float * float) list;
+      (** half-open [[t0, t1)) windows during which the store answers
+          every request with [Unavailable] *)
 }
 
 val none : t
@@ -83,6 +107,14 @@ val drop_on : t -> src:int -> dst:int -> float
 
 val partitioned : t -> src:int -> dst:int -> at:float -> bool
 (** Whether a message sent at virtual time [at] crosses an active cut. *)
+
+val store_active : t -> bool
+(** Whether any store-RPC clause ([sdrop]/[sdup]/[sslow]/[sout]) is set —
+    {!Store.serve} consults the fault layer only when this holds, so
+    plans without store clauses make no extra draw at the store. *)
+
+val store_down : t -> at:float -> bool
+(** Whether virtual time [at] falls inside an [sout] outage window. *)
 
 val crash_count : t -> int
 (** Number of distinct processors the plan eventually crashes. *)

@@ -97,17 +97,28 @@ let copy_fifo_links = function
    event and no delay is ever sampled, so runs are pure functions of
    the decision sequence. *)
 
-type choice = { link_src : int; link_dst : int; link_tag : string }
+type choice = {
+  link_src : int;
+  link_dst : int;
+  link_seq : int;
+      (* per-link send ordinal for messages into a destination declared
+         unordered (see [declare_unordered]); -1 for FIFO links and the
+         timer pseudo-choice *)
+  link_tag : string;
+}
 
-type decision = Deliver_next of int | Crash_now of int
+type decision = Deliver_next of int | Crash_now of int | Recover_now of int
 
 type policy = choice array -> decision
 
 (* One pending event in scheduler mode; [pseq] is global send order, so
-   per-link FIFO = lowest [pseq] on that link. *)
+   per-link FIFO = lowest [pseq] on that link, and [plseq] is the stable
+   per-link send ordinal used to name individual messages on unordered
+   destinations. *)
 type 'msg pend =
   | Pend_msg of {
       pseq : int;
+      plseq : int;
       psrc : int;
       pdst : int;
       ppayload : 'msg;
@@ -119,6 +130,8 @@ type 'msg sched = {
   policy : policy;
   mutable spending : 'msg pend list;  (* reverse send order *)
   mutable sseq : int;
+  link_seqs : (int * int, int) Hashtbl.t;
+      (* messages ever sent per (src, dst) link — the next [plseq] *)
 }
 
 type 'msg t = {
@@ -161,6 +174,11 @@ type 'msg t = {
          flipped on by a plan or by a manual [crash] *)
   mutable crashed_tbl : bool array;  (* index = processor id; grows *)
   mutable recovered_tbl : bool array;  (* ever recovered; index = id; grows *)
+  mutable recovery_counts : int array;
+      (* completed revivals per processor; index = id; grows *)
+  mutable unordered_tbl : bool array;
+      (* destinations whose inbound delivery order the scheduler may
+         permute beyond per-link FIFO; index = id; grows *)
   time_events : (float * int * int) array;
       (* (At trigger, kind, processor) with kind 0 = crash, 1 = recover,
          sorted by time then kind then processor — a crash and a recovery
@@ -210,6 +228,15 @@ let crash t p =
     record_fault t ~src:p ~dst:p Trace.Crashed
   end
 
+let grown_counts tbl p =
+  let cap = Array.length tbl in
+  if p < cap then tbl
+  else begin
+    let tbl' = Array.make (max (p + 1) (2 * max cap 8)) 0 in
+    Array.blit tbl 0 tbl' 0 cap;
+    tbl'
+  end
+
 let recover t p =
   if p < 1 then invalid_arg "Network.recover: ids start at 1";
   (* Reviving a processor that is not down is a no-op, so a plan whose
@@ -218,9 +245,23 @@ let recover t p =
     t.crashed_tbl.(p) <- false;
     t.recovered_tbl <- grown t.recovered_tbl p;
     t.recovered_tbl.(p) <- true;
+    t.recovery_counts <- grown_counts t.recovery_counts p;
+    t.recovery_counts.(p) <- t.recovery_counts.(p) + 1;
     Metrics.on_recover t.metrics;
     record_fault t ~src:p ~dst:p Trace.Recovered
   end
+
+let recoveries_of t p =
+  if p >= 0 && p < Array.length t.recovery_counts then t.recovery_counts.(p)
+  else 0
+
+let declare_unordered t p =
+  if p < 1 then invalid_arg "Network.declare_unordered: ids start at 1";
+  t.unordered_tbl <- grown t.unordered_tbl p;
+  t.unordered_tbl.(p) <- true
+
+let is_unordered t p =
+  p >= 0 && p < Array.length t.unordered_tbl && t.unordered_tbl.(p)
 
 let recovered_processors t =
   let acc = ref [] in
@@ -360,13 +401,17 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
       faults_active = not (Fault.is_none faults);
       crashed_tbl = [||];
       recovered_tbl = [||];
+      recovery_counts = [||];
+      unordered_tbl = [||];
       time_events;
       time_event_idx = 0;
       count_crashes;
       count_crash_idx = 0;
       sched =
         Option.map
-          (fun policy -> { policy; spending = []; sseq = 0 })
+          (fun policy ->
+            { policy; spending = []; sseq = 0;
+              link_seqs = Hashtbl.create 16 })
           !ambient_policy;
     }
   in
@@ -380,7 +425,8 @@ let set_handler t h = t.handler <- Some h
 let set_scheduler t policy =
   if Array.exists (fun q -> not (Heap.is_empty q)) t.queues then
     failwith "Network.set_scheduler: events already pending in the heap";
-  t.sched <- Some { policy; spending = []; sseq = 0 }
+  t.sched <-
+    Some { policy; spending = []; sseq = 0; link_seqs = Hashtbl.create 16 }
 
 let has_scheduler t = t.sched <> None
 
@@ -442,10 +488,16 @@ let enqueue_delivery t ~src ~dst payload =
          delay is sampled (the adversary, not the latency model, decides
          when it arrives). *)
       s.sseq <- s.sseq + 1;
+      let plseq =
+        match Hashtbl.find_opt s.link_seqs (src, dst) with
+        | Some k -> k
+        | None -> 0
+      in
+      Hashtbl.replace s.link_seqs (src, dst) (plseq + 1);
       s.spending <-
         Pend_msg
-          { pseq = s.sseq; psrc = src; pdst = dst; ppayload = payload;
-            pparent = t.current_event }
+          { pseq = s.sseq; plseq; psrc = src; pdst = dst;
+            ppayload = payload; pparent = t.current_event }
         :: s.spending
   | None ->
       let arrival = t.clock.(0) +. Delay.sample t.delay t.rng in
@@ -558,9 +610,11 @@ let sched_sweep_dead t s =
   end
 
 (* Enabled events, canonically ordered: the oldest pending message of
-   each distinct (src, dst) link sorted by (src, dst), then — if any
-   timer is armed — one choice for the earliest-armed timer. Returns the
-   choices plus the pending entry each choice denotes. *)
+   each distinct (src, dst) link — or, for a destination declared
+   unordered, {e every} pending message to it — sorted by
+   (src, dst, per-link ordinal), then — if any timer is armed — one
+   choice for the earliest-armed timer. Returns the choices plus the
+   pending entry each choice denotes. *)
 let sched_enabled t s =
   sched_sweep_dead t s;
   let in_order =
@@ -576,7 +630,8 @@ let sched_enabled t s =
     (fun p ->
       match p with
       | Pend_msg m ->
-          if not (Hashtbl.mem links (m.psrc, m.pdst)) then begin
+          if is_unordered t m.pdst then msgs := p :: !msgs
+          else if not (Hashtbl.mem links (m.psrc, m.pdst)) then begin
             Hashtbl.add links (m.psrc, m.pdst) ();
             msgs := p :: !msgs
           end
@@ -588,7 +643,10 @@ let sched_enabled t s =
         match (a, b) with
         | Pend_msg x, Pend_msg y -> (
             match Int.compare x.psrc y.psrc with
-            | 0 -> Int.compare x.pdst y.pdst
+            | 0 -> (
+                match Int.compare x.pdst y.pdst with
+                | 0 -> Int.compare x.plseq y.plseq
+                | c -> c)
             | c -> c)
         | _ -> 0)
       !msgs
@@ -600,8 +658,14 @@ let sched_enabled t s =
     Array.map
       (function
         | Pend_msg m ->
-            { link_src = m.psrc; link_dst = m.pdst; link_tag = t.label m.ppayload }
-        | Pend_timer _ -> { link_src = 0; link_dst = 0; link_tag = "timer" })
+            {
+              link_src = m.psrc;
+              link_dst = m.pdst;
+              link_seq = (if is_unordered t m.pdst then m.plseq else -1);
+              link_tag = t.label m.ppayload;
+            }
+        | Pend_timer _ ->
+            { link_src = 0; link_dst = 0; link_seq = -1; link_tag = "timer" })
       picks
   in
   (choices, picks)
@@ -620,6 +684,9 @@ let rec sched_step t s =
     | Crash_now p ->
         crash t p;
         sched_step t s
+    | Recover_now p ->
+        recover t p;
+        sched_step t s
     | Deliver_next i ->
         if i < 0 || i >= Array.length picks then
           invalid_arg "Network: scheduler chose an out-of-range event";
@@ -631,8 +698,8 @@ let rec sched_step t s =
             t.current_event <- tparent;
             callback ();
             t.current_event <- saved
-        | Pend_msg { pseq; psrc = src; pdst = dst; ppayload = payload;
-                     pparent = parent } ->
+        | Pend_msg { pseq; plseq = _; psrc = src; pdst = dst;
+                     ppayload = payload; pparent = parent } ->
             sched_remove s pseq;
             let handler =
               match t.handler with
@@ -780,14 +847,20 @@ let clone_quiescent t =
     faults_active = t.faults_active;
     crashed_tbl = Array.copy t.crashed_tbl;
     recovered_tbl = Array.copy t.recovered_tbl;
+    recovery_counts = Array.copy t.recovery_counts;
+    unordered_tbl = Array.copy t.unordered_tbl;
     time_events = t.time_events;
     time_event_idx = t.time_event_idx;
     count_crashes = t.count_crashes;
     count_crash_idx = t.count_crash_idx;
     sched =
       (* Quiescence means no pending entries to copy; the clone keeps the
-         same policy so its future deliveries stay adversary-driven. *)
-      Option.map (fun s -> { s with spending = [] }) t.sched;
+         same policy so its future deliveries stay adversary-driven, and
+         its own ordinal table so the original's sends don't leak in. *)
+      Option.map
+        (fun s ->
+          { s with spending = []; link_seqs = Hashtbl.copy s.link_seqs })
+        t.sched;
   }
 
 let in_op t = t.trace <> None

@@ -34,18 +34,31 @@ type 'msg t
     all the adversarial power lies), plus — when local timers are armed —
     a single choice standing for the earliest-armed timer (timers keep
     their mutual arming order; they interleave freely with deliveries).
-    The choice array is canonically ordered (links ascending by
-    (src, dst), the timer choice last), so a run under a scheduler is a
-    pure function of the decision sequence: no delay is sampled, no Rng
-    draw is made, and the clock advances by exactly 1 per event.
+    A destination declared {e unordered} (see {!declare_unordered})
+    relaxes the per-link FIFO on its inbound links: {e every} pending
+    message to it is individually enabled, named by a stable per-link
+    send ordinal — how the model checker reorders retried store RPCs
+    past their originals. The choice array is canonically ordered (links
+    ascending by (src, dst, ordinal), the timer choice last), so a run
+    under a scheduler is a pure function of the decision sequence: no
+    delay is sampled, no Rng draw is made, and the clock advances by
+    exactly 1 per event.
 
     This is the hook the delivery-interleaving model checker
     ({!Mc.Explore}) is built on; see docs/MODELCHECK.md. *)
 
-type choice = { link_src : int; link_dst : int; link_tag : string }
+type choice = {
+  link_src : int;
+  link_dst : int;
+  link_seq : int;
+      (** per-link send ordinal when [link_dst] was declared unordered
+          ({!declare_unordered}); [-1] on FIFO links and the timer
+          pseudo-choice *)
+  link_tag : string;
+}
 (** One enabled event: a message on link [(link_src, link_dst)] whose
     payload renders as [link_tag], or the timer pseudo-choice
-    [{0, 0, "timer"}]. *)
+    [{0, 0, -1, "timer"}]. *)
 
 type decision =
   | Deliver_next of int
@@ -53,6 +66,10 @@ type decision =
   | Crash_now of int
       (** Crash-stop this processor between deliveries, then ask again —
           how fault events are interleaved adversarially. *)
+  | Recover_now of int
+      (** Revive this (crashed) processor between deliveries, then ask
+          again — how the model checker interleaves [recover:P@T]
+          revivals with deliveries. *)
 
 type policy = choice array -> decision
 (** Called with a non-empty enabled array each time the engine must pick
@@ -71,6 +88,15 @@ val set_scheduler : 'msg t -> policy -> unit
     events are already pending (the two queues cannot be mixed). *)
 
 val has_scheduler : 'msg t -> bool
+
+val declare_unordered : 'msg t -> int -> unit
+(** Relax per-link FIFO for deliveries {e into} this processor under a
+    scheduler: every pending message to it becomes individually enabled,
+    keyed by a stable per-link send ordinal ([choice.link_seq]). Durable
+    protocols declare their store processor unordered so the checker can
+    interleave a retried RPC past the original it duplicates — the
+    reorderings compare-and-swap exists to survive. No effect on the
+    timed (heap) engine, whose order the delay model already decides. *)
 
 exception
   Storm of { max_steps : int; pending : int; now : float; deliveries : int }
@@ -214,6 +240,13 @@ val ever_crashed : 'msg t -> int -> bool
 val recovered_processors : 'msg t -> int list
 (** Processors that have recovered and are currently alive, ascending —
     the rejoin pool a failure-aware allocator draws fresh workers from. *)
+
+val recoveries_of : 'msg t -> int -> int
+(** Number of completed revivals of this processor (0 if it never
+    recovered). Durable protocols compare this against a remembered
+    value to detect "I am running again after a crash" at the first
+    delivery that reaches them post-revival, and trigger WAL recovery
+    instead of resuming amnesiac state. *)
 
 val total_bits : 'msg t -> int
 (** Sum of payload sizes of all sent messages (per the [bits] function

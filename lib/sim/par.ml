@@ -444,6 +444,11 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
       invalid_arg
         "Par.create: per-link drop probabilities need a globally ordered \
          random stream; use the sequential engine");
+  if Fault.store_active faults then
+    invalid_arg
+      "Par.create: store-RPC fault clauses (sdrop/sdup/sslow/sout) are \
+       interpreted at the store service, which the sharded engine does \
+       not host; use the sequential engine";
   List.iter
     (fun { Fault.processor; trigger } ->
       (match trigger with

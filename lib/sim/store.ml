@@ -1,0 +1,168 @@
+(* Deterministic object-store service: a versionless string-keyed blob
+   map with read-after-write gets/puts, compare-and-swap, list-by-prefix
+   and delete. The store itself is pure state — [apply] is a
+   deterministic transition function — and all distribution concerns
+   (latency, lost/delayed/duplicated RPCs, outages) live in [serve],
+   which rides the hosting network's own Rng stream and Fault plan so a
+   run stays a pure function of (protocol, n, seed, delay, faults,
+   schedule). *)
+
+module Smap = Map.Make (String)
+
+type request =
+  | Get of string
+  | Put of { key : string; value : string }
+  | Cas of { key : string; expect : string option; value : string }
+  | List of string
+  | Delete of string
+
+type response =
+  | Value of string option
+  | Written
+  | Conflict of string option
+  | Keys of string list
+  | Deleted
+  | Unavailable
+
+type stats = {
+  gets : int;
+  puts : int;
+  cas_ok : int;
+  cas_conflict : int;
+  lists : int;
+  deletes : int;
+  lost_requests : int;
+  lost_responses : int;
+  dup_responses : int;
+  unavailable : int;
+}
+
+type monitor = key:string -> prev:string option -> next:string option -> unit
+
+type t = {
+  mutable objects : string Smap.t;
+  mutable monitor : monitor option;
+  mutable s : stats;
+}
+
+let zero_stats =
+  {
+    gets = 0;
+    puts = 0;
+    cas_ok = 0;
+    cas_conflict = 0;
+    lists = 0;
+    deletes = 0;
+    lost_requests = 0;
+    lost_responses = 0;
+    dup_responses = 0;
+    unavailable = 0;
+  }
+
+let create () = { objects = Smap.empty; monitor = None; s = zero_stats }
+
+let copy t = { t with objects = t.objects }
+
+let set_monitor t m = t.monitor <- Some m
+
+let stats t = t.s
+
+let find t key = Smap.find_opt key t.objects
+
+let bindings t = Smap.bindings t.objects
+
+let mutate t ~key ~next =
+  let prev = Smap.find_opt key t.objects in
+  (match t.monitor with Some m -> m ~key ~prev ~next | None -> ());
+  t.objects <-
+    (match next with
+    | Some v -> Smap.add key v t.objects
+    | None -> Smap.remove key t.objects)
+
+let apply t = function
+  | Get key ->
+      t.s <- { t.s with gets = t.s.gets + 1 };
+      Value (Smap.find_opt key t.objects)
+  | Put { key; value } ->
+      t.s <- { t.s with puts = t.s.puts + 1 };
+      mutate t ~key ~next:(Some value);
+      Written
+  | Cas { key; expect; value } ->
+      let current = Smap.find_opt key t.objects in
+      if Option.equal String.equal current expect then begin
+        t.s <- { t.s with cas_ok = t.s.cas_ok + 1 };
+        mutate t ~key ~next:(Some value);
+        Written
+      end
+      else begin
+        t.s <- { t.s with cas_conflict = t.s.cas_conflict + 1 };
+        Conflict current
+      end
+  | List prefix ->
+      t.s <- { t.s with lists = t.s.lists + 1 };
+      let plen = String.length prefix in
+      (* Smap.bindings is ascending by key, so the listing is sorted. *)
+      Keys
+        (List.filter_map
+           (fun (k, _) ->
+             if String.length k >= plen && String.equal (String.sub k 0 plen) prefix
+             then Some k
+             else None)
+           (Smap.bindings t.objects))
+  | Delete key ->
+      t.s <- { t.s with deletes = t.s.deletes + 1 };
+      mutate t ~key ~next:None;
+      Deleted
+
+(* Serve one RPC against the hosting network's fault plan. The s*
+   clauses are interpreted here, per leg: an outage answers Unavailable
+   (no draw); a request-leg loss discards the RPC before it applied; a
+   response-leg loss discards it after — the distinction idempotent
+   recovery protocols exist for. Draw order is part of the determinism
+   contract: request-drop, apply, response-drop, slow, dup — each draw
+   made only when its clause has a non-zero probability, so plans
+   without store clauses make zero draws. Under a scheduler the hooks
+   are disabled outright: the model-checking adversary owns delivery
+   nondeterminism and probabilistic plans are rejected upstream. *)
+let serve t net ~reply req =
+  let faults = Network.faults net in
+  let active = Fault.store_active faults && not (Network.has_scheduler net) in
+  if active && Fault.store_down faults ~at:(Network.now net) then begin
+    t.s <- { t.s with unavailable = t.s.unavailable + 1 };
+    reply ?extra_delay:None Unavailable
+  end
+  else begin
+    let rng = Network.rng net in
+    let draw p = active && p > 0. && Rng.float rng 1.0 < p in
+    if draw faults.Fault.store_drop then
+      t.s <- { t.s with lost_requests = t.s.lost_requests + 1 }
+    else begin
+      let resp = apply t req in
+      if draw faults.Fault.store_drop then
+        t.s <- { t.s with lost_responses = t.s.lost_responses + 1 }
+      else begin
+        let slow_p, slow_d = faults.Fault.store_slow in
+        let extra_delay = if draw slow_p then Some slow_d else None in
+        reply ?extra_delay resp;
+        if draw faults.Fault.store_dup then begin
+          t.s <- { t.s with dup_responses = t.s.dup_responses + 1 };
+          reply ?extra_delay:None resp
+        end
+      end
+    end
+  end
+
+let request_label = function
+  | Get _ -> "get"
+  | Put _ -> "put"
+  | Cas _ -> "cas"
+  | List _ -> "list"
+  | Delete _ -> "del"
+
+let response_label = function
+  | Value _ -> "value"
+  | Written -> "written"
+  | Conflict _ -> "conflict"
+  | Keys _ -> "keys"
+  | Deleted -> "deleted"
+  | Unavailable -> "unavail"

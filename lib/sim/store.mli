@@ -1,0 +1,103 @@
+(** Deterministic object-store service.
+
+    A single string-keyed blob map with the primitives durable counters
+    need (see docs/DURABILITY.md): read-after-write {!Get}/{!Put},
+    conditional put ({!Cas} — compare the {e whole current value}
+    against [expect], [None] meaning "key must not exist"),
+    lexicographically sorted {!List} by prefix, and {!Delete}. The store
+    itself is pure state: {!apply} is a deterministic transition
+    function with no latency and no randomness.
+
+    Distribution concerns live in {!serve}, which a protocol calls from
+    the handler of the processor hosting the store. It interprets the
+    fault plan's store clauses ([sdrop]/[sdup]/[sslow]/[sout], see
+    {!Fault}) per RPC {e leg} — a request lost before it applied versus
+    a response lost after it applied are different failures, and the
+    WAL protocol's idempotent replay exists to mask exactly that
+    difference. All draws come from the hosting network's own {!Rng}
+    stream in a fixed order, so runs stay bit-reproducible; plans with
+    no store clauses make zero draws; under a scheduler (model
+    checking) the hooks are disabled because the adversary owns
+    delivery nondeterminism. *)
+
+type request =
+  | Get of string
+  | Put of { key : string; value : string }
+  | Cas of { key : string; expect : string option; value : string }
+      (** conditional put: applies iff the current value equals
+          [expect] ([None] = key absent) *)
+  | List of string  (** all keys with this prefix, ascending *)
+  | Delete of string
+
+type response =
+  | Value of string option  (** {!Get}: the value, or [None] if absent *)
+  | Written  (** {!Put} applied, or {!Cas} condition held and applied *)
+  | Conflict of string option
+      (** {!Cas} condition failed; carries the actual current value *)
+  | Keys of string list  (** {!List}: matching keys, ascending *)
+  | Deleted  (** {!Delete} applied (idempotent: absent keys too) *)
+  | Unavailable  (** the store is inside an [sout] outage window *)
+
+type stats = {
+  gets : int;
+  puts : int;
+  cas_ok : int;
+  cas_conflict : int;
+  lists : int;
+  deletes : int;
+  lost_requests : int;  (** RPCs lost by [sdrop] before applying *)
+  lost_responses : int;  (** RPCs applied but their response lost *)
+  dup_responses : int;  (** extra response copies injected by [sdup] *)
+  unavailable : int;  (** RPCs answered [Unavailable] by [sout] *)
+}
+
+type monitor = key:string -> prev:string option -> next:string option -> unit
+(** Observation hook invoked synchronously on every applied mutation
+    (put, successful cas, delete) with the key's previous and next
+    values — how {!Core.Wal.Monitor} checks the oswald safety specs
+    against the store's actual history. *)
+
+type t
+
+val create : unit -> t
+(** An empty store. *)
+
+val copy : t -> t
+(** Independent deep copy (the blob map is persistent; stats are
+    copied). The monitor is shared — counter clones keep auditing. *)
+
+val set_monitor : t -> monitor -> unit
+
+val apply : t -> request -> response
+(** Apply one request to the store state, no faults, no latency.
+    Deterministic; mutations fire the monitor first. *)
+
+val serve :
+  t ->
+  'msg Network.t ->
+  reply:(?extra_delay:float -> response -> unit) ->
+  request ->
+  unit
+(** [serve t net ~reply req] handles one RPC under [net]'s fault plan:
+    outage check (no draw), request-leg drop draw, {!apply},
+    response-leg drop draw, slow draw ([reply ~extra_delay] asks the
+    caller to hold the response back that long), duplication draw (a
+    second [reply] with no extra delay). [reply] may be called zero,
+    one or two times. With no store clauses in the plan — or under a
+    scheduler — this is exactly one {!apply} and one [reply], with zero
+    draws. *)
+
+val find : t -> string -> string option
+(** Direct (test/audit) read, uncharged. *)
+
+val bindings : t -> (string * string) list
+(** All objects, ascending by key, uncharged. *)
+
+val stats : t -> stats
+
+val request_label : request -> string
+(** Short tag for traces: ["get"], ["put"], ["cas"], ["list"], ["del"]. *)
+
+val response_label : response -> string
+(** Short tag for traces: ["value"], ["written"], ["conflict"],
+    ["keys"], ["deleted"], ["unavail"]. *)

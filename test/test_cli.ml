@@ -107,15 +107,12 @@ let test_mc_retire_ft () =
   check_exit "--expect-violation still fails on budget" 3
     "mc -c retire-ft -n 8 -s explicit:2 --faults crash:1@99 --max-depth 4 \
      --max-states 2000 --allow-incomplete --expect-violation";
-  (* recover clauses stay rejected: revival times are wall-clock, which
-     the decision-sequence exploration cannot re-derive. *)
-  let code =
-    run "mc -c retire-ft -n 8 --faults crash:1@99/recover:1@120"
-  in
-  Alcotest.(check bool)
-    (Printf.sprintf "recover plan rejected (exit %d)" code)
-    true
-    (code <> 0 && code <> 1 && code <> 3)
+  (* recover clauses are adversarial now: the revival time is ignored
+     and the explorer branches over reviving the crashed victim at every
+     decision point. *)
+  check_exit "recover adversary, bounded" 0
+    "mc -c retire-ft -n 8 -s explicit:2 --faults crash:1@99/recover:1@120 \
+     --max-depth 4 --max-states 2000 --allow-incomplete"
 
 let test_mc_ft_no_handoff_stored () =
   let out = Filename.concat tmp "dcount_cli_ft_cx.mcs" in
@@ -134,6 +131,38 @@ let test_mc_ft_no_handoff_stored () =
         (slurp out));
   check_exit "stored counterexample replays" 0
     "mc --replay data/ft_no_handoff_n8.mcs"
+
+let test_mc_durable () =
+  (* Fault-free the durable counter's space is tiny and clean. *)
+  check_exit "durable fault-free exhausts" 0
+    "mc -c durable -n 2 -s explicit:2,2";
+  (* Crash/recover adversary with the CounterProgress check on: bounded
+     clean. *)
+  check_exit "durable crash/recover bounded with --progress" 0
+    "mc -c durable -n 2 -s explicit:2,2 --faults crash:1@99/recover:1@120 \
+     --progress --max-depth 10 --max-states 5000 --allow-incomplete"
+
+let test_mc_durable_no_cas_stored () =
+  (* Regenerate the durable negative control with the hunt parameters
+     the Makefile uses and compare byte-for-byte against the stored
+     file — the CAS-is-load-bearing witness. *)
+  let out = Filename.concat tmp "dcount_cli_durable_cx.mcs" in
+  (try Sys.remove out with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      check_exit "recover adversary finds the manifest regression" 0
+        ("mc -c durable-no-cas -n 2 -s explicit:2 --faults \
+          crash:1@99/recover:1@120 --max-depth 10 --max-states 300000 \
+          --expect-violation --counterexample-out "
+        ^ Filename.quote out);
+      let slurp p = In_channel.with_open_text p In_channel.input_all in
+      Alcotest.(check string)
+        "canonical bytes match the stored negative control"
+        (slurp "data/durable_no_cas_n2.mcs")
+        (slurp out));
+  check_exit "stored counterexample replays" 0
+    "mc --replay data/durable_no_cas_n2.mcs"
 
 (* ------------------------------------------------------------------ *)
 (* dcount chaos *)
@@ -171,6 +200,41 @@ let test_chaos_recover () =
       in
       Alcotest.(check bool) "recover flag echoed" true (contains "recover=true");
       Alcotest.(check bool) "revivals reported" true (contains "recovered="))
+
+let test_chaos_durable () =
+  (* The durable sweep's output contract: rows report WAL replays
+     (replayed=) and the audited durable count instead of the amnesiac
+     sweep's recovered=; --check asserts zero lost increments. Three
+     victims at n = 4 guarantee the writer (p1) is among them, so at
+     least one row actually replays. *)
+  let out = Filename.concat tmp "dcount_cli_chaos_durable.txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Filename.quote dcount
+          ^ " chaos --durable -n 4 --ops 40 --crashes 0,3 --recover --check \
+             > "
+          ^ Filename.quote out ^ " 2>/dev/null")
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      let s = In_channel.with_open_text out In_channel.input_all in
+      let contains needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "durable sweep header" true
+        (contains "chaos sweep (durable)");
+      Alcotest.(check bool) "WAL replays reported" true
+        (contains "replayed=");
+      Alcotest.(check bool) "audited durable count reported" true
+        (contains "durable=");
+      Alcotest.(check bool) "durable check line" true
+        (contains "chaos check (durable): OK");
+      Alcotest.(check bool) "no amnesiac recovered= note" false
+        (contains "recovered="))
 
 let test_chaos_output_shape () =
   (* Smoke the stdout contract the docs quote: the check line and the
@@ -285,12 +349,16 @@ let () =
           Alcotest.test_case "retire-ft bounded" `Quick test_mc_retire_ft;
           Alcotest.test_case "ft-no-handoff stored" `Quick
             test_mc_ft_no_handoff_stored;
+          Alcotest.test_case "durable" `Quick test_mc_durable;
+          Alcotest.test_case "durable-no-cas stored" `Quick
+            test_mc_durable_no_cas_stored;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "--check ok" `Quick test_chaos_check_ok;
           Alcotest.test_case "plain sweep" `Quick test_chaos_plain_sweep;
           Alcotest.test_case "--recover" `Quick test_chaos_recover;
+          Alcotest.test_case "--durable" `Quick test_chaos_durable;
           Alcotest.test_case "output shape" `Quick test_chaos_output_shape;
         ] );
       ( "lint",

@@ -243,7 +243,7 @@ let test_counting_network_violates_under_overlap () =
     (Counter.History.is_linearizable h)
 
 let test_registry_lookup () =
-  check Alcotest.int "fourteen counters" 14 (List.length all);
+  check Alcotest.int "fifteen counters" 15 (List.length all);
   List.iter
     (fun name ->
       match Baselines.Registry.find name with

@@ -197,6 +197,52 @@ let test_shard_matrix_fault_plans () =
         (Sim.Metrics.dropped base > 0 || Sim.Metrics.crashes base > 0))
     [ "crash:3@4/recover:3@40"; "drop:0.02/dup:0.01/part:1-9@3,20" ]
 
+(* The durable WAL-backed counter under Fault.none is disarmed: no retry
+   timers, no Rng draws, a sequential store pipeline — so its runs must
+   be bit-identical across every shard count, store traffic included
+   (the store is processor n+1 in the counter's own network, so its RPCs
+   flow through the same sharded heaps). The golden pins the full load
+   vector; a change to the WAL record flow (extra retry, reordered
+   snapshot, different chunk cadence) moves it. *)
+let durable_golden =
+  (* n = 16, seed 42, seed-shuffled each-once order. *)
+  (72, 144, (1, 72), 1938892630621606450)
+
+let run_durable_metrics () =
+  let module D = Core.Durable_counter in
+  let n = 16 in
+  let c = D.create ~faults:Sim.Fault.none ~n ~seed:42 () in
+  let order = Sim.Rng.permutation (Sim.Rng.create ~seed:42) n in
+  Array.iteri
+    (fun i p ->
+      let v = D.inc c ~origin:(p + 1) in
+      check Alcotest.int (Printf.sprintf "durable: value %d" i) i v)
+    order;
+  (* [value] audits the store offline: the durable truth must match the
+     count of completed operations exactly. *)
+  check Alcotest.int "durable: audited count" n (D.value c);
+  D.metrics c
+
+let test_durable_golden () =
+  let msgs, load, bottleneck, checksum = durable_golden in
+  let m = run_durable_metrics () in
+  check Alcotest.int "total messages" msgs (Sim.Metrics.total_messages m);
+  check Alcotest.int "total load" load (Sim.Metrics.total_load m);
+  check
+    Alcotest.(pair int int)
+    "bottleneck" bottleneck (Sim.Metrics.bottleneck m);
+  check Alcotest.int "load-vector checksum" checksum (Sim.Metrics.checksum m)
+
+let test_durable_shard_matrix () =
+  let _, _, _, checksum = durable_golden in
+  List.iter
+    (fun s ->
+      let m = Sim.Network.with_shards s run_durable_metrics in
+      check Alcotest.int
+        (Printf.sprintf "durable: golden checksum under %d shards" s)
+        checksum (Sim.Metrics.checksum m))
+    shard_counts
+
 (* The driver-level wiring of the same knob: --sim-domains reports are
    byte-identical for every value. *)
 let test_driver_sim_domains_identical () =
@@ -259,6 +305,9 @@ let () =
             `Quick test_shard_matrix_goldens;
           Alcotest.test_case "fault plans bit-identical under 1/2/4/8 shards"
             `Quick test_shard_matrix_fault_plans;
+          Alcotest.test_case "durable golden" `Quick test_durable_golden;
+          Alcotest.test_case "durable bit-identical under 1/2/4/8 shards"
+            `Quick test_durable_shard_matrix;
           Alcotest.test_case "driver --sim-domains reports identical" `Quick
             test_driver_sim_domains_identical;
         ] );

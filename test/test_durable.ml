@@ -1,0 +1,361 @@
+(* Tests for the durable WAL-backed counter (Core.Durable_counter):
+
+   - fault-free runs hand out sequential values, persist everything
+     (manifest, rolled chunks, snapshots, GC), and agree with the
+     offline Wal.audit oracle; same seed => same checksum;
+   - Wal codecs round-trip and replay rejects gaps;
+   - crash/recover plans lose zero completed increments: the revived
+     writer replays its exact pre-crash count (no amnesia), every
+     completed value is distinct and below the durable count, and the
+     oswald spec monitor stays quiet;
+   - lossy-network plans exercise idempotent replay: origin retries are
+     re-acked from the dedup table, never applied twice;
+   - without CAS a stale overwrite slips in and the monitor catches it
+     (the store-level shadow of the model-check counterexample);
+   - clones diverge independently, monitors unshared. *)
+
+let check = Alcotest.check
+
+module D = Core.Durable_counter
+module W = Core.Wal
+module S = Sim.Store
+
+let plan s =
+  match Sim.Fault.of_string s with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "bad plan %S: %s" s e
+
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+(* Drive [ops] increments round-robin over all origins, collecting
+   completed values and stall reasons. *)
+let drive t ~n ~ops =
+  let completed = ref [] and stalled = ref [] in
+  for i = 0 to ops - 1 do
+    let origin = 1 + (i mod n) in
+    match D.inc_result t ~origin with
+    | Counter.Counter_intf.Completed v -> completed := v :: !completed
+    | Counter.Counter_intf.Stalled reason -> stalled := reason :: !stalled
+  done;
+  (List.rev !completed, List.rev !stalled)
+
+let audit_count t =
+  match W.audit (D.store t) with
+  | Ok (count, _) -> count
+  | Error e -> Alcotest.failf "audit failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* fault-free                                                          *)
+
+let test_sequential_values_and_durable_state () =
+  let n = 4 in
+  let ops = 40 in
+  (* chunk_records 4 / snap_every 8 force rolls, snapshots and GC well
+     inside 40 ops. *)
+  let t = D.create_raw ~seed:42 ~chunk_records:4 ~snap_every:8 ~n () in
+  let completed, stalled = drive t ~n ~ops in
+  check Alcotest.(list string) "no stalls" [] stalled;
+  check Alcotest.(list int) "sequential values"
+    (List.init ops (fun i -> i))
+    completed;
+  check Alcotest.int "durable value" ops (D.value t);
+  check Alcotest.int "live count agrees" ops (D.live_count t);
+  check Alcotest.int "audit agrees" ops (audit_count t);
+  check Alcotest.(option string) "no spec violation" None (D.spec_violation t);
+  check Alcotest.int "no recoveries" 0 (D.replays t);
+  let store = D.store t in
+  let manifest =
+    match S.find store W.manifest_key with
+    | None -> Alcotest.fail "manifest must exist"
+    | Some enc -> (
+        match W.decode_manifest enc with
+        | Error e -> Alcotest.failf "manifest corrupt: %s" e
+        | Ok m -> m)
+  in
+  Alcotest.(check bool) "chunks rolled" true (manifest.W.active > 0);
+  Alcotest.(check bool) "snapshot taken" true (manifest.W.snap > 0);
+  Alcotest.(check bool) "GC advanced low" true (manifest.W.low > 0);
+  (* GC really deleted the covered chunks: only indices >= low remain. *)
+  List.iter
+    (fun (k, _) ->
+      match W.chunk_index_of_key k with
+      | None -> ()
+      | Some idx ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s survived GC (low=%d)" k manifest.W.low)
+            true (idx >= manifest.W.low))
+    (S.bindings store)
+
+let test_same_seed_same_checksum () =
+  let run () =
+    let t = D.create ~seed:7 ~n:3 () in
+    let completed, _ = drive t ~n:3 ~ops:12 in
+    (completed, Sim.Metrics.checksum (D.metrics t))
+  in
+  let a = run () and b = run () in
+  check Alcotest.(pair (list int) int) "bit-identical" a b
+
+(* ------------------------------------------------------------------ *)
+(* Wal codecs and replay                                               *)
+
+let test_codecs_roundtrip () =
+  let c =
+    {
+      W.base = 8;
+      recs =
+        [
+          { W.lsn = 8; origin = 2; op = 3 };
+          { W.lsn = 9; origin = 1; op = 5 };
+        ];
+    }
+  in
+  (match W.decode_chunk (W.encode_chunk c) with
+  | Ok c' -> Alcotest.(check bool) "chunk" true (c = c')
+  | Error e -> Alcotest.failf "chunk: %s" e);
+  let m = { W.epoch = 3; snap = 16; low = 2; active = 5 } in
+  (match W.decode_manifest (W.encode_manifest m) with
+  | Ok m' -> Alcotest.(check bool) "manifest" true (m = m')
+  | Error e -> Alcotest.failf "manifest: %s" e);
+  let s = { W.covered = 16; table = [ (1, (4, 12)); (2, (6, 15)) ] } in
+  match W.decode_snapshot (W.encode_snapshot s) with
+  | Ok s' -> Alcotest.(check bool) "snapshot" true (s = s')
+  | Error e -> Alcotest.failf "snapshot: %s" e
+
+let test_replay_rejects_gap () =
+  let m = { W.epoch = 1; snap = 0; low = 0; active = 0 } in
+  let c =
+    { W.base = 0; recs = [ { W.lsn = 0; origin = 1; op = 1 };
+                           { W.lsn = 2; origin = 1; op = 2 } ] }
+  in
+  match W.replay m None [ c ] with
+  | Error e -> Alcotest.(check bool) "gap named" true (contains ~sub:"gap" e)
+  | Ok _ -> Alcotest.fail "gapped chunk must not replay"
+
+(* ------------------------------------------------------------------ *)
+(* crash/recover: no amnesia                                           *)
+
+let zero_loss_invariants t ~completed =
+  (* Every completed (acked) increment must survive in durable state:
+     distinct values, all below the durable count, and the offline
+     audit must agree with the live writer. *)
+  let sorted = List.sort_uniq Int.compare completed in
+  check Alcotest.int "completed values distinct" (List.length completed)
+    (List.length sorted);
+  let durable = D.value t in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "acked value %d below durable count %d" v durable)
+        true (v < durable))
+    completed;
+  check Alcotest.int "audit agrees with durable value" durable (audit_count t);
+  check Alcotest.(option string) "no spec violation" None (D.spec_violation t)
+
+let test_writer_crash_recover_no_loss () =
+  let n = 4 in
+  let t =
+    D.create_raw ~seed:42 ~chunk_records:4 ~snap_every:8
+      ~faults:(plan "crash:1@30/recover:1@200") ~n ()
+  in
+  let completed, stalled = drive t ~n ~ops:32 in
+  zero_loss_invariants t ~completed;
+  check Alcotest.int "writer recovered and replayed" 1 (D.replays t);
+  Alcotest.(check bool) "crash bit mid-run: some op saw it" true
+    (List.length stalled > 0 || List.length completed = 32);
+  (* Post-recovery the counter must keep handing out fresh values. *)
+  let more, _ = drive t ~n ~ops:4 in
+  Alcotest.(check bool) "alive after recovery" true (List.length more > 0);
+  zero_loss_invariants t ~completed:(completed @ more)
+
+let test_crash_before_first_snapshot () =
+  (* Recovery purely from WAL chunks, no snapshot yet. *)
+  let n = 2 in
+  let t =
+    D.create_raw ~seed:11 ~chunk_records:4 ~snap_every:1000
+      ~faults:(plan "crash:1@20/recover:1@150") ~n ()
+  in
+  let completed, _ = drive t ~n ~ops:16 in
+  zero_loss_invariants t ~completed;
+  check Alcotest.int "recovered" 1 (D.replays t)
+
+let test_double_crash_recover () =
+  let n = 3 in
+  let t =
+    D.create_raw ~seed:5 ~chunk_records:4 ~snap_every:8
+      ~faults:(plan "crash:1@25/recover:1@180/crash:1@400/recover:1@600") ~n ()
+  in
+  let completed, _ = drive t ~n ~ops:48 in
+  zero_loss_invariants t ~completed;
+  check Alcotest.int "two recoveries" 2 (D.replays t)
+
+let test_non_writer_crash_is_amnesia_free_anyway () =
+  (* Crashing an origin only stalls that origin's ops; the counter and
+     the durable state are untouched. *)
+  let n = 4 in
+  let t =
+    D.create_raw ~seed:9 ~faults:(plan "crash:3@10") ~n ()
+  in
+  let completed, stalled = drive t ~n ~ops:24 in
+  zero_loss_invariants t ~completed;
+  check Alcotest.int "no writer recovery" 0 (D.replays t);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Printf.sprintf "stall excused: %s" r) true
+        (contains ~sub:"crashed" r || contains ~sub:"gave up" r))
+    stalled
+
+(* ------------------------------------------------------------------ *)
+(* lossy network: idempotent replay                                    *)
+
+let test_message_drops_never_double_apply () =
+  let n = 4 in
+  List.iter
+    (fun seed ->
+      let t =
+        D.create_raw ~seed ~chunk_records:4 ~snap_every:8
+          ~faults:(plan "drop:0.15") ~n ()
+      in
+      let completed, _ = drive t ~n ~ops:24 in
+      zero_loss_invariants t ~completed)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_store_fault_plans_survive () =
+  let n = 3 in
+  List.iter
+    (fun (seed, p) ->
+      let t =
+        D.create_raw ~seed ~chunk_records:4 ~snap_every:8 ~faults:(plan p) ~n ()
+      in
+      let completed, _ = drive t ~n ~ops:18 in
+      zero_loss_invariants t ~completed)
+    [
+      (1, "sdrop:0.2");
+      (2, "sdup:0.3");
+      (3, "sslow:0.3:5");
+      (4, "sout:10,40");
+      (5, "sdrop:0.15/sdup:0.15/sslow:0.2:3/sout:30,60");
+      (6, "crash:1@30/recover:1@260/sdrop:0.1/sdup:0.1");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* CAS is load-bearing                                                 *)
+
+let test_no_cas_stale_overwrite_slips_and_monitor_catches () =
+  (* Store-level shadow of the model-check counterexample: replay the
+     effect of a delayed duplicate of a stale append. With CAS the
+     stale write conflicts; with blind puts it clobbers the newer
+     record and the spec monitor flags the non-append rewrite. *)
+  let run_with ~cas =
+    let t = D.create_raw ~seed:3 ~cas ~chunk_records:64 ~snap_every:1000 ~n:2 () in
+    let _ = drive t ~n:2 ~ops:3 in
+    let store = D.store t in
+    let key = W.chunk_key 0 in
+    let stale =
+      W.encode_chunk { W.base = 0; recs = [ { W.lsn = 0; origin = 1; op = 1 } ] }
+    in
+    let resp =
+      if cas then
+        S.apply store
+          (S.Cas { key; expect = Some stale; value = stale })
+      else S.apply store (S.Put { key; value = stale })
+    in
+    (resp, D.spec_violation t)
+  in
+  (match run_with ~cas:true with
+  | S.Conflict (Some _), None -> ()
+  | _ -> Alcotest.fail "CAS must reject the stale write, monitor quiet");
+  match run_with ~cas:false with
+  | S.Written, Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flagged as lsn violation: %s" v)
+        true
+        (contains ~sub:"lsn-consistency" v)
+  | S.Written, None -> Alcotest.fail "monitor must flag the lost update"
+  | _ -> Alcotest.fail "blind put should apply"
+
+let test_spec_violation_stalls_next_op () =
+  let t = D.create_raw ~seed:3 ~cas:false ~chunk_records:64 ~n:2 () in
+  let _ = drive t ~n:2 ~ops:2 in
+  let stale =
+    W.encode_chunk { W.base = 0; recs = [ { W.lsn = 0; origin = 1; op = 1 } ] }
+  in
+  ignore (S.apply (D.store t) (S.Put { key = W.chunk_key 0; value = stale }));
+  match D.inc_result t ~origin:1 with
+  | Counter.Counter_intf.Stalled reason ->
+      Alcotest.(check bool)
+        (Printf.sprintf "spec-prefixed: %s" reason)
+        true
+        (contains ~sub:"spec: lsn-consistency" reason)
+  | Counter.Counter_intf.Completed _ ->
+      Alcotest.fail "op after a spec violation must stall"
+
+(* ------------------------------------------------------------------ *)
+(* clones                                                              *)
+
+let test_clone_diverges_independently () =
+  let n = 3 in
+  let t = D.create_raw ~seed:21 ~chunk_records:4 ~snap_every:8 ~n () in
+  let _ = drive t ~n ~ops:9 in
+  let c = D.clone t in
+  let a, _ = drive t ~n ~ops:3 in
+  let b, _ = drive c ~n ~ops:3 in
+  check Alcotest.(list int) "same continuation" a b;
+  check Alcotest.int "original durable" 12 (D.value t);
+  check Alcotest.int "clone durable" 12 (D.value c);
+  (* Monitors are unshared: corrupting the clone's store must not
+     pollute the original. *)
+  ignore
+    (S.apply (D.store c)
+       (S.Put { key = W.manifest_key; value = "epoch=0;snap=0;low=0;active=0" }));
+  Alcotest.(check bool) "clone flagged" true (D.spec_violation c <> None);
+  check Alcotest.(option string) "original quiet" None (D.spec_violation t)
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "fault-free",
+        [
+          Alcotest.test_case "sequential values, durable state" `Quick
+            test_sequential_values_and_durable_state;
+          Alcotest.test_case "same seed same checksum" `Quick
+            test_same_seed_same_checksum;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "codecs round-trip" `Quick test_codecs_roundtrip;
+          Alcotest.test_case "replay rejects gaps" `Quick test_replay_rejects_gap;
+        ] );
+      ( "crash-recover",
+        [
+          Alcotest.test_case "writer crash loses nothing" `Quick
+            test_writer_crash_recover_no_loss;
+          Alcotest.test_case "recovery without snapshot" `Quick
+            test_crash_before_first_snapshot;
+          Alcotest.test_case "double crash/recover" `Quick
+            test_double_crash_recover;
+          Alcotest.test_case "origin crash only stalls origin" `Quick
+            test_non_writer_crash_is_amnesia_free_anyway;
+        ] );
+      ( "lossy",
+        [
+          Alcotest.test_case "drops never double-apply" `Quick
+            test_message_drops_never_double_apply;
+          Alcotest.test_case "store fault plans survive" `Quick
+            test_store_fault_plans_survive;
+        ] );
+      ( "cas",
+        [
+          Alcotest.test_case "no-cas lost update caught" `Quick
+            test_no_cas_stale_overwrite_slips_and_monitor_catches;
+          Alcotest.test_case "violation stalls next op" `Quick
+            test_spec_violation_stalls_next_op;
+        ] );
+      ( "clone",
+        [
+          Alcotest.test_case "diverges independently" `Quick
+            test_clone_diverges_independently;
+        ] );
+    ]

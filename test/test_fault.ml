@@ -42,6 +42,11 @@ let test_parse_round_trips () =
       "part:1-4@2,10";
       "crash:3@1.5/crash:7@#40/drop:0.01/drop:2,5:1/dup:0.05/part:1-4@2,10";
       "crash:3@1.5/crash:7@#40/recover:7@50/drop:0.01/dup:0.05/part:1-4@2,10";
+      "sdrop:0.25";
+      "sdup:0.1";
+      "sslow:0.5:8";
+      "sout:2,10";
+      "crash:3@1.5/recover:3@9/sdrop:0.1/sdup:0.05/sslow:0.25:4/sout:0,6/sout:20,30";
     ]
 
 let test_parse_structure () =
@@ -85,6 +90,15 @@ let test_parse_rejects () =
       "recover:0@1";
       "crash:3@1/recover:3@-2";
       "crash:3@1/recover:3@#5";
+      "sdrop:1.5";
+      "sdrop:-0.1";
+      "sdup:2";
+      "sslow:0.5";
+      "sslow:2:4";
+      "sslow:0.5:-1";
+      "sout:10";
+      "sout:10,2";
+      "sout:-1,5";
     ]
 
 let test_recover_requires_crash () =
@@ -127,6 +141,22 @@ let test_partitioned () =
   check Alcotest.bool "same side inside" false (cut ~src:1 ~dst:2 ~at:7.);
   check Alcotest.bool "same side outside" false (cut ~src:3 ~dst:4 ~at:7.);
   check Alcotest.bool "healed (half-open)" false (cut ~src:1 ~dst:3 ~at:10.)
+
+let test_store_plan_statics () =
+  let f = plan "sout:2,10/sout:20,30" in
+  check Alcotest.bool "store_active" true (Sim.Fault.store_active f);
+  check Alcotest.bool "before window" false (Sim.Fault.store_down f ~at:1.9);
+  check Alcotest.bool "at open" true (Sim.Fault.store_down f ~at:2.);
+  check Alcotest.bool "healed (half-open)" false (Sim.Fault.store_down f ~at:10.);
+  check Alcotest.bool "second window" true (Sim.Fault.store_down f ~at:25.);
+  check Alcotest.bool "none inactive" false
+    (Sim.Fault.store_active Sim.Fault.none);
+  (* Zero-probability store clauses parse back to the structural none,
+     like drop:0 — plans without effective store faults stay draw-free. *)
+  check Alcotest.bool "sdrop:0 collapses" true (Sim.Fault.is_none (plan "sdrop:0"));
+  check Alcotest.bool "sslow:0:9 collapses" true
+    (Sim.Fault.is_none (plan "sslow:0:9"));
+  check Alcotest.bool "sdup active" false (Sim.Fault.is_none (plan "sdup:0.5"))
 
 (* ------------------------------------------------------------------ *)
 (* QCheck round-trips: string-level fixpoints. Printing uses %g, so
@@ -201,7 +231,30 @@ let gen_fault =
   list_size (int_bound 2) link >>= fun drop_links ->
   gen_prob >>= fun duplicate ->
   list_size (int_bound 2) part >>= fun partitions ->
-  return { Sim.Fault.crashes; recovers; drop; drop_links; duplicate; partitions }
+  gen_prob >>= fun store_drop ->
+  gen_prob >>= fun store_dup ->
+  gen_prob >>= fun slow_p ->
+  gen_pos_float >>= fun slow_d ->
+  let store_slow = if Float.equal slow_p 0. then (0., 0.) else (slow_p, slow_d) in
+  let outage =
+    map
+      (fun t0 -> (float_of_int t0 /. 2., (float_of_int t0 /. 2.) +. 4.5))
+      (int_bound 100)
+  in
+  list_size (int_bound 2) outage >>= fun store_outages ->
+  return
+    {
+      Sim.Fault.crashes;
+      recovers;
+      drop;
+      drop_links;
+      duplicate;
+      partitions;
+      store_drop;
+      store_dup;
+      store_slow;
+      store_outages;
+    }
 
 let qcheck_delay_round_trip =
   QCheck.Test.make ~name:"Delay.of_string round-trips to_string" ~count:500
@@ -528,6 +581,8 @@ let () =
           Alcotest.test_case "is_none" `Quick test_is_none;
           Alcotest.test_case "drop_on" `Quick test_drop_on;
           Alcotest.test_case "partitioned" `Quick test_partitioned;
+          Alcotest.test_case "store plan statics" `Quick
+            test_store_plan_statics;
         ] );
       ( "qcheck",
         [

@@ -292,8 +292,140 @@ let test_probabilistic_plans_rejected () =
   Alcotest.check_raises "drop plans cannot be model-checked"
     (Invalid_argument
        "Mc.Explore: probabilistic fault clauses (drop/dup/partitions) \
-        cannot be model-checked; only crash victims are supported")
-    (fun () -> ignore (explore "central" ~n:3 ~faults:(crash_plan "drop:0.5")))
+        cannot be model-checked; only crash/recover victims are supported")
+    (fun () -> ignore (explore "central" ~n:3 ~faults:(crash_plan "drop:0.5")));
+  Alcotest.check_raises "store plans cannot be model-checked"
+    (Invalid_argument
+       "Mc.Explore: store-RPC fault clauses (sdrop/sdup/sslow/sout) cannot \
+        be model-checked; the adversary already owns delivery \
+        nondeterminism, including store traffic")
+    (fun () -> ignore (explore "durable" ~n:2 ~faults:(crash_plan "sdup:0.5")))
+
+(* ------------------------------------------------------------------ *)
+(* Durable counter: the recover adversary and the oswald spec properties *)
+
+let recover_plan = crash_plan "crash:1@99/recover:1@120"
+
+(* [Core.Durable_counter] at the negative control's aggressive cadence
+   (roll every record, snapshot every count) but with CAS intact — the
+   exact pairing that shows the compare-and-swap is what stands between
+   the durable counter and the stored manifest regression. *)
+let durable_cas_tight : Counter.Counter_intf.counter =
+  (module struct
+    module D = Core.Durable_counter
+
+    type t = D.t
+
+    let name = "durable-cas-tight"
+    let describe = "durable counter at the negative control's cadence"
+    let supported_n = D.supported_n
+
+    let create ?seed ?delay ?faults ~n () =
+      D.create_raw ?seed ?delay ?faults ~cas:true ~chunk_records:1
+        ~snap_every:1 ~n ()
+
+    let n = D.n
+    let value = D.value
+    let metrics = D.metrics
+    let traces = D.traces
+    let inc = D.inc
+    let inc_result = D.inc_result
+    let crashed = D.crashed
+    let clone = D.clone
+  end)
+
+let test_durable_exhaustive_fault_free () =
+  (* Fault-free, the durable counter is disarmed: no retry timers, a
+     sequential store pipeline — the space stays small and every
+     interleaving must satisfy every property, the WAL monitor's
+     included. *)
+  let o =
+    explore "durable" ~n:2 ~schedule:(Counter.Schedule.Explicit [ 2; 2; 2 ])
+  in
+  check Alcotest.bool "exhausted" true (is_exhausted o)
+
+let test_durable_crash_recover_bounded () =
+  (* Crash the writer and revive it at every adversarial point: bounded
+     search (retry timers explode the space), no violation may surface —
+     including CounterProgress, checked on executions where the victim
+     was revived. *)
+  let o =
+    explore "durable" ~n:2
+      ~schedule:(Counter.Schedule.Explicit [ 2; 2 ])
+      ~faults:recover_plan
+      ~config:
+        {
+          Mc.Explore.default_config with
+          max_states = 20_000;
+          max_depth = 12;
+          check_progress = true;
+        }
+  in
+  (match o.verdict with
+  | Mc.Explore.Violation_found v ->
+      Alcotest.failf "violation under crash/recover: %s" v.Mc.Explore.detail
+  | Mc.Explore.Exhausted_ok | Mc.Explore.Budget_exhausted -> ());
+  check Alcotest.bool "recover adversary widens the space" true
+    (o.stats.Mc.Explore.max_enabled >= 3)
+
+let no_cas_hunt_config =
+  { Mc.Explore.default_config with max_states = 300_000; max_depth = 10 }
+
+let test_durable_no_cas_finds_manifest_regression () =
+  let v =
+    the_violation
+      (explore "durable-no-cas" ~n:2
+         ~schedule:(Counter.Schedule.Explicit [ 2 ])
+         ~faults:recover_plan ~config:no_cas_hunt_config)
+  in
+  check Alcotest.string "property" "manifest-regressed"
+    (Mc.Explore.property_name v.Mc.Explore.property);
+  (* The minimal counterexample needs the full adversary: a crash, a
+     revival and a reordered stale store write. *)
+  let has k = List.exists (fun d -> Mc.Enabled.equal d k) v.Mc.Explore.decisions in
+  check Alcotest.bool "crashes the writer" true (has (Mc.Enabled.Crash 1));
+  check Alcotest.bool "revives the writer" true (has (Mc.Enabled.Recover 1))
+
+let test_durable_cas_survives_no_cas_hunt () =
+  (* Same cadence, same adversary, same budget as the hunt above — with
+     CAS the stale manifest write bounces off and nothing is found. *)
+  let o =
+    Mc.Explore.check ~faults:recover_plan ~config:no_cas_hunt_config
+      durable_cas_tight ~n:2
+      ~schedule:(Counter.Schedule.Explicit [ 2 ])
+  in
+  match o.Mc.Explore.verdict with
+  | Mc.Explore.Violation_found v ->
+      Alcotest.failf "CAS failed to protect the manifest: %s"
+        v.Mc.Explore.detail
+  | Mc.Explore.Exhausted_ok | Mc.Explore.Budget_exhausted -> ()
+
+let test_stored_durable_counterexample () =
+  (* Byte-for-byte what the hunt emits today (the comparison `make
+     test-mc` performs on the CLI path), and it must still reproduce. *)
+  let stored =
+    In_channel.with_open_text (data_file "durable_no_cas_n2.mcs")
+      In_channel.input_all
+  in
+  let v =
+    the_violation
+      (explore "durable-no-cas" ~n:2
+         ~schedule:(Counter.Schedule.Explicit [ 2 ])
+         ~faults:recover_plan ~config:no_cas_hunt_config)
+  in
+  let cx =
+    Mc.Replay.of_violation ~counter:"durable-no-cas" ~n:2 ~seed:42
+      ~schedule:(Counter.Schedule.Explicit [ 2 ])
+      ~faults:recover_plan v
+  in
+  check Alcotest.string "byte-for-byte" stored (Mc.Replay.to_string cx);
+  match Mc.Replay.of_string stored with
+  | Error e -> Alcotest.failf "stored file unparseable: %s" e
+  | Ok stored_cx ->
+      check Alcotest.string "stored property" "manifest-regressed"
+        stored_cx.Mc.Replay.property;
+      check Alcotest.bool "stored file reproduces its violation" true
+        (Mc.Replay.reproduces (get "durable-no-cas") stored_cx)
 
 (* ------------------------------------------------------------------ *)
 (* Decision tokens *)
@@ -305,7 +437,8 @@ let test_token_round_trip () =
       | Ok key' -> check Alcotest.bool "round trip" true (Mc.Enabled.equal key key')
       | Error e -> Alcotest.failf "token failed: %s" e)
     [ Mc.Enabled.Link (1, 2); Mc.Enabled.Link (12, 7); Mc.Enabled.Timer;
-      Mc.Enabled.Crash 3 ]
+      Mc.Enabled.Crash 3; Mc.Enabled.Linkn (1, 2, 3);
+      Mc.Enabled.Linkn (12, 7, 0); Mc.Enabled.Recover 2 ]
 
 let test_independence_is_symmetric () =
   let keys =
@@ -331,7 +464,19 @@ let test_independence_is_symmetric () =
   check Alcotest.bool "timer conflicts with everything" false
     (Mc.Enabled.independent Mc.Enabled.Timer (Mc.Enabled.Link (3, 4)));
   check Alcotest.bool "crash commutes with unrelated link" true
-    (Mc.Enabled.independent (Mc.Enabled.Crash 4) (Mc.Enabled.Link (1, 2)))
+    (Mc.Enabled.independent (Mc.Enabled.Crash 4) (Mc.Enabled.Link (1, 2)));
+  check Alcotest.bool "two messages on one unordered link conflict" false
+    (Mc.Enabled.independent
+       (Mc.Enabled.Linkn (1, 3, 0))
+       (Mc.Enabled.Linkn (1, 3, 4)));
+  check Alcotest.bool "unordered deliveries on disjoint links commute" true
+    (Mc.Enabled.independent
+       (Mc.Enabled.Linkn (1, 3, 0))
+       (Mc.Enabled.Linkn (4, 5, 2)));
+  check Alcotest.bool "crash and revival of one victim conflict" false
+    (Mc.Enabled.independent (Mc.Enabled.Crash 1) (Mc.Enabled.Recover 1));
+  check Alcotest.bool "revival commutes with an unrelated link" true
+    (Mc.Enabled.independent (Mc.Enabled.Recover 4) (Mc.Enabled.Linkn (1, 3, 0)))
 
 let () =
   Alcotest.run "mc"
@@ -380,6 +525,19 @@ let () =
           Alcotest.test_case "quorum crash" `Quick test_crash_branching_quorum;
           Alcotest.test_case "probabilistic rejected" `Quick
             test_probabilistic_plans_rejected;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "fault-free exhaustive" `Quick
+            test_durable_exhaustive_fault_free;
+          Alcotest.test_case "crash/recover bounded" `Quick
+            test_durable_crash_recover_bounded;
+          Alcotest.test_case "no-cas manifest regression" `Quick
+            test_durable_no_cas_finds_manifest_regression;
+          Alcotest.test_case "cas survives the same hunt" `Quick
+            test_durable_cas_survives_no_cas_hunt;
+          Alcotest.test_case "stored counterexample canonical" `Quick
+            test_stored_durable_counterexample;
         ] );
       ( "tokens",
         [

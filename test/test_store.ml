@@ -1,0 +1,243 @@
+(* Tests for the deterministic object store (Sim.Store):
+
+   - apply semantics: read-after-write, CAS including expect-None
+     creation and conflicts carrying the actual current value,
+     lexicographically sorted list-by-prefix, idempotent delete;
+   - the mutation monitor fires with the correct prev/next on every
+     applied mutation and never on reads or failed CAS;
+   - serve's fault hooks: sdrop loses whole request or response legs,
+     sdup duplicates responses, sslow asks the caller to delay, sout
+     answers Unavailable inside the window — all charged to stats and
+     none of them active under Fault.none. *)
+
+let check = Alcotest.check
+
+module S = Sim.Store
+
+let plan s =
+  match Sim.Fault.of_string s with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "bad plan %S: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* apply semantics                                                     *)
+
+let test_get_put_roundtrip () =
+  let t = S.create () in
+  (match S.apply t (S.Get "k") with
+  | S.Value None -> ()
+  | _ -> Alcotest.fail "fresh store should miss");
+  (match S.apply t (S.Put { key = "k"; value = "v1" }) with
+  | S.Written -> ()
+  | _ -> Alcotest.fail "put should write");
+  (match S.apply t (S.Get "k") with
+  | S.Value (Some v) -> check Alcotest.string "read-after-write" "v1" v
+  | _ -> Alcotest.fail "get after put should hit");
+  check Alcotest.(option string) "find mirrors get" (Some "v1") (S.find t "k")
+
+let test_cas_create_and_conflict () =
+  let t = S.create () in
+  (* expect None = create-if-absent *)
+  (match S.apply t (S.Cas { key = "k"; expect = None; value = "a" }) with
+  | S.Written -> ()
+  | _ -> Alcotest.fail "CAS expect-None on absent key should write");
+  (* same expect again: conflict, carrying the actual value *)
+  (match S.apply t (S.Cas { key = "k"; expect = None; value = "b" }) with
+  | S.Conflict (Some cur) -> check Alcotest.string "current value" "a" cur
+  | _ -> Alcotest.fail "CAS expect-None on present key should conflict");
+  (* correct expect advances *)
+  (match S.apply t (S.Cas { key = "k"; expect = Some "a"; value = "b" }) with
+  | S.Written -> ()
+  | _ -> Alcotest.fail "CAS with matching expect should write");
+  (* stale expect conflicts *)
+  (match S.apply t (S.Cas { key = "k"; expect = Some "a"; value = "c" }) with
+  | S.Conflict (Some cur) -> check Alcotest.string "current value" "b" cur
+  | _ -> Alcotest.fail "CAS with stale expect should conflict");
+  (* expect Some on absent key conflicts with None *)
+  (match S.apply t (S.Cas { key = "gone"; expect = Some "x"; value = "y" }) with
+  | S.Conflict None -> ()
+  | _ -> Alcotest.fail "CAS expecting content on absent key: Conflict None");
+  let s = S.stats t in
+  check Alcotest.int "cas_ok" 2 s.S.cas_ok;
+  check Alcotest.int "cas_conflict" 3 s.S.cas_conflict
+
+let test_list_sorted_by_prefix () =
+  let t = S.create () in
+  List.iter
+    (fun (k, v) -> ignore (S.apply t (S.Put { key = k; value = v })))
+    [
+      ("chunk.000002", "c2");
+      ("manifest", "m");
+      ("chunk.000000", "c0");
+      ("snap.000000010", "s");
+      ("chunk.000001", "c1");
+    ];
+  (match S.apply t (S.List "chunk.") with
+  | S.Keys ks ->
+      Alcotest.(check (list string))
+        "ascending, prefix only"
+        [ "chunk.000000"; "chunk.000001"; "chunk.000002" ]
+        ks
+  | _ -> Alcotest.fail "list should answer keys");
+  (match S.apply t (S.List "") with
+  | S.Keys ks -> check Alcotest.int "empty prefix lists all" 5 (List.length ks)
+  | _ -> Alcotest.fail "list should answer keys");
+  match S.apply t (S.List "zzz") with
+  | S.Keys [] -> ()
+  | _ -> Alcotest.fail "no match should answer empty"
+
+let test_delete_idempotent () =
+  let t = S.create () in
+  ignore (S.apply t (S.Put { key = "k"; value = "v" }));
+  (match S.apply t (S.Delete "k") with
+  | S.Deleted -> ()
+  | _ -> Alcotest.fail "delete should ack");
+  (match S.apply t (S.Delete "k") with
+  | S.Deleted -> ()
+  | _ -> Alcotest.fail "delete of absent key should still ack");
+  check Alcotest.(option string) "gone" None (S.find t "k")
+
+let test_copy_is_independent () =
+  let t = S.create () in
+  ignore (S.apply t (S.Put { key = "k"; value = "v" }));
+  let c = S.copy t in
+  ignore (S.apply c (S.Put { key = "k"; value = "w" }));
+  check Alcotest.(option string) "original untouched" (Some "v") (S.find t "k");
+  check Alcotest.(option string) "copy advanced" (Some "w") (S.find c "k")
+
+(* ------------------------------------------------------------------ *)
+(* monitor                                                             *)
+
+let test_monitor_sees_mutations () =
+  let t = S.create () in
+  let seen = ref [] in
+  S.set_monitor t (fun ~key ~prev ~next -> seen := (key, prev, next) :: !seen);
+  ignore (S.apply t (S.Get "k"));
+  ignore (S.apply t (S.Put { key = "k"; value = "a" }));
+  ignore (S.apply t (S.Cas { key = "k"; expect = Some "zzz"; value = "b" }));
+  ignore (S.apply t (S.Cas { key = "k"; expect = Some "a"; value = "b" }));
+  ignore (S.apply t (S.List ""));
+  ignore (S.apply t (S.Delete "k"));
+  Alcotest.(check (list (triple string (option string) (option string))))
+    "mutations only, in order, with prev/next"
+    [
+      ("k", None, Some "a");
+      ("k", Some "a", Some "b");
+      ("k", Some "b", None);
+    ]
+    (List.rev !seen)
+
+(* ------------------------------------------------------------------ *)
+(* serve fault hooks                                                   *)
+
+type rpc_log = { mutable replies : (float option * S.response) list }
+
+let serve_once ?(faults = Sim.Fault.none) ?(seed = 42) req =
+  let net = Sim.Network.create ~seed ~faults ~n:2 ~label:(fun _ -> "m") () in
+  let t = S.create () in
+  let log = { replies = [] } in
+  S.serve t net req ~reply:(fun ?extra_delay resp ->
+      log.replies <- log.replies @ [ (extra_delay, resp) ]);
+  (t, log)
+
+let test_serve_no_faults_is_one_apply () =
+  let t, log = serve_once (S.Put { key = "k"; value = "v" }) in
+  (match log.replies with
+  | [ (None, S.Written) ] -> ()
+  | _ -> Alcotest.fail "exactly one undelayed reply");
+  check Alcotest.(option string) "applied" (Some "v") (S.find t "k")
+
+let test_serve_sdrop_certain_loses_request () =
+  let t, log =
+    serve_once ~faults:(plan "sdrop:1") (S.Put { key = "k"; value = "v" })
+  in
+  check Alcotest.int "no reply" 0 (List.length log.replies);
+  check Alcotest.(option string) "never applied" None (S.find t "k");
+  check Alcotest.int "charged as lost request" 1 (S.stats t).S.lost_requests;
+  check Alcotest.int "no put charged" 0 (S.stats t).S.puts
+
+let test_serve_sdup_certain_duplicates_response () =
+  let t, log =
+    serve_once ~faults:(plan "sdup:1") (S.Put { key = "k"; value = "v" })
+  in
+  (match log.replies with
+  | [ (None, S.Written); (None, S.Written) ] -> ()
+  | _ -> Alcotest.fail "exactly two replies");
+  check Alcotest.(option string) "applied once" (Some "v") (S.find t "k");
+  check Alcotest.int "puts" 1 (S.stats t).S.puts;
+  check Alcotest.int "dup charged" 1 (S.stats t).S.dup_responses
+
+let test_serve_sslow_certain_delays_response () =
+  let _, log =
+    serve_once ~faults:(plan "sslow:1:7.5") (S.Put { key = "k"; value = "v" })
+  in
+  match log.replies with
+  | [ (Some d, S.Written) ] -> check (Alcotest.float 0.0) "delay" 7.5 d
+  | _ -> Alcotest.fail "one delayed reply"
+
+let test_serve_sout_window_answers_unavailable () =
+  let t, log =
+    serve_once ~faults:(plan "sout:0,10") (S.Put { key = "k"; value = "v" })
+  in
+  (match log.replies with
+  | [ (None, S.Unavailable) ] -> ()
+  | _ -> Alcotest.fail "one Unavailable reply");
+  check Alcotest.(option string) "never applied" None (S.find t "k");
+  check Alcotest.int "charged" 1 (S.stats t).S.unavailable
+
+let test_serve_drop_response_leg_applies_first () =
+  (* With sdrop certain on both draws the request leg is hit first, so
+     force the response-leg path by checking stats over many seeds with
+     p = 0.5: both legs must be exercised. *)
+  let lost_req = ref 0 and lost_resp = ref 0 and delivered = ref 0 in
+  for seed = 1 to 200 do
+    let t, log =
+      serve_once ~seed ~faults:(plan "sdrop:0.5")
+        (S.Put { key = "k"; value = "v" })
+    in
+    let s = S.stats t in
+    lost_req := !lost_req + s.S.lost_requests;
+    lost_resp := !lost_resp + s.S.lost_responses;
+    delivered := !delivered + List.length log.replies;
+    if s.S.lost_responses = 1 then
+      check Alcotest.(option string) "applied though response lost"
+        (Some "v") (S.find t "k")
+  done;
+  Alcotest.(check bool) "request leg exercised" true (!lost_req > 20);
+  Alcotest.(check bool) "response leg exercised" true (!lost_resp > 20);
+  Alcotest.(check bool) "some delivered" true (!delivered > 20)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "apply",
+        [
+          Alcotest.test_case "get/put round-trip" `Quick test_get_put_roundtrip;
+          Alcotest.test_case "cas create and conflict" `Quick
+            test_cas_create_and_conflict;
+          Alcotest.test_case "list sorted by prefix" `Quick
+            test_list_sorted_by_prefix;
+          Alcotest.test_case "delete idempotent" `Quick test_delete_idempotent;
+          Alcotest.test_case "copy independent" `Quick test_copy_is_independent;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "sees mutations with prev/next" `Quick
+            test_monitor_sees_mutations;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "no faults: one apply, one reply" `Quick
+            test_serve_no_faults_is_one_apply;
+          Alcotest.test_case "sdrop loses request leg" `Quick
+            test_serve_sdrop_certain_loses_request;
+          Alcotest.test_case "sdup duplicates response" `Quick
+            test_serve_sdup_certain_duplicates_response;
+          Alcotest.test_case "sslow delays response" `Quick
+            test_serve_sslow_certain_delays_response;
+          Alcotest.test_case "sout answers Unavailable" `Quick
+            test_serve_sout_window_answers_unavailable;
+          Alcotest.test_case "both drop legs exercised" `Quick
+            test_serve_drop_response_leg_applies_first;
+        ] );
+    ]
