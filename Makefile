@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint test-chaos test-mc test-durable bench bench-big bench-perf bench-smoke bench-gate-selftest examples doc clean outputs
+.PHONY: all build test lint test-chaos test-mc test-durable test-load bench bench-big bench-perf bench-smoke bench-gate-selftest examples doc clean outputs
 
 all: build
 
@@ -67,17 +67,32 @@ test-durable:
 	cmp /tmp/durable_no_cas_n2.mcs test/data/durable_no_cas_n2.mcs
 	dune exec bin/dcount.exe -- mc --replay test/data/durable_no_cas_n2.mcs
 
+# Open-loop load gate (docs/LOAD.md): the generator/checker unit+property
+# suite, then dcount load --check end to end — the paper's counter and
+# the combining tree must stay linearizable at the moderate-overlap rate
+# where the counting network provably is not (exit 1 there is the
+# negative control), and one report must be byte-identical across
+# event-queue shard counts.
+test-load:
+	dune exec test/test_load.exe
+	dune exec bin/dcount.exe -- load -c retire-tree -n 64 --rate 0.05 --ops 1000 --seed 42 --check
+	dune exec bin/dcount.exe -- load -c combining -n 64 --rate 0.05 --ops 1000 --seed 42 --check
+	! dune exec bin/dcount.exe -- load -c counting-net -n 64 --rate 0.05 --ops 1000 --seed 42 --check
+	dune exec bin/dcount.exe -- load -c counting-net -n 64 --rate 2.0 --ops 2000 --seed 42 --sim-domains 1 > /tmp/load_d1.txt
+	dune exec bin/dcount.exe -- load -c counting-net -n 64 --rate 2.0 --ops 2000 --seed 42 --sim-domains 4 > /tmp/load_d4.txt
+	cmp /tmp/load_d1.txt /tmp/load_d4.txt
+
 bench:
 	dune exec bench/main.exe
 
 bench-big:
 	dune exec bench/main.exe -- --big
 
-# Full engine-throughput suite; writes BENCH_2.json (docs/PERFORMANCE.md).
+# Full engine-throughput suite; writes BENCH_3.json (docs/PERFORMANCE.md).
 # Always the release profile, so committed artefacts are comparable.
 bench-perf:
 	dune build --profile release bench/perf.exe
-	./_build/default/bench/perf.exe --json --out BENCH_2.json
+	./_build/default/bench/perf.exe --json --out BENCH_3.json
 
 # Seconds-scale CI regression gate: a smoke benchmark run compared
 # against the newest committed BENCH_*.json (rates must stay within the

@@ -21,9 +21,14 @@
                   subset at the network scales.
    5. parallel  — a multi-seed sweep through [Analysis.Replicate], timed
                   sequentially and across domains.
+   6. load      — the open-loop load engine [Counter.Driver.run_load]:
+                  wall-clock ops/second simulating a fixed arrival-rate
+                  run for a representative concurrent subset, plus the
+                  virtual-time p99 latency and peak overlap each run
+                  reports.
 
    [--json] additionally writes a machine-readable artefact (default
-   BENCH_2.json; schema "dcount-bench/2" in docs/PERFORMANCE.md; the
+   BENCH_3.json; schema "dcount-bench/3" in docs/PERFORMANCE.md; the
    header records the dune profile and flambda flag the binary was built
    with). [--smoke] shrinks every section to seconds of total runtime for
    CI. [--validate FILE] re-parses an artefact and checks the schema
@@ -427,6 +432,66 @@ let parallel_section ~smoke =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Section 6: open-loop load engine.
+
+   [Driver.run_load] at fixed per-source arrival rates, exp:1 delays (the
+   [dcount load] default, so the overlap regime is exercised rather than
+   the constant-delay lock-step pipeline). The throughput number is
+   wall-clock operations simulated per second — how fast the engine chews
+   through an open-loop run — while p99 latency and peak overlap are the
+   run's own virtual-time figures, pinned here so an artefact also
+   documents the workload's shape. *)
+
+let load_subset = [ "central"; "combining"; "counting-net"; "retire-tree" ]
+
+let load_section ~smoke =
+  let n = if smoke then 16 else 64 in
+  let ops = if smoke then 256 else 2_000 in
+  let rates = if smoke then [ 0.5 ] else [ 0.2; 2.0 ] in
+  pr "== load: open-loop engine, n = %d, %d ops (rates per source) ==\n" n
+    ops;
+  let rows =
+    List.concat_map
+      (fun name ->
+        let c =
+          match Baselines.Registry.find_concurrent name with
+          | Some c -> c
+          | None -> failwith ("load benchmark: unknown counter " ^ name)
+        in
+        List.map
+          (fun arrival_rate ->
+            let report, t, w =
+              measure (fun () ->
+                  Counter.Driver.run_load ~seed:5
+                    ~delay:(Sim.Delay.Exponential 1.0) c ~n
+                    ~arrivals:(Sim.Arrivals.Poisson arrival_rate) ~ops)
+            in
+            let lat = report.Counter.Driver.latency in
+            let a = report.Counter.Driver.analysis in
+            pr
+              "  %-14s rate = %4.2f: %8.0f ops/s  p99 = %6.2f  peak = %4d  \
+               linearizable = %b\n"
+              name arrival_rate (rate ops t) lat.Analysis.Histogram.p99
+              a.Counter.History.peak_overlap a.Counter.History.linearizable;
+            Json.Obj
+              [
+                ("counter", Json.Str name);
+                ("n", Json.int report.Counter.Driver.n);
+                ("rate", Json.Num arrival_rate);
+                ("ops", Json.int ops);
+                ("ops_per_sec", Json.Num (rate ops t));
+                ("words_per_op", Json.Num (w /. float_of_int ops));
+                ("p99_virtual", Json.Num lat.Analysis.Histogram.p99);
+                ("peak_overlap", Json.int a.Counter.History.peak_overlap);
+                ("linearizable", Json.Bool a.Counter.History.linearizable);
+              ])
+          rates)
+      load_subset
+  in
+  pr "\n";
+  Json.List rows
+
+(* ------------------------------------------------------------------ *)
 (* Artefact validation (the [make bench-smoke] gate). *)
 
 let validate_field doc path extract =
@@ -461,11 +526,16 @@ let load_doc file =
 let validate file =
   let doc = load_doc file in
   let schema = validate_field doc [ "schema" ] Json.to_str in
-  if schema <> "dcount-bench/1" && schema <> "dcount-bench/2" then begin
-    Printf.eprintf "%s: unknown schema %S\n" file schema;
-    exit 1
-  end;
-  let v2 = schema = "dcount-bench/2" in
+  let version =
+    match schema with
+    | "dcount-bench/1" -> 1
+    | "dcount-bench/2" -> 2
+    | "dcount-bench/3" -> 3
+    | _ ->
+        Printf.eprintf "%s: unknown schema %S\n" file schema;
+        exit 1
+  in
+  let v2 = version >= 2 in
   let speedup = validate_field doc [ "heap"; "speedup" ] Json.to_float in
   let check_rows section required_nums required_strs =
     let rows = validate_field doc [ section ] Json.to_list in
@@ -493,6 +563,10 @@ let validate file =
       [ "checksum" ];
     ignore (validate_field doc [ "profile" ] Json.to_str)
   end;
+  if version >= 3 then
+    check_rows "load"
+      [ "n"; "rate"; "ops_per_sec"; "p99_virtual"; "peak_overlap" ]
+      [ "counter" ];
   ignore (validate_field doc [ "parallel"; "speedup" ] Json.to_float);
   Printf.printf "%s: valid %s (heap speedup %.2fx)\n" file schema speedup;
   if Float.is_nan speedup || speedup <= 0.0 then exit 1
@@ -572,7 +646,20 @@ let samples_of_doc doc =
         | _ -> None)
       (rows "counters")
   in
-  heap @ network @ par @ counters
+  let load =
+    List.filter_map
+      (fun row ->
+        match
+          ( get row "counter" Json.to_str,
+            get row "rate" Json.to_float,
+            get row "ops_per_sec" Json.to_float )
+        with
+        | Some c, Some arrival_rate, Some r ->
+            Some (Printf.sprintf "load/%s/rate=%g" c arrival_rate, r)
+        | _ -> None)
+      (rows "load")
+  in
+  heap @ network @ par @ counters @ load
 
 let doc_mode doc =
   Option.value
@@ -628,7 +715,7 @@ let usage () =
 let () =
   let smoke = ref false
   and json = ref false
-  and out = ref "BENCH_2.json"
+  and out = ref "BENCH_3.json"
   and to_validate = ref None
   and gate_against = ref None
   and tolerance = ref 0.25
@@ -681,10 +768,11 @@ let () =
       let par = par_section ~smoke in
       let counters = counters_section ~smoke ~sizes in
       let parallel = parallel_section ~smoke in
+      let load = load_section ~smoke in
       let doc =
         Json.Obj
           [
-            ("schema", Json.Str "dcount-bench/2");
+            ("schema", Json.Str "dcount-bench/3");
             ("mode", Json.Str (if smoke then "smoke" else "full"));
             ("profile", Json.Str Build_info.profile);
             ("flambda", Json.Bool Build_info.flambda);
@@ -693,6 +781,7 @@ let () =
             ("par", par);
             ("counters", counters);
             ("parallel", parallel);
+            ("load", load);
           ]
       in
       if !json then begin

@@ -10,3 +10,20 @@ val pp : ?bar_width:int -> Format.formatter -> t -> unit
 
 val bucket_counts : t -> (int * int * int) list
 (** [(lo, hi, count)] per bucket (inclusive bounds). *)
+
+(** {1 Quantiles}
+
+    Percentile support for latency samples (the open-loop load engine,
+    docs/LOAD.md). Nearest-rank on the exact sample set — no
+    interpolation, so every reported percentile is a value that actually
+    occurred, and results are deterministic for a given sample multiset. *)
+
+val quantile : float array -> q:float -> float
+(** [quantile samples ~q] is the nearest-rank [q]-quantile of a
+    non-empty sample array ([q] in [\[0, 1\]]; [q = 0.5] is the median,
+    [q = 1.] the maximum). Sorts a copy; the input is untouched. *)
+
+type latency_summary = { p50 : float; p90 : float; p99 : float; max : float }
+
+val summary : float array -> latency_summary
+(** The standard reporting quartet over a non-empty sample array. *)

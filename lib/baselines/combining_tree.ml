@@ -1,18 +1,29 @@
-type pending = { side : int; count : int }
+(* [op] is the open-loop operation id of a leaf-originated singleton
+   request (-1 on the sequential path and on inner-node aggregates,
+   whose grants descend by batch, not by op). It rides along so the
+   final [Down] can be matched to the operation when an origin has
+   several requests in flight. [batch] is the sender's outstanding-batch
+   id (-1 on leaf requests): grants echo it back, so a node with several
+   batches in flight matches each grant to the right batch even when
+   messages overtake each other (delivery is not FIFO under variable
+   delays). *)
+type pending = { side : int; count : int; op : int; batch : int }
 
 type payload =
-  | Up of { node : int; side : int; count : int }
+  | Up of { node : int; side : int; count : int; op : int; batch : int }
       (* request arriving at inner node [node] from its child on [side] *)
-  | Grant of { node : int; base : int }
+  | Grant of { node : int; base : int; batch : int }
       (* a block [base, base+count) granted to inner node [node]'s batch *)
-  | Down of { origin : int; value : int }  (* final value for a leaf *)
+  | Down of { origin : int; op : int; value : int }
+      (* final value for a leaf *)
 
 let label = function Up _ -> "up" | Grant _ -> "grant" | Down _ -> "down"
 
 type node_state = {
   mutable collecting : pending option;
   mutable generation : int;  (* invalidates stale window timers *)
-  batches : pending list Queue.t;  (* FIFO, one entry per Up sent above *)
+  mutable next_batch : int;  (* fresh batch ids, per node *)
+  batches : (int, pending list) Hashtbl.t;  (* one entry per Up sent above *)
 }
 
 type t = {
@@ -21,7 +32,8 @@ type t = {
   window : float;
   nodes : node_state array;  (* heap-indexed 1 .. n-1; slot 0 unused *)
   mutable value : int;
-  mutable completed_rev : (int * int) list;
+  mutable completed_rev : (int * int * int * float) list;
+      (* origin, op, value, time *)
   mutable traces_rev : Sim.Trace.t list;
   mutable combined : int;
   mutable uncombined : int;
@@ -60,10 +72,13 @@ let rec ascend t ~self ~node ~batch ~count =
   end
   else begin
     let parent, side = parent_of node in
-    t.nodes.(node).generation <- t.nodes.(node).generation + 1;
-    Queue.push batch t.nodes.(node).batches;
+    let nd = t.nodes.(node) in
+    nd.generation <- nd.generation + 1;
+    let id = nd.next_batch in
+    nd.next_batch <- id + 1;
+    Hashtbl.replace nd.batches id batch;
     Sim.Network.send t.net ~src:self ~dst:(node_host t parent)
-      (Up { node = parent; side; count })
+      (Up { node = parent; side; count; op = -1; batch = id })
   end
 
 and descend t ~self ~node ~batch ~base =
@@ -74,26 +89,28 @@ and descend t ~self ~node ~batch ~base =
       if is_leaf t child then begin
         let origin = leaf_origin t child in
         Sim.Network.send t.net ~src:self ~dst:origin
-          (Down { origin; value = !offset })
+          (Down { origin; op = p.op; value = !offset })
       end
       else
         Sim.Network.send t.net ~src:self ~dst:(node_host t child)
-          (Grant { node = child; base = !offset });
+          (Grant { node = child; base = !offset; batch = p.batch });
       offset := !offset + p.count)
     batch
 
 let rec handle t ~self ~src:_ = function
-  | Down { origin; value } ->
-      t.completed_rev <- (origin, value) :: t.completed_rev
-  | Grant { node; base } ->
+  | Down { origin; op; value } ->
+      t.completed_rev <-
+        (origin, op, value, Sim.Network.now t.net) :: t.completed_rev
+  | Grant { node; base; batch } ->
       let nd = t.nodes.(node) in
-      let batch =
-        match Queue.take_opt nd.batches with
+      let entries =
+        match Hashtbl.find_opt nd.batches batch with
         | Some b -> b
         | None -> failwith "Combining_tree: grant without pending batch"
       in
-      descend t ~self ~node ~batch ~base
-  | Up { node; side; count } -> (
+      Hashtbl.remove nd.batches batch;
+      descend t ~self ~node ~batch:entries ~base
+  | Up { node; side; count; op; batch } -> (
       let nd = t.nodes.(node) in
       match nd.collecting with
       | Some first when first.side <> side ->
@@ -102,7 +119,7 @@ let rec handle t ~self ~src:_ = function
           nd.generation <- nd.generation + 1;
           t.combined <- t.combined + 1;
           ascend t ~self ~node
-            ~batch:[ first; { side; count } ]
+            ~batch:[ first; { side; count; op; batch } ]
             ~count:(first.count + count)
       | Some first ->
           (* Same side twice (the sibling's window already expired below):
@@ -110,12 +127,12 @@ let rec handle t ~self ~src:_ = function
           nd.collecting <- None;
           t.uncombined <- t.uncombined + 1;
           ascend t ~self ~node ~batch:[ first ] ~count:first.count;
-          park t ~self ~node ~side ~count
-      | None -> park t ~self ~node ~side ~count)
+          park t ~self ~node ~side ~count ~op ~batch
+      | None -> park t ~self ~node ~side ~count ~op ~batch)
 
-and park t ~self ~node ~side ~count =
+and park t ~self ~node ~side ~count ~op ~batch =
   let nd = t.nodes.(node) in
-  nd.collecting <- Some { side; count };
+  nd.collecting <- Some { side; count; op; batch };
   nd.generation <- nd.generation + 1;
   let gen = nd.generation in
   Sim.Network.schedule_local t.net ~delay:t.window (fun () ->
@@ -139,7 +156,12 @@ let create_binary ?(seed = 42) ?delay ?faults ?(window = 1.5) ~n () =
       window;
       nodes =
         Array.init (max 1 n) (fun _ ->
-            { collecting = None; generation = 0; batches = Queue.create () });
+            {
+              collecting = None;
+              generation = 0;
+              next_batch = 0;
+              batches = Hashtbl.create 8;
+            });
       value = 0;
       completed_rev = [];
       traces_rev = [];
@@ -169,19 +191,22 @@ let combining_rate t =
   let total = t.combined + t.uncombined in
   if total = 0 then 0. else float_of_int t.combined /. float_of_int total
 
-let launch t ~origin =
+let launch_op t ~op ~origin =
   if t.n = 1 then begin
     (* Singleton tree: the lone processor is the root; local increment. *)
     let v = t.value in
     t.value <- v + 1;
-    t.completed_rev <- (origin, v) :: t.completed_rev
+    t.completed_rev <-
+      (origin, op, v, Sim.Network.now t.net) :: t.completed_rev
   end
   else begin
     let leaf = t.n + origin - 1 in
     let parent, side = parent_of leaf in
     Sim.Network.send t.net ~src:origin ~dst:(node_host t parent)
-      (Up { node = parent; side; count = 1 })
+      (Up { node = parent; side; count = 1; op; batch = -1 })
   end
+
+let launch t ~origin = launch_op t ~op:(-1) ~origin
 
 let finish_op t =
   ignore (Sim.Network.run_to_quiescence t.net);
@@ -198,7 +223,7 @@ let inc t ~origin =
   (* Chronologically first completion: under duplication faults a value
      can arrive twice; without faults there is exactly one. *)
   match List.rev t.completed_rev with
-  | (_, value) :: _ -> value
+  | (_, _, value, _) :: _ -> value
   | [] ->
       raise
         (Counter.Counter_intf.Stall
@@ -220,7 +245,21 @@ let run_batch t ~origins =
   t.completed_rev <- [];
   List.iter (fun origin -> launch t ~origin) origins;
   finish_op t;
-  List.rev t.completed_rev
+  List.rev_map (fun (o, _, v, _) -> (o, v)) (List.rev t.completed_rev)
+
+let launch_at t ~op ~origin ~at =
+  if origin < 1 || origin > t.n then
+    invalid_arg "Combining_tree.launch_at: origin out of range";
+  let delay = at -. Sim.Network.now t.net in
+  if delay < 0. then invalid_arg "Combining_tree.launch_at: arrival in the past";
+  Sim.Network.schedule_local t.net ~delay (fun () -> launch_op t ~op ~origin)
+
+let run_open t = ignore (Sim.Network.run_to_quiescence t.net)
+
+let completions t =
+  List.filter_map
+    (fun (_, op, value, at) -> if op >= 0 then Some (op, value, at) else None)
+    (List.rev t.completed_rev)
 
 let clone t =
   let net = Sim.Network.clone_quiescent t.net in
@@ -235,7 +274,8 @@ let clone t =
             {
               collecting = nd.collecting;
               generation = nd.generation;
-              batches = Queue.copy nd.batches;
+              next_batch = nd.next_batch;
+              batches = Hashtbl.copy nd.batches;
             })
           t.nodes;
       value = t.value;

@@ -48,4 +48,8 @@ val run_batch : t -> origins:int list -> (int * int) list
     returns [(origin, value)] pairs. Values across a batch are distinct
     and contiguous. One traced operation. *)
 
-include Counter.Counter_intf.S with type t := t
+include Counter.Counter_intf.CONCURRENT with type t := t
+(** Combining is the regime the tree was designed for, and the open-loop
+    path keeps it linearizable: the root allocates value blocks
+    monotonically in virtual time, and every operation's allocation
+    happens inside its invocation/completion interval. *)

@@ -1,6 +1,10 @@
+(* [op] threads an operation id through a token's full traversal so the
+   open-loop path can match completions when an origin has several
+   operations in flight; the sequential path uses op = -1 and is
+   unchanged message for message. *)
 type payload =
-  | Token of { origin : int; at : Bitonic.link }
-  | Value of { value : int }
+  | Token of { origin : int; op : int; at : Bitonic.link }
+  | Value of { value : int; op : int }
 
 let label = function Token _ -> "token" | Value _ -> "val"
 
@@ -10,7 +14,8 @@ type t = {
   bitonic : Bitonic.network;
   toggles : bool array;
   counts : int array;  (* per output wire *)
-  mutable completed_rev : (int * int * float) list;  (* origin, value, time *)
+  mutable completed_rev : (int * int * int * float) list;
+      (* origin, op, value, time *)
   mutable traces_rev : Sim.Trace.t list;
   mutable ops : int;
   mutable step_ok : bool;
@@ -46,17 +51,17 @@ let host_of_link t = function
   | Bitonic.To_output wire -> output_host t wire
 
 let handle st ~self ~src:_ = function
-  | Value { value } ->
+  | Value { value; op } ->
       st.completed_rev <-
-        (self, value, Sim.Network.now st.net) :: st.completed_rev
-  | Token { origin; at } -> (
+        (self, op, value, Sim.Network.now st.net) :: st.completed_rev
+  | Token { origin; op; at } -> (
       match at with
       | Bitonic.To_output wire ->
           let w = st.bitonic.Bitonic.width in
           let value = wire + (w * st.counts.(wire)) in
           st.counts.(wire) <- st.counts.(wire) + 1;
           Sim.Network.send st.net ~src:(output_host st wire) ~dst:origin
-            (Value { value })
+            (Value { value; op })
       | Bitonic.To_balancer id ->
           let bal = st.bitonic.Bitonic.balancers.(id) in
           let top = st.toggles.(id) in
@@ -64,7 +69,7 @@ let handle st ~self ~src:_ = function
           let next = if top then bal.Bitonic.out_top else bal.Bitonic.out_bot in
           Sim.Network.send st.net ~src:(balancer_host st id)
             ~dst:(host_of_link st next)
-            (Token { origin; at = next }))
+            (Token { origin; op; at = next }))
 
 let create_custom ?(seed = 42) ?delay ?faults ~n ~network:bitonic () =
   if n < 1 then invalid_arg "Counting_network: n must be >= 1";
@@ -108,13 +113,15 @@ let metrics t = Sim.Network.metrics t.net
 
 let traces t = List.rev t.traces_rev
 
-let launch t ~origin =
+let launch_op t ~op ~origin =
   if origin < 1 || origin > t.n then
     invalid_arg "Counting_network: origin out of range";
   let wire = (origin - 1) mod t.bitonic.Bitonic.width in
   let entry = t.bitonic.Bitonic.entry.(wire) in
   Sim.Network.send t.net ~src:origin ~dst:(host_of_link t entry)
-    (Token { origin; at = entry })
+    (Token { origin; op; at = entry })
+
+let launch t ~origin = launch_op t ~op:(-1) ~origin
 
 let finish_op t =
   ignore (Sim.Network.run_to_quiescence t.net);
@@ -133,9 +140,9 @@ let inc t ~origin =
   (* First completion for this origin (duplication faults can deliver the
      value twice; without faults there is exactly one). *)
   match
-    List.find_opt (fun (o, _, _) -> o = origin) (List.rev t.completed_rev)
+    List.find_opt (fun (o, _, _, _) -> o = origin) (List.rev t.completed_rev)
   with
-  | Some (_, value, _) -> value
+  | Some (_, _, value, _) -> value
   | None ->
       raise
         (Counter.Counter_intf.Stall
@@ -159,7 +166,7 @@ let run_batch t ~origins =
   List.iter (fun origin -> launch t ~origin) origins;
   finish_op t;
   t.ops <- t.ops + List.length origins;
-  List.rev_map (fun (o, v, _) -> (o, v)) t.completed_rev
+  List.rev_map (fun (o, _, v, _) -> (o, v)) t.completed_rev
 
 let run_batch_timed t ?(stagger = 0.) ~origins () =
   (match origins with
@@ -181,7 +188,7 @@ let run_batch_timed t ?(stagger = 0.) ~origins () =
   finish_op t;
   t.ops <- t.ops + List.length origins;
   List.rev_map
-    (fun (origin, value, completed_at) ->
+    (fun (origin, _, value, completed_at) ->
       {
         Counter.History.origin;
         value;
@@ -189,6 +196,26 @@ let run_batch_timed t ?(stagger = 0.) ~origins () =
         completed_at;
       })
     t.completed_rev
+
+let launch_at t ~op ~origin ~at =
+  let delay = at -. Sim.Network.now t.net in
+  if delay < 0. then invalid_arg "Counting_network.launch_at: arrival in the past";
+  Sim.Network.schedule_local t.net ~delay (fun () -> launch_op t ~op ~origin)
+
+let run_open t =
+  ignore (Sim.Network.run_to_quiescence t.net);
+  let done_ops =
+    List.fold_left
+      (fun acc (_, op, _, _) -> if op >= 0 then acc + 1 else acc)
+      0 t.completed_rev
+  in
+  t.ops <- t.ops + done_ops;
+  if not (Bitonic.step_property t.counts) then t.step_ok <- false
+
+let completions t =
+  List.filter_map
+    (fun (_, op, value, at) -> if op >= 0 then Some (op, value, at) else None)
+    (List.rev t.completed_rev)
 
 let clone t =
   let net = Sim.Network.clone_quiescent t.net in

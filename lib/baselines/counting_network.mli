@@ -72,7 +72,13 @@ val run_batch_timed :
     linearizability experiment, where moderate stagger makes the
     network's famous non-linearizability observable. *)
 
-include Counter.Counter_intf.S with type t := t
+include Counter.Counter_intf.CONCURRENT with type t := t
 (** [create ~n] picks [width] = the largest power of two [<= sqrt n]
     (at least 2 for [n > 1]): wide enough to spread load, small enough
-    that balancers stay busy. *)
+    that balancers stay busy.
+
+    The open-loop path ([launch_at]/[run_open]) is where the network's
+    celebrated weakness shows: per-wire counters advance unevenly while
+    tokens are in flight, so under sustained load the history is
+    quiescently consistent but {e not} linearizable — [dcount load
+    --check] exhibits the violation live. *)

@@ -1,8 +1,13 @@
+(* [op] threads an operation id through a token's walk so the open-loop
+   path can match completions when an origin has several tokens in
+   flight; the sequential path uses op = -1 and is unchanged message for
+   message. *)
 type payload =
-  | Token of { origin : int; node : int }
+  | Token of { origin : int; op : int; node : int }
       (* walking the tree; [node] is a heap index, 1 = root *)
-  | Exit of { origin : int; wire : int }  (* token reached a leaf counter *)
-  | Value of { origin : int; value : int }
+  | Exit of { origin : int; op : int; wire : int }
+      (* token reached a leaf counter *)
+  | Value of { origin : int; op : int; value : int }
 
 let label = function
   | Token _ -> "token"
@@ -11,7 +16,7 @@ let label = function
 
 type node_state = {
   mutable toggle : bool;  (* true = next lone token goes left *)
-  mutable waiting : int option;  (* origin of a parked token *)
+  mutable waiting : (int * int) option;  (* (origin, op) of a parked token *)
   mutable generation : int;  (* invalidates stale prism timers *)
 }
 
@@ -22,7 +27,8 @@ type t = {
   prism_window : float;
   nodes : node_state array;  (* heap-indexed, slot 0 unused *)
   counts : int array;  (* per leaf wire *)
-  mutable completed_rev : (int * int * float) list;  (* origin, value, time *)
+  mutable completed_rev : (int * int * int * float) list;
+      (* origin, op, value, time *)
   mutable traces_rev : Sim.Trace.t list;
   mutable ops : int;
   mutable toggle_hits : int;
@@ -57,52 +63,59 @@ let leaf_host t wire = ((t.width - 1 + wire) mod t.n) + 1
 
 (* Child of heap node [i] in direction [dir] (0 = left): either another
    inner node or a leaf wire. *)
-let forward t ~src ~origin ~node ~dir =
+let forward t ~src ~origin ~op ~node ~dir =
   let child = (2 * node) + dir in
   if child >= t.width then
     let wire = child - t.width in
     Sim.Network.send t.net ~src ~dst:(leaf_host t wire)
-      (Exit { origin; wire })
+      (Exit { origin; op; wire })
   else
     Sim.Network.send t.net ~src ~dst:(node_host t child)
-      (Token { origin; node = child })
+      (Token { origin; op; node = child })
 
 let handle st ~self ~src:_ = function
-  | Value { origin; value } ->
+  | Value { origin; op; value } ->
       st.completed_rev <-
-        (origin, value, Sim.Network.now st.net) :: st.completed_rev
-  | Exit { origin; wire } ->
+        (origin, op, value, Sim.Network.now st.net) :: st.completed_rev
+  | Exit { origin; op; wire } ->
       (* A toggle tree routes the m-th token to the leaf whose index is
          the bit-reversal of m mod width, so leaf [wire] hands out the
          value sequence seeded at bitrev(wire). *)
       let seed = bit_reverse ~bits:(log2 st.width) wire in
       let value = seed + (st.width * st.counts.(seed)) in
       st.counts.(seed) <- st.counts.(seed) + 1;
-      Sim.Network.send st.net ~src:self ~dst:origin (Value { origin; value })
-  | Token { origin; node } -> (
+      Sim.Network.send st.net ~src:self ~dst:origin (Value { origin; op; value })
+  | Token { origin; op; node } -> (
       let nd = st.nodes.(node) in
       match nd.waiting with
-      | Some partner ->
+      | Some (partner, partner_op) ->
           (* Diffraction: the pair splits left/right without touching the
              toggle. *)
           nd.waiting <- None;
           nd.generation <- nd.generation + 1;
           st.diffractions <- st.diffractions + 1;
-          forward st ~src:self ~origin:partner ~node ~dir:0;
-          forward st ~src:self ~origin ~node ~dir:1
+          forward st ~src:self ~origin:partner ~op:partner_op ~node ~dir:0;
+          forward st ~src:self ~origin ~op ~node ~dir:1
       | None ->
-          nd.waiting <- Some origin;
+          nd.waiting <- Some (origin, op);
           nd.generation <- nd.generation + 1;
           let gen = nd.generation in
           Sim.Network.schedule_local st.net ~delay:st.prism_window (fun () ->
-              if nd.generation = gen && nd.waiting = Some origin then begin
+              let still_parked =
+                nd.generation = gen
+                &&
+                match nd.waiting with
+                | Some (o, p) -> o = origin && p = op
+                | None -> false
+              in
+              if still_parked then begin
                 (* Prism window expired with no partner: use the toggle. *)
                 nd.waiting <- None;
                 nd.generation <- nd.generation + 1;
                 st.toggle_hits <- st.toggle_hits + 1;
                 let dir = if nd.toggle then 0 else 1 in
                 nd.toggle <- not nd.toggle;
-                forward st ~src:self ~origin ~node ~dir
+                forward st ~src:self ~origin ~op ~node ~dir
               end))
 
 let create_width ?(seed = 42) ?delay ?faults ?(prism_window = 1.5) ~n ~width () =
@@ -163,14 +176,16 @@ let metrics t = Sim.Network.metrics t.net
 
 let traces t = List.rev t.traces_rev
 
-let launch t ~origin =
+let launch_op t ~op ~origin =
   if t.width = 1 then
     (* Degenerate tree: straight to the single leaf counter. *)
     Sim.Network.send t.net ~src:origin ~dst:(leaf_host t 0)
-      (Exit { origin; wire = 0 })
+      (Exit { origin; op; wire = 0 })
   else
     Sim.Network.send t.net ~src:origin ~dst:(node_host t 1)
-      (Token { origin; node = 1 })
+      (Token { origin; op; node = 1 })
+
+let launch t ~origin = launch_op t ~op:(-1) ~origin
 
 let finish_op t =
   ignore (Sim.Network.run_to_quiescence t.net);
@@ -189,7 +204,7 @@ let inc t ~origin =
   (* Chronologically first completion (duplication faults can deliver the
      value twice; without faults there is exactly one). *)
   match List.rev t.completed_rev with
-  | (_, value, _) :: _ -> value
+  | (_, _, value, _) :: _ -> value
   | [] ->
       raise
         (Counter.Counter_intf.Stall
@@ -209,7 +224,7 @@ let run_batch t ~origins =
   List.iter (fun origin -> launch t ~origin) origins;
   finish_op t;
   t.ops <- t.ops + List.length origins;
-  List.rev_map (fun (o, v, _) -> (o, v)) t.completed_rev
+  List.rev_map (fun (o, _, v, _) -> (o, v)) t.completed_rev
 
 let run_batch_timed t ?(stagger = 0.) ~origins () =
   (match origins with
@@ -231,7 +246,7 @@ let run_batch_timed t ?(stagger = 0.) ~origins () =
   finish_op t;
   t.ops <- t.ops + List.length origins;
   List.rev_map
-    (fun (origin, value, completed_at) ->
+    (fun (origin, _, value, completed_at) ->
       {
         Counter.History.origin;
         value;
@@ -239,6 +254,28 @@ let run_batch_timed t ?(stagger = 0.) ~origins () =
         completed_at;
       })
     t.completed_rev
+
+let launch_at t ~op ~origin ~at =
+  if origin < 1 || origin > t.n then
+    invalid_arg "Diffracting_tree.launch_at: origin out of range";
+  let delay = at -. Sim.Network.now t.net in
+  if delay < 0. then invalid_arg "Diffracting_tree.launch_at: arrival in the past";
+  Sim.Network.schedule_local t.net ~delay (fun () -> launch_op t ~op ~origin)
+
+let run_open t =
+  ignore (Sim.Network.run_to_quiescence t.net);
+  let done_ops =
+    List.fold_left
+      (fun acc (_, op, _, _) -> if op >= 0 then acc + 1 else acc)
+      0 t.completed_rev
+  in
+  t.ops <- t.ops + done_ops;
+  if not (Bitonic.step_property t.counts) then t.step_ok <- false
+
+let completions t =
+  List.filter_map
+    (fun (_, op, value, at) -> if op >= 0 then Some (op, value, at) else None)
+    (List.rev t.completed_rev)
 
 let clone t =
   let net = Sim.Network.clone_quiescent t.net in

@@ -58,6 +58,12 @@ val run_batch_timed :
 (** {!run_batch} with staggered injection and full intervals, for the
     E20 linearizability experiment. *)
 
-include Counter.Counter_intf.S with type t := t
+include Counter.Counter_intf.CONCURRENT with type t := t
 (** [create ~n] uses the same default width as the counting network
-    (largest power of two [<= sqrt n]). *)
+    (largest power of two [<= sqrt n]).
+
+    Under open-loop load the prism actually pairs tokens (sequential
+    dispatch never exercises it), but the per-leaf counters advance
+    unevenly while tokens are in flight, so like the counting network
+    the diffracting tree is quiescently consistent yet not linearizable
+    under overlap. *)

@@ -81,7 +81,39 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
     mutable retries : int;  (* observer tallies *)
     mutable fallbacks : int;
     mutable traces_rev : Sim.Trace.t list;
+    mutable conc_rounds : (int, cop) Hashtbl.t option;
+        (* Open-loop client: one record per in-flight operation, keyed by
+           the round stamp of its current phase. Allocated by the first
+           [launch_at]; [None] on the sequential path, whose behaviour is
+           untouched. *)
+    mutable conc_completed_rev : (int * int * float) list;
+        (* op, value, completed_at *)
   }
+
+  (* State of one open-loop operation. The phase logic mirrors the
+     sequential client exactly (read-max, write-back, suspicion, backoff,
+     majority fallback) but lives in its own record so any number of
+     operations can be in flight; replies find their operation through
+     the round stamp, never through a global phase. *)
+  and cop = {
+    c_op : int;
+    c_origin : int;
+    c_slot : int;
+    mutable c_round : int;
+    mutable c_phase : phase_kind;
+    mutable c_members : int list;
+    mutable c_fallback : bool;
+    mutable c_pending : int list;
+    mutable c_awaiting : int;
+    mutable c_best_value : int;
+    mutable c_best_version : int;
+    mutable c_wvalue : int;
+    mutable c_wversion : int;
+    mutable c_attempts : int;
+    mutable c_timeout : float;
+  }
+
+  and phase_kind = Phase_read | Phase_write
 
   let name = "quorum-" ^ Q.name
 
@@ -272,6 +304,142 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
     end
 
   (* ---------------------------------------------------------------- *)
+  (* Open-loop concurrent client                                        *)
+
+  let conc_table t =
+    match t.conc_rounds with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 64 in
+        t.conc_rounds <- Some tbl;
+        tbl
+
+  let conc_active t =
+    match t.conc_rounds with Some _ -> true | None -> false
+
+  (* Stamp the operation's current phase with a fresh round; the previous
+     stamp (if any) stops resolving, so stragglers of a retried phase are
+     dropped instead of double-counted. *)
+  let conc_register t cop =
+    let tbl = conc_table t in
+    Hashtbl.remove tbl cop.c_round;
+    let round = next_round t in
+    cop.c_round <- round;
+    Hashtbl.replace tbl round cop;
+    round
+
+  let conc_abandon t cop = Hashtbl.remove (conc_table t) cop.c_round
+
+  let rec conc_arm t cop =
+    if t.failure_aware then begin
+      let round = cop.c_round in
+      Sim.Network.schedule_local t.net ~delay:cop.c_timeout (fun () ->
+          if Hashtbl.mem (conc_table t) round then conc_retry t cop)
+    end
+
+  and conc_start_read t cop =
+    let origin = cop.c_origin in
+    let remote = List.filter (fun m -> m <> origin) cop.c_members in
+    let is_member = List.mem origin cop.c_members in
+    cop.c_phase <- Phase_read;
+    cop.c_best_version <- (if is_member then t.versions.(origin) else -1);
+    cop.c_best_value <- (if is_member then t.values.(origin) else 0);
+    cop.c_pending <- remote;
+    cop.c_awaiting <-
+      (if cop.c_fallback then majority_need t - (if is_member then 1 else 0)
+       else List.length remote);
+    let round = conc_register t cop in
+    List.iter
+      (fun m ->
+        Sim.Network.send t.net ~src:origin ~dst:m (Read_req { round }))
+      remote;
+    if cop.c_awaiting <= 0 then conc_finish_read t cop else conc_arm t cop
+
+  and conc_finish_read t cop =
+    cop.c_wvalue <- cop.c_best_value + 1;
+    cop.c_wversion <- cop.c_best_version + 1;
+    conc_start_write t cop
+
+  and conc_start_write t cop =
+    let origin = cop.c_origin in
+    let remote = List.filter (fun m -> m <> origin) cop.c_members in
+    store t origin ~value:cop.c_wvalue ~version:cop.c_wversion;
+    cop.c_phase <- Phase_write;
+    cop.c_pending <- remote;
+    cop.c_awaiting <-
+      (if cop.c_fallback then majority_need t - 1 else List.length remote);
+    let round = conc_register t cop in
+    List.iter
+      (fun m ->
+        Sim.Network.send t.net ~src:origin ~dst:m
+          (Write_req { round; value = cop.c_wvalue; version = cop.c_wversion }))
+      remote;
+    if cop.c_awaiting <= 0 then conc_complete t cop else conc_arm t cop
+
+  and conc_complete t cop =
+    Hashtbl.remove (conc_table t) cop.c_round;
+    t.ops <- t.ops + 1;
+    t.conc_completed_rev <-
+      (cop.c_op, cop.c_wvalue - 1, Sim.Network.now t.net)
+      :: t.conc_completed_rev
+
+  and conc_retry t cop =
+    if Sim.Network.crashed t.net cop.c_origin then conc_abandon t cop
+    else if cop.c_attempts + 1 >= max_attempts then conc_abandon t cop
+    else begin
+      cop.c_attempts <- cop.c_attempts + 1;
+      t.retries <- t.retries + 1;
+      List.iter
+        (fun m -> if m <> cop.c_origin then suspect t cop.c_origin m)
+        cop.c_pending;
+      cop.c_timeout <- cop.c_timeout *. 2.;
+      (match choose_quorum t ~origin:cop.c_origin ~from_slot:cop.c_slot with
+      | Some members ->
+          cop.c_members <- members;
+          cop.c_fallback <- false
+      | None ->
+          t.fallbacks <- t.fallbacks + 1;
+          cop.c_members <- everyone t;
+          cop.c_fallback <- true);
+      match cop.c_phase with
+      | Phase_read -> conc_start_read t cop
+      | Phase_write -> conc_start_write t cop
+    end
+
+  let conc_launch t ~op ~origin =
+    if Sim.Network.crashed t.net origin then ()
+    else begin
+      let slot = origin - 1 + (t.n * t.local_ops.(origin)) in
+      t.local_ops.(origin) <- t.local_ops.(origin) + 1;
+      let cop =
+        {
+          c_op = op;
+          c_origin = origin;
+          c_slot = slot;
+          c_round = 0;
+          c_phase = Phase_read;
+          c_members = [];
+          c_fallback = false;
+          c_pending = [];
+          c_awaiting = 0;
+          c_best_value = 0;
+          c_best_version = -1;
+          c_wvalue = 0;
+          c_wversion = 0;
+          c_attempts = 0;
+          c_timeout = initial_timeout;
+        }
+      in
+      (match choose_quorum t ~origin ~from_slot:slot with
+      | Some members -> cop.c_members <- members
+      | None ->
+          t.fallbacks <- t.fallbacks + 1;
+          cop.c_members <- everyone t;
+          cop.c_fallback <- true);
+      conc_start_read t cop
+    end
+
+  (* ---------------------------------------------------------------- *)
   (* Message handler                                                   *)
 
   let handle t ~self ~src = function
@@ -282,6 +450,26 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
         store t self ~value ~version;
         Sim.Network.send t.net ~src:self ~dst:src (Write_ack { round })
     | Read_rep { round; value; version } -> (
+        match
+          match t.conc_rounds with
+          | Some tbl -> Hashtbl.find_opt tbl round
+          | None -> None
+        with
+        | Some cop ->
+            if t.failure_aware then unsuspect t cop.c_origin src;
+            if version > cop.c_best_version then begin
+              cop.c_best_version <- version;
+              cop.c_best_value <- value
+            end;
+            if List.mem src cop.c_pending then begin
+              cop.c_pending <- List.filter (fun m -> m <> src) cop.c_pending;
+              cop.c_awaiting <- cop.c_awaiting - 1;
+              if cop.c_awaiting <= 0 then conc_finish_read t cop
+            end
+        | None when conc_active t ->
+            (* Straggler of a retried or completed open-loop phase. *)
+            ()
+        | None -> (
         match t.phase with
         | Reading r ->
             if t.failure_aware then unsuspect t r.origin src;
@@ -300,8 +488,22 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
             (* Straggler of a retried round: the phase moved on. *)
             ()
         | Idle | Writing _ ->
-            failwith "Quorum_counter: unexpected read reply")
+            failwith "Quorum_counter: unexpected read reply"))
     | Write_ack { round } -> (
+        match
+          match t.conc_rounds with
+          | Some tbl -> Hashtbl.find_opt tbl round
+          | None -> None
+        with
+        | Some cop ->
+            if t.failure_aware then unsuspect t cop.c_origin src;
+            if List.mem src cop.c_pending then begin
+              cop.c_pending <- List.filter (fun m -> m <> src) cop.c_pending;
+              cop.c_awaiting <- cop.c_awaiting - 1;
+              if cop.c_awaiting <= 0 then conc_complete t cop
+            end
+        | None when conc_active t -> ()
+        | None -> (
         match t.phase with
         | Writing w ->
             if t.failure_aware then unsuspect t w.origin src;
@@ -312,7 +514,7 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
             end
         | (Idle | Reading _) when t.failure_aware -> ()
         | Idle | Reading _ ->
-            failwith "Quorum_counter: unexpected write ack")
+            failwith "Quorum_counter: unexpected write ack"))
 
   (* ---------------------------------------------------------------- *)
   (* Construction and the counter interface                            *)
@@ -342,6 +544,8 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
         retries = 0;
         fallbacks = 0;
         traces_rev = [];
+        conc_rounds = None;
+        conc_completed_rev = [];
       }
     in
     Sim.Network.set_handler net (fun ~self ~src payload ->
@@ -395,6 +599,20 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
   let inc_result t ~origin =
     Counter.Counter_intf.result_of_inc (fun () -> inc t ~origin)
 
+  let launch_at t ~op ~origin ~at =
+    if origin < 1 || origin > t.n then
+      invalid_arg "Quorum_counter.launch_at: origin out of range";
+    ignore (conc_table t);
+    let delay = at -. Sim.Network.now t.net in
+    if delay < 0. then
+      invalid_arg "Quorum_counter.launch_at: arrival in the past";
+    Sim.Network.schedule_local t.net ~delay (fun () ->
+        conc_launch t ~op ~origin)
+
+  let run_open t = ignore (Sim.Network.run_to_quiescence t.net)
+
+  let completions t = List.rev t.conc_completed_rev
+
   let clone t =
     let net = Sim.Network.clone_quiescent t.net in
     let st =
@@ -418,6 +636,8 @@ module Make (Q : Quorum.Quorum_intf.S) = struct
         retries = t.retries;
         fallbacks = t.fallbacks;
         traces_rev = t.traces_rev;
+        conc_rounds = Option.map Hashtbl.copy t.conc_rounds;
+        conc_completed_rev = t.conc_completed_rev;
       }
     in
     Sim.Network.set_handler net (fun ~self ~src payload ->

@@ -46,7 +46,15 @@
     docs/FAULTS.md). *)
 
 module Make (_ : Quorum.Quorum_intf.S) : sig
-  include Counter.Counter_intf.S
+  include Counter.Counter_intf.CONCURRENT
+  (** The open-loop path gives every in-flight operation its own client
+      record, matched to replies by round stamp. {b Semantics caveat}:
+      read-max/write-back is not an atomic fetch-and-increment — two
+      overlapping operations can read the same maximum and return the
+      same value, so under genuine overlap a quorum counter is neither
+      linearizable nor quiescently consistent ([dcount load] reports the
+      duplicate values honestly). Sequential dispatch, where the paper's
+      model lives, is unaffected. *)
 
   val quorum_size : t -> int
 
@@ -57,12 +65,12 @@ module Make (_ : Quorum.Quorum_intf.S) : sig
   (** Times the client resorted to the ask-everyone majority fallback. *)
 end
 
-module Over_majority : Counter.Counter_intf.S
+module Over_majority : Counter.Counter_intf.CONCURRENT
 
-module Over_grid : Counter.Counter_intf.S
+module Over_grid : Counter.Counter_intf.CONCURRENT
 
-module Over_tree : Counter.Counter_intf.S
+module Over_tree : Counter.Counter_intf.CONCURRENT
 
-module Over_wall : Counter.Counter_intf.S
+module Over_wall : Counter.Counter_intf.CONCURRENT
 
-module Over_plane : Counter.Counter_intf.S
+module Over_plane : Counter.Counter_intf.CONCURRENT

@@ -70,3 +70,31 @@ let find name =
 
 let names () =
   List.map (fun (module C : Counter.Counter_intf.S) -> C.name) all
+
+(* Counters that implement the open-loop CONCURRENT interface. Kept as a
+   separate list (rather than a dynamic downcast, which first-class
+   modules cannot express) so [dcount load] can enumerate and resolve
+   them. *)
+let concurrent_all : Counter.Counter_intf.concurrent list =
+  [
+    (module Core.Retire_counter);
+    (module Central);
+    (module Combining_tree);
+    (module Counting_network);
+    (module Diffracting_tree);
+    (module Quorum_counter.Over_majority);
+    (module Quorum_counter.Over_grid);
+    (module Quorum_counter.Over_tree);
+    (module Quorum_counter.Over_wall);
+    (module Quorum_counter.Over_plane);
+  ]
+
+let find_concurrent name =
+  List.find_opt
+    (fun (module C : Counter.Counter_intf.CONCURRENT) -> C.name = name)
+    concurrent_all
+
+let concurrent_names () =
+  List.map
+    (fun (module C : Counter.Counter_intf.CONCURRENT) -> C.name)
+    concurrent_all

@@ -66,3 +66,14 @@ val find : string -> Counter.Counter_intf.counter option
 
 val names : unit -> string list
 (** Names of {!all} (the broken counters are not listed). *)
+
+val concurrent_all : Counter.Counter_intf.concurrent list
+(** Every counter implementing the open-loop
+    {!Counter.Counter_intf.CONCURRENT} interface — the counters
+    [dcount load] can drive. *)
+
+val find_concurrent : string -> Counter.Counter_intf.concurrent option
+(** Look up a concurrency-capable counter by [name]. *)
+
+val concurrent_names : unit -> string list
+(** Names of {!concurrent_all}. *)

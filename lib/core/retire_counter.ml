@@ -68,4 +68,29 @@ let run_batch t ~origins = P.run_batch ~who t ~origins
 let run_batch_timed t ?stagger ~origins () =
   P.run_batch_timed ~who t ?stagger ~origins ()
 
+(* Open-loop path. The paper's protocol is inherently serialising — an
+   operation holds the client until its grant descends — so arrivals are
+   served strictly in order: each op starts at its arrival instant or as
+   soon as the previous op finishes, whichever is later. Queueing delay
+   therefore shows up honestly in completion times, and the resulting
+   history is trivially linearizable (zero overlap by construction). *)
+let launch_at t ~op ~origin ~at =
+  if op < 0 then invalid_arg "Retire_counter.launch_at: op must be >= 0";
+  let now = Sim.Network.now t.P.net in
+  if at > now then begin
+    (* Idle until the arrival: a no-op timer advances the clock without
+       charging any processor load. *)
+    Sim.Network.schedule_local t.P.net ~delay:(at -. now) (fun () -> ());
+    ignore (Sim.Network.run_to_quiescence t.P.net)
+  end;
+  match inc_result t ~origin with
+  | Counter.Counter_intf.Completed v ->
+      t.P.open_completed_rev <-
+        (op, v, Sim.Network.now t.P.net) :: t.P.open_completed_rev
+  | Counter.Counter_intf.Stalled _ -> ()
+
+let run_open _t = ()
+
+let completions t = List.rev t.P.open_completed_rev
+
 let clone t = install (P.clone_state t)

@@ -123,6 +123,12 @@ val run_batch_timed :
 
 (** {1 The counter interface} *)
 
-include Counter.Counter_intf.S with type t := t
+include Counter.Counter_intf.CONCURRENT with type t := t
 (** [create ~n] requires [n = k^(k+1)] for some [k] (use [supported_n] to
-    round up); it uses {!paper_config}. *)
+    round up); it uses {!paper_config}.
+
+    The open-loop path ([launch_at]/[run_open]) serialises: the paper's
+    protocol holds the client until the grant descends, so each arrival
+    is served at its arrival instant or as soon as the previous operation
+    finishes, whichever is later. Queueing delay appears in completion
+    times and the history is trivially linearizable (zero overlap). *)

@@ -120,6 +120,9 @@ type t = {
   mutable traces_rev : Sim.Trace.t list;
   mutable total_retirements : int;
   mutable stale_forwards : int;
+  mutable open_completed_rev : (int * int * float) list;
+      (* (op, value, completion time) of open-loop operations served by
+         the serialising client in Retire_counter.launch_at *)
   (* --- failure-aware operation state (Retire_ft) --- *)
   mutable round : int;  (* monotone stamp guarding every armed timer *)
   mutable attempts : int;
@@ -211,6 +214,7 @@ let create_state ?(seed = 42) ?delay ?faults ?(failure_aware = false)
     traces_rev = [];
     total_retirements = 0;
     stale_forwards = 0;
+    open_completed_rev = [];
     round = 0;
     attempts = 0;
     cur_timeout = 0.;

@@ -98,3 +98,45 @@ module type S = sig
 end
 
 type counter = (module S)
+
+(** {1 Open-loop concurrency}
+
+    The paper's "enough time elapses between operations" assumption is
+    what {!S.inc}'s run-to-quiescence encodes. A counter that can absorb
+    genuine overlap additionally implements [CONCURRENT]: operations are
+    {e injected} at arrival times drawn from an open-loop process
+    ({!Sim.Arrivals}) without waiting for earlier operations, and
+    completions are matched back by an explicit operation id — an origin
+    may have many operations in flight at once, so origin alone cannot
+    pair requests with replies.
+
+    Protocol contract: {!CONCURRENT.launch_at} is called once per
+    operation, in non-decreasing [at] order with distinct [op] ids
+    [>= 0], all before {!CONCURRENT.run_open}. A genuinely concurrent
+    protocol schedules each injection as a local timer on its own
+    network and lets one {!Sim.Network.run_to_quiescence} drain
+    everything; a serialising protocol (the paper's retire tree) may
+    instead process each arrival synchronously inside [launch_at] —
+    queueing delay then shows up in its completion times, which is
+    exactly the honest cost of serialisation. Per-operation traces are
+    not recorded in this mode (trace bracketing assumes one operation at
+    a time); metrics still accumulate. *)
+
+module type CONCURRENT = sig
+  include S
+
+  val launch_at : t -> op:int -> origin:int -> at:float -> unit
+  (** Inject operation [op] from [origin] at virtual time [at]
+      (monotone across calls; [at >=] the network's current time). *)
+
+  val run_open : t -> unit
+  (** Drain the network: every launched operation either completes or —
+      under an active fault plan — is abandoned. *)
+
+  val completions : t -> (int * int * float) list
+  (** [(op, value, completed_at)] for every completed open-loop
+      operation, in completion order. Operations launched but absent
+      here were lost to faults. *)
+end
+
+type concurrent = (module CONCURRENT)

@@ -23,8 +23,14 @@ type report = {
   stalled : int;
       (** Operations that stalled (possible only under a fault plan). *)
   stall_reasons : string list;  (** One reason per stalled operation. *)
-  correct : bool;
-      (** No stalls and values are exactly [0 .. ops-1] in order. *)
+  values_exact : bool;
+      (** No stalls and the multiset of values is exactly [{0 .. ops-1}]
+          — the counter handed out every value once. *)
+  sequentially_ordered : bool;
+      (** Values arrived in increasing order — what sequential
+          (run-to-quiescence) execution of a correct counter must add on
+          top of [values_exact]. The old [correct] verdict is the
+          conjunction of the two. *)
   hotspot_ok : bool;  (** Hot Spot Lemma holds on all consecutive pairs. *)
   hotspot_violations : int;
   total_messages : int;
@@ -94,3 +100,59 @@ val load_profile :
   ?seed:int -> Counter_intf.counter -> n:int -> schedule:Schedule.t -> int array
 (** Like {!run} but returns the dense per-processor load array
     (index 0 unused) for distribution experiments. *)
+
+(** {1 Open-loop load runs}
+
+    The closed-loop {!run} waits for each operation to finish before
+    dispatching the next; {!run_load} does the opposite — operations are
+    injected at times drawn from a {!Sim.Arrivals} process whether or not
+    earlier ones have completed, so the counter genuinely handles
+    overlapping operations and the report carries the concurrent-history
+    verdicts of {!History.analyze} (docs/LOAD.md). *)
+
+type load_report = {
+  counter_name : string;
+  n : int;
+  arrivals : string;  (** {!Sim.Arrivals.to_string} of the process. *)
+  requested : int;  (** Operations injected. *)
+  completed : int;  (** Operations whose value reached their origin. *)
+  lost : int;
+      (** [requested - completed] (non-zero only under a fault plan). *)
+  makespan : float;
+      (** Virtual time from first invocation to last completion. *)
+  throughput : float;  (** [completed / makespan] (ops per time unit). *)
+  latency : Analysis.Histogram.latency_summary;
+      (** p50/p90/p99/max of per-operation invocation-to-completion time
+          (all zero when nothing completed). *)
+  analysis : History.analysis;
+      (** Linearizability and quiescent-consistency verdicts plus
+          peak/mean overlap — what [dcount load --check] gates on. *)
+  history : History.op list;
+      (** The full concurrent history, for downstream analysis. *)
+  total_messages : int;
+  bottleneck_proc : int;
+  bottleneck_load : int;
+  average_load : float;
+}
+
+val run_load :
+  ?seed:int ->
+  ?delay:Sim.Delay.t ->
+  ?faults:Sim.Fault.t ->
+  ?sim_domains:int ->
+  Counter_intf.concurrent ->
+  n:int ->
+  arrivals:Sim.Arrivals.t ->
+  ops:int ->
+  load_report
+(** [run_load (module C) ~n ~arrivals ~ops] creates a fresh counter for
+    [C.supported_n n] processors, injects [ops] operations at the times
+    of {!Sim.Arrivals.merge} (computed up front from [seed + 1], so the
+    plan is bit-identical for every [sim_domains] value, like {!run}),
+    runs to quiescence and joins completions back to invocation times by
+    operation id. Operations that never complete (crashes, lost
+    messages) are counted in [lost], not silently dropped. *)
+
+val pp_load_report : Format.formatter -> load_report -> unit
+(** Includes the violation witness when the history is not
+    linearizable. *)

@@ -7,52 +7,121 @@ type op = {
 
 type verdict = Linearizable | Violation of op * op
 
-let check ops =
-  let arr = Array.of_list ops in
-  let violation = ref Linearizable in
-  (try
-     Array.iter
-       (fun a ->
-         Array.iter
-           (fun b ->
-             if a.completed_at < b.invoked_at && a.value > b.value then begin
-               violation := Violation (a, b);
-               raise Exit
-             end)
-           arr)
-       arr
-   with Exit -> ());
-  !violation
+(* Total, deterministic orders so verdicts and witnesses are a pure
+   function of the history multiset, never of input list order. *)
+let cmp_fields k1 k2 a b =
+  match Float.compare (k1 a) (k1 b) with
+  | 0 -> (
+      match Float.compare (k2 a) (k2 b) with
+      | 0 -> (
+          match Int.compare a.value b.value with
+          | 0 -> Int.compare a.origin b.origin
+          | c -> c)
+      | c -> c)
+  | c -> c
 
-let is_linearizable ops = check ops = Linearizable
+let by_invocation a b =
+  cmp_fields (fun o -> o.invoked_at) (fun o -> o.completed_at) a b
+
+let by_completion a b =
+  cmp_fields (fun o -> o.completed_at) (fun o -> o.invoked_at) a b
+
+exception Found of op * op
+
+let check ops =
+  (* Sweep operations in invocation order, maintaining the running
+     maximum value over all operations already completed strictly before
+     the current invocation: a violation exists iff that maximum ever
+     exceeds the invoked operation's value. O(ops log ops); the witness
+     [a] is the largest value completed before [b], the first violated
+     operation in invocation order. *)
+  let inv = Array.of_list ops in
+  let comp = Array.copy inv in
+  Array.sort by_invocation inv;
+  Array.sort by_completion comp;
+  let len = Array.length inv in
+  let j = ref 0 in
+  let best = ref None in
+  try
+    Array.iter
+      (fun b ->
+        while !j < len && comp.(!j).completed_at < b.invoked_at do
+          (match !best with
+          | Some a when a.value >= comp.(!j).value -> ()
+          | Some _ | None -> best := Some comp.(!j));
+          incr j
+        done;
+        match !best with
+        | Some a when a.value > b.value -> raise (Found (a, b))
+        | Some _ | None -> ())
+      inv;
+    Linearizable
+  with Found (a, b) -> Violation (a, b)
+
+let is_linearizable ops = match check ops with
+  | Linearizable -> true
+  | Violation _ -> false
 
 let values_contiguous ops =
   let values = List.sort Int.compare (List.map (fun o -> o.value) ops) in
   values = List.init (List.length ops) Fun.id
 
-let concurrency_profile ops =
-  (* Sweep over invocation/completion endpoints. *)
+(* Endpoint sweep shared by the peak and mean overlap measures.
+   Completions sort before invocations at the same instant: an op ending
+   exactly when another starts does not overlap it. *)
+let sweep_events ops =
   let events =
     List.concat_map
       (fun o -> [ (o.invoked_at, 1); (o.completed_at, -1) ])
       ops
   in
-  let sorted =
-    (* Completions before invocations at the same instant: an op ending
-       exactly when another starts does not overlap it. *)
-    List.sort
-      (fun (t1, d1) (t2, d2) ->
-        match Float.compare t1 t2 with 0 -> Int.compare d1 d2 | c -> c)
-      events
-  in
+  List.sort
+    (fun (t1, d1) (t2, d2) ->
+      match Float.compare t1 t2 with 0 -> Int.compare d1 d2 | c -> c)
+    events
+
+let concurrency_profile ops =
   let _, peak =
     List.fold_left
       (fun (cur, peak) (_, d) ->
         let cur = cur + d in
         (cur, max peak cur))
-      (0, 0) sorted
+      (0, 0) (sweep_events ops)
   in
   peak
+
+let mean_overlap ops =
+  match sweep_events ops with
+  | [] -> 0.
+  | (t0, _) :: _ as events ->
+      let _, t_last, area =
+        List.fold_left
+          (fun (cur, prev_t, area) (t, d) ->
+            (cur + d, t, area +. (float_of_int cur *. (t -. prev_t))))
+          (0, t0, 0.) events
+      in
+      let span = t_last -. t0 in
+      if span > 0. then area /. span else 0.
+
+type analysis = {
+  verdict : verdict;
+  quiescent : bool;
+  linearizable : bool;
+  peak_overlap : int;
+  mean_overlap : float;
+}
+
+let analyze ops =
+  let verdict = check ops in
+  let quiescent = values_contiguous ops in
+  {
+    verdict;
+    quiescent;
+    linearizable =
+      (quiescent && match verdict with Linearizable -> true | Violation _ -> false);
+    peak_overlap = concurrency_profile ops;
+    mean_overlap = mean_overlap ops;
+  }
 
 let pp_op ppf o =
   Format.fprintf ppf "p%d got %d [%.2f, %.2f]" o.origin o.value o.invoked_at

@@ -4,16 +4,17 @@
     The paper's model is sequential, but its related work is not: Herlihy,
     Shavit & Waarts's "Linearizable counting networks" (cited in the
     paper) exists precisely because counting networks are {e not}
-    linearizable under overlap. To measure that on our implementations,
-    batch runs can be {e staggered}: operation [i] is injected at virtual
-    time [i * stagger], so operations genuinely overlap and real-time
-    order constrains the outcome.
+    linearizable under overlap. Overlapping histories come from two
+    places: staggered batch runs (operation [i] injected at virtual time
+    [i * stagger], experiment E20) and the open-loop load engine
+    ({!Sim.Arrivals} + {!Driver.run_load}, docs/LOAD.md), which keeps
+    thousands of operations in flight at once.
 
-    For fetch-and-increment the linearizability condition over a history
-    of distinct values is exactly: whenever operation [a] completes before
+    For fetch-and-increment over distinct values the linearizability
+    condition is exactly: whenever operation [a] completes before
     operation [b] is invoked, [a]'s value is smaller than [b]'s
     ({!check}). Histories whose operations all overlap are vacuously
-    linearizable; the interesting violations appear at moderate stagger —
+    linearizable; the interesting violations appear at moderate overlap —
     experiment E20 exhibits them live on the counting network and shows
     the paper's counter (whose root serialises) staying linearizable. *)
 
@@ -31,7 +32,13 @@ type verdict =
           [a.value > b.value]. *)
 
 val check : op list -> verdict
-(** O(ops^2) scan of all real-time-ordered pairs. *)
+(** O(ops log ops): sweep operations in invocation order against the
+    running maximum value over operations already completed — a violation
+    exists iff that maximum ever exceeds an invoked operation's value.
+    The witness is deterministic and a pure function of the history
+    multiset (input order never matters): [b] is the first violated
+    operation in invocation order and [a] the largest value completed
+    strictly before [b]'s invocation. *)
 
 val is_linearizable : op list -> bool
 
@@ -43,6 +50,26 @@ val values_contiguous : op list -> bool
 val concurrency_profile : op list -> int
 (** Maximum number of operations simultaneously in flight — how much
     overlap the history actually contains. *)
+
+val mean_overlap : op list -> float
+(** Time-weighted mean number of in-flight operations over the history's
+    span (first invocation to last completion); [0.] on empty or
+    zero-span histories. *)
+
+type analysis = {
+  verdict : verdict;
+  quiescent : bool;  (** {!values_contiguous}. *)
+  linearizable : bool;
+      (** [quiescent] {e and} no real-time order violation — the full
+          linearizability criterion (order alone is vacuous when values
+          are duplicated or missing). *)
+  peak_overlap : int;  (** {!concurrency_profile}. *)
+  mean_overlap : float;  (** {!mean_overlap}. *)
+}
+
+val analyze : op list -> analysis
+(** All concurrent-history verdicts of one history in one pass — what
+    {!Driver.run_load} reports and [dcount load --check] gates on. *)
 
 val pp_op : Format.formatter -> op -> unit
 

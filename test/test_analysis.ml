@@ -211,7 +211,8 @@ let test_parallel_map_runs_simulations () =
       Counter.Driver.run ~seed Baselines.Registry.retire_tree ~n:27
         ~schedule:Counter.Schedule.Each_once
     in
-    (r.Counter.Driver.correct, r.Counter.Driver.total_messages)
+    ( r.Counter.Driver.values_exact && r.Counter.Driver.sequentially_ordered,
+      r.Counter.Driver.total_messages )
   in
   let seeds = [ 1; 2; 3; 4; 5; 6 ] in
   Alcotest.(check (list (pair bool int)))

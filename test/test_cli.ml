@@ -260,6 +260,65 @@ let test_chaos_output_shape () =
       Alcotest.(check bool) "baseline line" true (contains "baseline:"))
 
 (* ------------------------------------------------------------------ *)
+(* dcount load *)
+
+let test_load_check_passes () =
+  (* Serialising and combining counters stay linearizable at the
+     moderate-overlap rate; --check exits 0. *)
+  check_exit "retire-tree --check" 0
+    "load -c retire-tree -n 64 --rate 0.05 --ops 400 --seed 42 --check";
+  check_exit "combining --check" 0
+    "load -c combining -n 64 --rate 0.05 --ops 400 --seed 42 --check"
+
+let test_load_check_fails_on_counting_net () =
+  (* The negative control (docs/LOAD.md): the counting network's
+     non-linearizability is observable at moderate overlap. *)
+  check_exit "counting-net violation = exit 1" 1
+    "load -c counting-net -n 64 --rate 0.05 --ops 1000 --seed 42 --check";
+  (* Without --check the same run reports and exits 0. *)
+  check_exit "no --check = exit 0" 0
+    "load -c counting-net -n 64 --rate 0.05 --ops 1000 --seed 42"
+
+let test_load_usage_errors () =
+  check_exit "unknown counter = exit 2" 2 "load -c no-such-counter --check";
+  check_exit "sequential-only counter = exit 2" 2 "load -c static-tree";
+  check_exit "--rate and --arrivals together = exit 2" 2
+    "load -c central --rate 1.0 --arrivals poisson:1.0";
+  check_exit "bad arrivals grammar = exit 2" 2
+    "load -c central --arrivals uniform:1";
+  check_exit "non-positive rate = exit 2" 2 "load -c central --rate 0";
+  check_exit "zero ops = exit 2" 2 "load -c central --ops 0";
+  check_exit "zero sim-domains = exit 2" 2 "load -c central --sim-domains 0";
+  check_exit "unknown flag = exit 2" 2 "load --no-such-flag"
+
+let test_load_sim_domains_identical () =
+  (* The open-loop report must be byte-identical across event-queue
+     shard counts — the CLI face of the determinism matrix. *)
+  let out d = Filename.concat tmp (Printf.sprintf "dcount_cli_load_%d.txt" d) in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun d -> try Sys.remove (out d) with Sys_error _ -> ())
+        [ 1; 4 ])
+    (fun () ->
+      List.iter
+        (fun d ->
+          let code =
+            Sys.command
+              (Filename.quote dcount
+              ^ Printf.sprintf
+                  " load -c counting-net -n 64 --rate 2.0 --ops 500 --seed \
+                   42 --sim-domains %d > %s 2>/dev/null"
+                  d
+                  (Filename.quote (out d)))
+          in
+          Alcotest.(check int) (Printf.sprintf "exit 0 at %d domains" d) 0 code)
+        [ 1; 4 ];
+      let slurp p = In_channel.with_open_text p In_channel.input_all in
+      Alcotest.(check string)
+        "reports identical across sim-domains" (slurp (out 1)) (slurp (out 4)))
+
+(* ------------------------------------------------------------------ *)
 (* dcount lint *)
 
 let fixture name = "lint/fixtures/" ^ name
@@ -360,6 +419,15 @@ let () =
           Alcotest.test_case "--recover" `Quick test_chaos_recover;
           Alcotest.test_case "--durable" `Quick test_chaos_durable;
           Alcotest.test_case "output shape" `Quick test_chaos_output_shape;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "--check passes" `Quick test_load_check_passes;
+          Alcotest.test_case "--check negative control" `Quick
+            test_load_check_fails_on_counting_net;
+          Alcotest.test_case "usage errors" `Quick test_load_usage_errors;
+          Alcotest.test_case "sim-domains identical" `Quick
+            test_load_sim_domains_identical;
         ] );
       ( "lint",
         [

@@ -89,7 +89,7 @@ let test_race_reply_needs_adversarial_order () =
      hides this bug from every schedule-sweep test... *)
   let r = Counter.Driver.run_each_once (get "race-reply") ~n:3 in
   check Alcotest.bool "driver sees a correct counter" true
-    r.Counter.Driver.correct;
+    (r.Counter.Driver.values_exact && r.Counter.Driver.sequentially_ordered);
   let stats =
     Core.Exhaustive.verify_counter (get "race-reply") ~n:3
   in
