@@ -1,11 +1,16 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint test-chaos test-mc test-durable test-load bench bench-big bench-perf bench-smoke bench-gate-selftest examples doc clean outputs
+.PHONY: all build check test lint lint-race test-chaos test-mc test-durable test-load bench bench-big bench-perf bench-smoke bench-gate-selftest examples doc clean outputs
 
 all: build
 
 build:
 	dune build @all
+
+# Fast typecheck: compile signatures/cmis only, no linking or tests —
+# the first CI step, so type errors surface before anything slower runs.
+check:
+	dune build @check
 
 test:
 	dune runtest
@@ -14,6 +19,14 @@ test:
 # library and binary sources. Exit 0 = clean, 1 = findings, 2 = usage.
 lint:
 	dune exec bin/dcount.exe -- lint lib bin
+
+# Domain-safety gate (docs/LINT.md, drace family): the engine sources
+# must be drace-clean, and the racy negative controls under test/race
+# must keep firing — if they stop, the analyzer lost its teeth.
+lint-race:
+	dune exec bin/dcount.exe -- lint --rules drace lib bin
+	! dune exec bin/dcount.exe -- lint --rules drace test/race/racy_par.ml
+	! dune exec bin/dcount.exe -- lint --rules drace test/race/racy_replicate.ml
 
 # Fault-injection smoke (docs/FAULTS.md): the failure-aware quorum
 # counter must complete every live-origin op under f < ceil(n/2)

@@ -1344,8 +1344,10 @@ let lint_cmd =
       & opt (list string) []
       & info [ "rules" ] ~docv:"R1,R2"
           ~doc:
-            "Run only these rules, by id (D1..D4, P1, P2) or name \
-             ($(b,ambient-nondeterminism), ...). Default: all.")
+            "Run only these rules, by id (D1..D4, P1, P2, R1..R3), name \
+             ($(b,ambient-nondeterminism), $(b,domain-escape), ...) or \
+             family ($(b,determinism), $(b,protocol), $(b,drace)). \
+             Default: all.")
   in
   let format_arg =
     Arg.(
@@ -1370,8 +1372,9 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Statically analyse OCaml sources for determinism and protocol \
-          hygiene (docs/LINT.md). Exit 0 clean, 1 findings, 2 usage.")
+         "Statically analyse OCaml sources for determinism, protocol \
+          hygiene and domain safety (docs/LINT.md). Exit 0 clean, 1 \
+          findings, 2 usage.")
     Term.(const run $ rules_arg $ format_arg $ list_arg $ paths_arg)
 
 (* ------------------------------------------------------------------ *)

@@ -63,7 +63,16 @@ let parallel_map ?domains f xs =
       let spawned =
         List.init (domains - 1) (fun w -> Domain.spawn (worker (w + 1)))
       in
-      worker 0 ();
+      (* Join even when the coordinator's own chunk raises: an orphaned
+         domain would keep writing [results] (and running [f]) behind
+         the caller's back after the exception propagates. If a worker
+         also failed, its exception wins — either way the pool is
+         drained before anything escapes. *)
+      (match worker 0 () with
+      | () -> ()
+      | exception e ->
+          List.iter Domain.join spawned;
+          raise e);
       List.iter Domain.join spawned;
       Array.to_list
         (Array.map

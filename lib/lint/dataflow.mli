@@ -1,0 +1,51 @@
+(** Intra-file domain dataflow shared by the drace family (R1–R3).
+
+    [analyse] finds every [Domain.spawn] site in a parsed implementation,
+    computes the {e spawn context} — the closure arguments themselves plus
+    every binding transitively reachable from them by name, intra-file —
+    and collects mutable-state accesses on both sides of the domain
+    boundary, each tagged with the syntactic protection evidence the rules
+    reason about (mutex bracket, join publication, barrier signal).
+
+    The analysis is deliberately name-based and file-local: roots are
+    surface identifiers plus their first field ("sh.min_pub", "box"), so
+    the same state reached through two aliases in different functions
+    pairs up by name, not by points-to facts. What it cannot see —
+    cross-module aliasing, first-class modules, index-disjointness of
+    array slots, calls through opaque function parameters — is documented
+    in docs/LINT.md; rules compensate with conservatism plus the
+    [@dlint.allow] ledger. *)
+
+type side = Worker | Coordinator
+
+type kind = Read | Write
+
+type access = {
+  root : string;  (** surface root identifier, e.g. "sh" *)
+  key : string;  (** root plus first field, e.g. "sh.min_pub" *)
+  kind : kind;
+  indexed : bool;  (** via [Array.set]/[get]-style indexed sugar *)
+  side : side;
+  locked : bool;
+      (** a [Mutex.lock] precedes and a [Mutex.unlock] follows it in the
+          same chunk *)
+  post_join : bool;
+      (** coordinator side: after the last [Domain.join] of its chunk *)
+  post_signal : bool;
+      (** worker side: after a [Condition.signal]/[broadcast] in its
+          chunk — past the barrier handshake *)
+  loc : Ppxlib.Location.t;
+  offset : int;  (** byte offset, the deterministic sort/anchor key *)
+}
+
+type info = {
+  spawns : int;  (** [Domain.spawn] occurrences in the file *)
+  accesses : access list;  (** in traversal order *)
+  worker_bodies : Ppxlib.expression list;
+      (** spawn-argument expressions and the bodies of bindings reachable
+          from them — the scope R3 walks directly *)
+}
+
+val analyse : Ppxlib.structure -> info
+(** Empty ([spawns = 0]) for files that never spawn a domain, so rules
+    short-circuit on the overwhelmingly common case. *)

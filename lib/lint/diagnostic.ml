@@ -20,6 +20,20 @@ let v ~file ~(loc : Ppxlib.Location.t) ~rule ~message ~hint =
     hint;
   }
 
+(* Families are carried by the id scheme, not stored per diagnostic:
+   D* determinism, P* protocol, R* drace; anything else (the E0 parse
+   pseudo-rule) reports as "parse". *)
+let family_of_rule rule =
+  if String.length rule = 0 then "parse"
+  else
+    match rule.[0] with
+    | 'D' -> "determinism"
+    | 'P' -> "protocol"
+    | 'R' -> "drace"
+    | _ -> "parse"
+
+let family d = family_of_rule d.rule
+
 let order a b =
   match String.compare a.file b.file with
   | 0 -> (
@@ -42,6 +56,7 @@ let to_json d =
       ("line", Analysis.Json.int d.line);
       ("col", Analysis.Json.int d.col);
       ("rule", Analysis.Json.Str d.rule);
+      ("family", Analysis.Json.Str (family d));
       ("message", Analysis.Json.Str d.message);
       ("hint", Analysis.Json.Str d.hint);
     ]

@@ -24,6 +24,14 @@ val v :
   t
 (** Build a diagnostic anchored at [loc]'s start position. *)
 
+val family_of_rule : string -> string
+(** Rule family carried by the id scheme: D* → "determinism", P* →
+    "protocol", R* → "drace", anything else → "parse" (the E0 parse
+    pseudo-rule). *)
+
+val family : t -> string
+(** [family_of_rule] of this diagnostic's rule id. *)
+
 val order : t -> t -> int
 (** Sort key: file, then line, then column, then rule id. *)
 

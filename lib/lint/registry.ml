@@ -5,6 +5,18 @@ let core =
     Rule_poly_compare.rule;
     Rule_unsafe_ops.rule;
     Rule_stall.rule;
+    Rule_domain_escape.rule;
+    Rule_barrier.rule;
+    Rule_spawn_hygiene.rule;
+  ]
+
+(* Family names accepted by --rules alongside ids and rule names; a
+   family expands to its members in registry order. *)
+let families =
+  [
+    ("determinism", [ "D1"; "D2"; "D3"; "D4" ]);
+    ("protocol", [ "P1"; "P2" ]);
+    ("drace", [ "R1"; "R2"; "R3" ]);
   ]
 
 (* P2 validates rule ids inside [@dlint.allow] payloads, so it needs
@@ -27,15 +39,26 @@ let resolve keys =
   match keys with
   | [] -> Ok all
   | _ ->
+      let expand k =
+        match List.assoc_opt (String.lowercase_ascii (String.trim k)) families with
+        | Some ids -> ids
+        | None -> [ k ]
+      in
       let rec go acc = function
         | [] -> Ok (List.rev acc)
         | k :: rest -> (
             match find k with
-            | Some r -> go (r :: acc) rest
+            | Some r ->
+                if List.exists (fun r' -> String.equal r'.Rule.id r.Rule.id) acc
+                then go acc rest
+                else go (r :: acc) rest
             | None ->
                 Error
                   (Printf.sprintf
-                     "unknown lint rule %S (known: %s; names work too)" k
-                     (String.concat ", " (List.map (fun r -> r.Rule.id) all))))
+                     "unknown lint rule %S (known: %s; rule names and \
+                      families %s work too)"
+                     k
+                     (String.concat ", " (List.map (fun r -> r.Rule.id) all))
+                     (String.concat ", " (List.map fst families))))
       in
-      go [] keys
+      go [] (List.concat_map expand keys)

@@ -42,7 +42,8 @@ let pp_json ppf (o : Driver.outcome) =
   let doc =
     Analysis.Json.Obj
       [
-        ("version", Analysis.Json.int 1);
+        ("schema", Analysis.Json.Str "dcount-lint/2");
+        ("version", Analysis.Json.int 2);
         ("files", Analysis.Json.int o.files);
         ( "findings",
           Analysis.Json.List (List.map Diagnostic.to_json o.findings) );
@@ -57,5 +58,7 @@ let pp_json ppf (o : Driver.outcome) =
 let pp_rules ppf rules =
   List.iter
     (fun (r : Rule.t) ->
-      Format.fprintf ppf "%-4s %-26s %s@." r.Rule.id r.Rule.name r.Rule.summary)
+      Format.fprintf ppf "%-4s %-12s %-26s %s@." r.Rule.id
+        (Diagnostic.family_of_rule r.Rule.id)
+        r.Rule.name r.Rule.summary)
     rules

@@ -103,7 +103,13 @@ let shard_of c p = if c.nshards = 1 then 0 else (p - 1) * c.nshards / c.n
    their instant — the per-shard restriction of Network's rule. Crash is
    idempotent and recovery of a live processor is a graceful no-op,
    matching the sequential engine's counters exactly. *)
-let apply_due sh ~at =
+let[@dlint.allow
+     "R1: shard state is owned by exactly one domain — sh is worker \
+      shards.(sid) private to its worker between barriers, and the \
+      coordinator only reads the aggregate counters after run_rounds' \
+      final barrier (the cv_done handshake under ctrl.m is the \
+      happens-before edge); the name-based analysis cannot see per-shard \
+      ownership"] apply_due sh ~at =
   while
     sh.tev_idx < Array.length sh.tev
     && (let time, _, _ = sh.tev.(sh.tev_idx) in
@@ -210,7 +216,12 @@ let inject t ~src ~dst pay =
 
 (* --- Round phases ---------------------------------------------------- *)
 
-let drain t sh =
+let[@dlint.allow
+     "R1: mail.(i).(j) is single-writer single-reader — written only by \
+      shard i inside its window, emptied only by shard j in its drain, \
+      and the mutex-guarded round barrier between the two phases is the \
+      happens-before edge that publishes it (see the mail field doc); \
+      no box is touched concurrently from two domains"] drain t sh =
   for i = 0 to t.c.nshards - 1 do
     let box = t.mail.(i).(sh.sid) in
     match !box with
@@ -227,7 +238,11 @@ let drain t sh =
   sh.min_pub <-
     (if Heap.is_empty sh.heap then infinity else Heap.top_prio sh.heap)
 
-let process ctx handler ~horizon =
+let[@dlint.allow
+     "R1: ctx is the per-shard handler context — ctxs.(sid) is written \
+      (cself) only by its own worker during process and read by the \
+      same domain's handler callbacks; the coordinator never touches \
+      cself while workers run"] process ctx handler ~horizon =
   let sh = ctx.sh in
   let have_tev = sh.tev_idx < Array.length sh.tev in
   while (not (Heap.is_empty sh.heap)) && Heap.top_prio sh.heap < horizon do

@@ -1,0 +1,22 @@
+(* R1 bad: mutable state crosses Domain.spawn unprotected. *)
+
+let shared_ref () =
+  let counter = ref 0 in
+  let d = Domain.spawn (fun () -> counter := !counter + 1) in
+  let v = !counter in
+  Domain.join d;
+  v + !counter
+
+let shared_table tbl =
+  let d = Domain.spawn (fun () -> Hashtbl.replace tbl "k" 1) in
+  let v = Hashtbl.length tbl in
+  Domain.join d;
+  v
+
+type cell = { mutable value : int }
+
+let shared_field (c : cell) =
+  let d = Domain.spawn (fun () -> c.value <- c.value + 1) in
+  let v = c.value in
+  Domain.join d;
+  v

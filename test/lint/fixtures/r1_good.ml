@@ -1,0 +1,39 @@
+(* R1 good: every crossing is protected — Atomic, a Mutex bracket held
+   on both sides, or join publication (write pre-join, read post-join,
+   per-index worker slots). *)
+
+let atomic_counter () =
+  let counter = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.incr counter) in
+  Domain.join d;
+  Atomic.get counter
+
+let mutex_counter () =
+  let m = Mutex.create () in
+  let counter = ref 0 in
+  let d =
+    Domain.spawn (fun () ->
+        Mutex.lock m;
+        counter := !counter + 1;
+        Mutex.unlock m)
+  in
+  Mutex.lock m;
+  let v = !counter in
+  Mutex.unlock m;
+  Domain.join d;
+  v
+
+let join_publication f xs =
+  let items = Array.of_list xs in
+  let results = Array.make (Array.length items) None in
+  let worker w () =
+    let i = ref w in
+    while !i < Array.length items do
+      results.(!i) <- Some (f items.(!i));
+      i := !i + 2
+    done
+  in
+  let d = Domain.spawn (worker 1) in
+  worker 0 ();
+  Domain.join d;
+  Array.to_list results

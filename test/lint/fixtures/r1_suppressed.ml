@@ -1,0 +1,20 @@
+(* R1 suppressed: the racy crossing carries its ownership argument in
+   the ledger — once at binding scope, once at expression scope. *)
+
+let[@dlint.allow
+     "R1: single-writer by construction — the spawned domain is the \
+      only mutator; the coordinator read is telemetry"] binding_scope ()
+    =
+  let counter_b = ref 0 in
+  let d = Domain.spawn (fun () -> counter_b := !counter_b + 1) in
+  let v = !counter_b in
+  Domain.join d;
+  v
+
+let expression_scope () =
+  let counter_e = ref 0 in
+  (let d = Domain.spawn (fun () -> counter_e := !counter_e + 1) in
+   let v = !counter_e in
+   Domain.join d;
+   v)
+  [@dlint.allow "R1: expression-scope demo of the same waiver"]

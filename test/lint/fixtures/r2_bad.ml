@@ -1,0 +1,12 @@
+(* R2 bad: the worker keeps writing after signalling the round barrier
+   — the coordinator may already be reading. *)
+
+let round m cv (results : int array) w =
+  let worker () =
+    results.(w) <- 1;
+    Mutex.lock m;
+    Condition.signal cv;
+    Mutex.unlock m;
+    results.(w) <- 2
+  in
+  Domain.spawn worker

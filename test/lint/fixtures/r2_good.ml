@@ -1,0 +1,21 @@
+(* R2 good: everything is published before the signal; any late state
+   is touched under the round mutex. *)
+
+let publish_first m cv (results : int array) w =
+  let worker () =
+    results.(w) <- 1;
+    results.(w) <- 2;
+    Mutex.lock m;
+    Condition.signal cv;
+    Mutex.unlock m
+  in
+  Domain.spawn worker
+
+let late_under_mutex m cv (results : int array) w =
+  let worker () =
+    Mutex.lock m;
+    Condition.signal cv;
+    results.(w) <- 2;
+    Mutex.unlock m
+  in
+  Domain.spawn worker

@@ -1,0 +1,14 @@
+(* R2 suppressed: binding-scope waiver for a sanctioned late write. *)
+
+let[@dlint.allow
+     "R2: the post-signal write is a per-worker diagnostic counter the \
+      coordinator only reads after the final join"] round m cv
+    (results : int array) w =
+  let worker () =
+    results.(w) <- 1;
+    Mutex.lock m;
+    Condition.signal cv;
+    Mutex.unlock m;
+    results.(w) <- 2
+  in
+  Domain.spawn worker

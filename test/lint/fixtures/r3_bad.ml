@@ -1,0 +1,12 @@
+(* R3 bad: Rng draws, Sim.Network mutation and swallowed exceptions
+   inside spawned domain contexts. *)
+
+let draws rng = Domain.spawn (fun () -> Rng.int rng 6)
+
+let mutates net p = Domain.spawn (fun () -> Network.send net ~dst:p 0)
+
+let swallows f = Domain.spawn (fun () -> try f () with _ -> ())
+
+let swallows_in_helper f =
+  let body () = try f () with _ -> 0 in
+  Domain.spawn body

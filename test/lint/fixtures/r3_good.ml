@@ -1,0 +1,17 @@
+(* R3 good: draws happen before spawning (or come from a keyed stream
+   handed in), the engine is never touched from a worker, and
+   exceptions are parked for the coordinator, not dropped. *)
+
+let draw_outside rng =
+  let roll = Rng.int rng 6 in
+  Domain.spawn (fun () -> roll + 1)
+
+let keyed_stream ~seed w =
+  let stream = Rng.keyed ~seed 1 w in
+  Domain.spawn (fun () -> stream)
+
+let parks failure f =
+  Domain.spawn (fun () -> try f () with e -> failure := Some e)
+
+let reraises f =
+  Domain.spawn (fun () -> try f () with e -> raise e)

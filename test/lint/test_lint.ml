@@ -42,6 +42,12 @@ let snapshot_cases =
     ("P1", "p1_good.ml", []);
     ("P2", "p2_bad.ml", [ ("P2", 3); ("P2", 5); ("P2", 7); ("P2", 9); ("P2", 11) ]);
     ("P2", "p2_good.ml", []);
+    ("R1", "r1_bad.ml", [ ("R1", 5); ("R1", 11); ("R1", 19) ]);
+    ("R1", "r1_good.ml", []);
+    ("R2", "r2_bad.ml", [ ("R2", 10) ]);
+    ("R2", "r2_good.ml", []);
+    ("R3", "r3_bad.ml", [ ("R3", 4); ("R3", 6); ("R3", 8); ("R3", 11) ]);
+    ("R3", "r3_good.ml", []);
   ]
 
 let snapshot_tests =
@@ -68,6 +74,33 @@ let test_suppression_ledger () =
         "justified" true
         (String.length dir.Lint.Suppress.justification > 0)
   | l -> Alcotest.failf "expected 1 suppressed finding, got %d" (List.length l)
+
+(* The drace suppression triples exercise every ledger scope: r1 at
+   binding and expression scope, r2 at binding scope, r3 via a file-
+   scope floating directive covering two findings. Each fixture must
+   end up clean with exactly the expected findings on the ledger. *)
+let test_drace_suppression_scopes () =
+  List.iter
+    (fun (rule_id, name, expected_suppressed) ->
+      let kept, suppressed, _ = scan ~rules:[ rule rule_id ] (fixture name) in
+      Alcotest.(check (list (pair string int)))
+        (name ^ " kept") [] (anchors kept);
+      Alcotest.(check int)
+        (name ^ " ledger size")
+        expected_suppressed
+        (List.length suppressed);
+      List.iter
+        (fun ((d : Lint.Diagnostic.t), (dir : Lint.Suppress.directive)) ->
+          Alcotest.(check string) (name ^ " ledger rule") rule_id d.rule;
+          Alcotest.(check bool)
+            (name ^ " justified") true
+            (String.length dir.justification > 0))
+        suppressed)
+    [
+      ("R1", "r1_suppressed.ml", 2);
+      ("R2", "r2_suppressed.ml", 1);
+      ("R3", "r3_suppressed.ml", 2);
+    ]
 
 (* A file that does not parse is itself a finding (pseudo-rule E0). *)
 let test_syntax_error_is_finding () =
@@ -108,6 +141,8 @@ let () =
       ( "machinery",
         [
           Alcotest.test_case "suppression ledger" `Quick test_suppression_ledger;
+          Alcotest.test_case "drace suppression scopes" `Quick
+            test_drace_suppression_scopes;
           Alcotest.test_case "syntax error -> E0" `Quick
             test_syntax_error_is_finding;
           Alcotest.test_case "unknown rule -> usage" `Quick

@@ -1,0 +1,37 @@
+(* Negative control for R1's join-publication clause: an
+   Analysis.Replicate.parallel_map variant that snapshots the results
+   array before joining its workers. drace must flag the pre-join read
+   statically; at runtime the early snapshot deterministically misses
+   every worker result (a gate holds all workers until the snapshot is
+   taken, so this is not a lucky schedule). *)
+
+let map_early ~domains f xs =
+  let items = Array.of_list xs in
+  let total = Array.length items in
+  let domains = max 2 (min domains total) in
+  let results = Array.make total None in
+  let gate = Atomic.make false in
+  let worker w () =
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done;
+    let i = ref w in
+    while !i < total do
+      results.(!i) <- Some (f items.(!i));
+      i := !i + domains
+    done
+  in
+  let spawned =
+    List.init (domains - 1) (fun w -> Domain.spawn (worker (w + 1)))
+  in
+  (* BUG under test: the coordinator publishes a view of [results]
+     before the join (and before opening the gate). *)
+  let early = Array.to_list results in
+  Atomic.set gate true;
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let final =
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  in
+  (List.filter_map Fun.id early, final)

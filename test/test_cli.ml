@@ -339,7 +339,14 @@ let test_lint_rule_selection () =
   (* d1_bad only violates D1; selecting another rule must report clean. *)
   check_exit "other rule on d1_bad = exit 0" 0
     ("lint --rules d2 " ^ fixture "d1_bad.ml");
-  check_exit "matching rule fires" 1 ("lint --rules d1 " ^ fixture "d1_bad.ml")
+  check_exit "matching rule fires" 1 ("lint --rules d1 " ^ fixture "d1_bad.ml");
+  (* family names expand: drace = R1,R2,R3 *)
+  check_exit "drace family fires on r1_bad" 1
+    ("lint --rules drace " ^ fixture "r1_bad.ml");
+  check_exit "drace family clean on r1_good" 0
+    ("lint --rules drace " ^ fixture "r1_good.ml");
+  check_exit "other family clean on r1_bad" 0
+    ("lint --rules determinism " ^ fixture "r1_bad.ml")
 
 let test_lint_json_format () =
   let out = Filename.concat tmp "dcount_cli_lint.json" in
@@ -353,14 +360,22 @@ let test_lint_json_format () =
       in
       Alcotest.(check int) "findings = exit 1" 1 code;
       let s = In_channel.with_open_text out In_channel.input_all in
+      let contains needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i =
+          i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+        in
+        go 0
+      in
       Alcotest.(check bool)
         "json payload names the rule" true
-        (let needle = "\"D2\"" in
-         let nl = String.length needle and sl = String.length s in
-         let rec go i =
-           i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
-         in
-         go 0))
+        (contains "\"D2\"");
+      Alcotest.(check bool)
+        "json payload carries the schema version" true
+        (contains "\"schema\": \"dcount-lint/2\"");
+      Alcotest.(check bool)
+        "each diagnostic names its family" true
+        (contains "\"family\": \"determinism\""))
 
 (* Usage errors exit 2 on every subcommand — including flags cmdliner
    itself rejects, which it would otherwise report as 124. *)
