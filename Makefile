@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test lint lint-race test-chaos test-mc test-durable test-load bench bench-big bench-perf bench-smoke bench-gate-selftest examples doc clean outputs
+.PHONY: all build check test lint lint-race test-chaos test-mc test-byz test-durable test-load bench bench-big bench-perf bench-smoke bench-gate-selftest examples doc clean outputs
 
 all: build
 
@@ -64,6 +64,23 @@ test-mc:
 	dune exec bin/dcount.exe -- mc -c durable-no-cas -n 2 -s explicit:2 --faults crash:1@99/recover:1@120 --max-depth 10 --max-states 300000 --expect-violation --counterexample-out /tmp/durable_no_cas_n2.mcs
 	cmp /tmp/durable_no_cas_n2.mcs test/data/durable_no_cas_n2.mcs
 	dune exec bin/dcount.exe -- mc --replay test/data/durable_no_cas_n2.mcs
+	dune exec bin/dcount.exe -- mc -c sync-no-threshold -n 4 -s explicit:1 --faults byz:2@99/byzval:2:off-by-1/byzeq:2 --max-depth 100 --expect-violation --property agreement-violated --counterexample-out /tmp/sync_no_threshold_n4.mcs
+	cmp /tmp/sync_no_threshold_n4.mcs test/data/sync_no_threshold_n4.mcs
+	dune exec bin/dcount.exe -- mc --replay test/data/sync_no_threshold_n4.mcs
+
+# Byzantine gate (docs/FAULTS.md): the adversarial test battery, then
+# the chaos sweep's f < n/3 contract end to end — sync-count completes
+# every operation with zero agreement stalls at b <= f while the
+# sync-no-threshold control splits on every b >= 1 row, and the model
+# checker's corruption adversary finds agreement-violated on the control
+# (byte-identical stored counterexample, checked by test-mc) while
+# sync-count survives the same bounded hunt.
+test-byz:
+	dune exec test/test_byzantine.exe
+	dune exec bin/dcount.exe -- chaos --byz -c sync-count -n 7 --check
+	dune exec bin/dcount.exe -- chaos --byz -c sync-no-threshold -n 7 --check
+	dune exec bin/dcount.exe -- run -c sync-count -n 7 -s round-robin:10 --faults byz:3@0/byzval:3:max-int/byzeq:3/byz:5@0/byzval:5:off-by-7
+	dune exec bin/dcount.exe -- mc -c sync-count -n 4 -s explicit:1 --faults byz:2@99/byzval:2:off-by-1/byzeq:2 --max-states 4000 --max-depth 100 --allow-incomplete --property agreement-violated
 
 # Durability gate (docs/DURABILITY.md): the WAL-backed counter loses no
 # acked increment under crash/recover chaos (store-RPC faults included),
@@ -101,11 +118,11 @@ bench:
 bench-big:
 	dune exec bench/main.exe -- --big
 
-# Full engine-throughput suite; writes BENCH_3.json (docs/PERFORMANCE.md).
+# Full engine-throughput suite; writes BENCH_4.json (docs/PERFORMANCE.md).
 # Always the release profile, so committed artefacts are comparable.
 bench-perf:
 	dune build --profile release bench/perf.exe
-	./_build/default/bench/perf.exe --json --out BENCH_3.json
+	./_build/default/bench/perf.exe --json --out BENCH_4.json
 
 # Seconds-scale CI regression gate: a smoke benchmark run compared
 # against the newest committed BENCH_*.json (rates must stay within the

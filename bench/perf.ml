@@ -26,9 +26,14 @@
                   run for a representative concurrent subset, plus the
                   virtual-time p99 latency and peak overlap each run
                   reports.
+   7. byz       — the Byzantine resilience tax: sync-count's phase-king
+                  msgs/op against the crash-tolerant retire-ft and
+                  quorum-majority at the same n, plus a corrupted run
+                  under the b = f king plan proving the message count is
+                  fault-oblivious.
 
    [--json] additionally writes a machine-readable artefact (default
-   BENCH_3.json; schema "dcount-bench/3" in docs/PERFORMANCE.md; the
+   BENCH_4.json; schema "dcount-bench/4" in docs/PERFORMANCE.md; the
    header records the dune profile and flambda flag the binary was built
    with). [--smoke] shrinks every section to seconds of total runtime for
    CI. [--validate FILE] re-parses an artefact and checks the schema
@@ -492,6 +497,127 @@ let load_section ~smoke =
   Json.List rows
 
 (* ------------------------------------------------------------------ *)
+(* Section 7: Byzantine resilience tax.
+
+   What does tolerating f < n/3 corrupt processors cost per increment
+   compared to counters that only survive crashes? sync-count's
+   phase-king exchange is all-to-all in every round, so its msgs/op
+   dwarfs the crash-tolerant baselines at the same n — the tax m_b this
+   section pins: sync-count msgs/op divided by each baseline's. The
+   faulted row re-runs sync-count under the chaos sweep's b = f king
+   plan; the schedule is fault-oblivious, so the message count must not
+   move — only the corruption counters — and the section asserts that. *)
+
+let byz_king_plan ~n =
+  let f = (n - 1) / 3 in
+  let rules =
+    [| Sim.Fault.Off_by 7; Sim.Fault.Max_int; Sim.Fault.Replay_stale |]
+  in
+  let victims = List.init f (fun i -> f + 1 - i) in
+  {
+    Sim.Fault.none with
+    Sim.Fault.byz =
+      List.map
+        (fun p -> { Sim.Fault.processor = p; trigger = Sim.Fault.At 0. })
+        victims;
+    byz_rules = List.mapi (fun i p -> (p, rules.(i mod 3))) victims;
+    byz_equiv = List.filteri (fun i _ -> i mod 2 = 0) victims;
+  }
+
+let bench_byz_counter (module C : Counter.Counter_intf.S) ?faults ~n ~ops ()
+    =
+  let best_t = ref infinity
+  and best_w = ref 0.0
+  and best_msgs = ref 0
+  and best_corruptions = ref 0 in
+  for _ = 1 to !reps do
+    let c = C.create ~seed:5 ?faults ~n () in
+    let out = ref 0 in
+    Gc.full_major ();
+    let w0 = allocated_words () in
+    let t0 = now () in
+    for i = 0 to ops - 1 do
+      out := C.inc c ~origin:(1 + (i mod n))
+    done;
+    let dt = now () -. t0 in
+    let dw = allocated_words () -. w0 in
+    if dt < !best_t then begin
+      best_t := dt;
+      best_w := dw;
+      best_msgs := Sim.Metrics.total_messages (C.metrics c);
+      best_corruptions := Sim.Metrics.corruptions (C.metrics c)
+    end
+  done;
+  (!best_t, !best_w, !best_msgs, !best_corruptions)
+
+let byz_section ~smoke =
+  let requested = if smoke then 7 else 13 in
+  let ops = if smoke then 28 else 128 in
+  pr "== byz: resilience tax at n = %d (%d ops) ==\n" requested ops;
+  let row (module C : Counter.Counter_intf.S) ?faults label =
+    let n = C.supported_n requested in
+    let dt, dw, msgs, corruptions =
+      bench_byz_counter (module C) ?faults ~n ~ops ()
+    in
+    let msgs_per_op = float_of_int msgs /. float_of_int ops in
+    pr "  %-18s n = %3d: %8.0f ops/s  %8.1f msgs/op  corrupted = %d\n"
+      label n (rate ops dt) msgs_per_op corruptions;
+    let json =
+      Json.Obj
+        [
+          ("counter", Json.Str label);
+          ("requested_n", Json.int requested);
+          ("n", Json.int n);
+          ("ops", Json.int ops);
+          ( "faults",
+            Json.Str
+              (match faults with
+              | None -> ""
+              | Some f -> Sim.Fault.to_string f) );
+          ("ops_per_sec", Json.Num (rate ops dt));
+          ("messages_per_op", Json.Num msgs_per_op);
+          ("words_per_op", Json.Num (dw /. float_of_int ops));
+          ("corruptions", Json.int corruptions);
+        ]
+    in
+    (json, msgs_per_op, corruptions)
+  in
+  let sync, sync_mpo, _ = row (module Core.Sync_counter) "sync-count" in
+  let (module Ft : Counter.Counter_intf.S) = Baselines.Registry.retire_ft in
+  let ft, ft_mpo, _ = row (module Ft) "retire-ft" in
+  let (module Qm : Counter.Counter_intf.S) =
+    Baselines.Registry.quorum_majority
+  in
+  let qm, qm_mpo, _ = row (module Qm) "quorum-majority" in
+  let n = Core.Sync_counter.supported_n requested in
+  let faulted, faulted_mpo, corruptions =
+    row (module Core.Sync_counter) ~faults:(byz_king_plan ~n) "sync-count+byz"
+  in
+  if faulted_mpo <> sync_mpo then
+    failwith "byz bench: corruption changed the message count";
+  if corruptions = 0 then
+    failwith "byz bench: the b = f king plan corrupted nothing";
+  let tax_ft = sync_mpo /. ft_mpo and tax_qm = sync_mpo /. qm_mpo in
+  pr "  resilience tax m_b: %.1fx vs retire-ft, %.1fx vs quorum-majority\n\n"
+    tax_ft tax_qm;
+  let tag row extra =
+    match row with
+    | Json.Obj fields -> Json.Obj (fields @ extra)
+    | other -> other
+  in
+  Json.List
+    [
+      tag sync
+        [
+          ("m_b_vs_retire_ft", Json.Num tax_ft);
+          ("m_b_vs_quorum_majority", Json.Num tax_qm);
+        ];
+      ft;
+      qm;
+      faulted;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Artefact validation (the [make bench-smoke] gate). *)
 
 let validate_field doc path extract =
@@ -531,6 +657,7 @@ let validate file =
     | "dcount-bench/1" -> 1
     | "dcount-bench/2" -> 2
     | "dcount-bench/3" -> 3
+    | "dcount-bench/4" -> 4
     | _ ->
         Printf.eprintf "%s: unknown schema %S\n" file schema;
         exit 1
@@ -567,6 +694,10 @@ let validate file =
     check_rows "load"
       [ "n"; "rate"; "ops_per_sec"; "p99_virtual"; "peak_overlap" ]
       [ "counter" ];
+  if version >= 4 then
+    check_rows "byz"
+      [ "n"; "ops_per_sec"; "messages_per_op" ]
+      [ "counter"; "faults" ];
   ignore (validate_field doc [ "parallel"; "speedup" ] Json.to_float);
   Printf.printf "%s: valid %s (heap speedup %.2fx)\n" file schema speedup;
   if Float.is_nan speedup || speedup <= 0.0 then exit 1
@@ -659,7 +790,20 @@ let samples_of_doc doc =
         | _ -> None)
       (rows "load")
   in
-  heap @ network @ par @ counters @ load
+  let byz =
+    List.filter_map
+      (fun row ->
+        match
+          ( get row "counter" Json.to_str,
+            get row "requested_n" Json.to_float,
+            get row "ops_per_sec" Json.to_float )
+        with
+        | Some c, Some n, Some r ->
+            Some (Printf.sprintf "byz/%s/n=%.0f" c n, r)
+        | _ -> None)
+      (rows "byz")
+  in
+  heap @ network @ par @ counters @ load @ byz
 
 let doc_mode doc =
   Option.value
@@ -715,7 +859,7 @@ let usage () =
 let () =
   let smoke = ref false
   and json = ref false
-  and out = ref "BENCH_3.json"
+  and out = ref "BENCH_4.json"
   and to_validate = ref None
   and gate_against = ref None
   and tolerance = ref 0.25
@@ -769,10 +913,11 @@ let () =
       let counters = counters_section ~smoke ~sizes in
       let parallel = parallel_section ~smoke in
       let load = load_section ~smoke in
+      let byz = byz_section ~smoke in
       let doc =
         Json.Obj
           [
-            ("schema", Json.Str "dcount-bench/3");
+            ("schema", Json.Str "dcount-bench/4");
             ("mode", Json.Str (if smoke then "smoke" else "full"));
             ("profile", Json.Str Build_info.profile);
             ("flambda", Json.Bool Build_info.flambda);
@@ -782,6 +927,7 @@ let () =
             ("counters", counters);
             ("parallel", parallel);
             ("load", load);
+            ("byz", byz);
           ]
       in
       if !json then begin

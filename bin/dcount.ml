@@ -46,10 +46,31 @@ let faults_arg =
     & info [ "faults" ] ~docv:"PLAN"
         ~doc:
           "Deterministic fault plan: clauses crash:P@T, crash:P@#D, \
-           recover:P@T, drop:F, drop:S,D:F, dup:F, part:LO-HI@T0,T1 and \
+           recover:P@T, drop:F, drop:S,D:F, dup:F, part:LO-HI@T0,T1, \
            the store-RPC clauses sdrop:F, sdup:F, sslow:F:D, sout:T0,T1 \
-           joined with '/', or $(b,none). Example: \
-           crash:3@1.5/recover:3@40/drop:0.01.")
+           and the Byzantine clauses byz:P@T, byz:P@#D, byzval:P:RULE \
+           (RULE: replay-stale, off-by-K, max-int), byzeq:P, joined with \
+           '/', or $(b,none). Example: \
+           crash:3@1.5/recover:3@40/drop:0.01. Payload-rewriting plans \
+           (byzval:/byzeq:) need a counter with a corruption hook \
+           (sync-count, sync-no-threshold).")
+
+(* Payload-rewriting plans need a counter that installs the corruption
+   hook; on any other counter Network.create would raise. Turn that into
+   a usage error up front. *)
+let byz_capable = [ "sync-count"; "sync-no-threshold" ]
+
+let guard_byz_plan cmd name faults =
+  match faults with
+  | Some f
+    when f.Sim.Fault.byz_rules <> [] && not (List.mem name byz_capable) ->
+      Format.eprintf
+        "dcount %s: fault plan rewrites payloads (byzval:/byzeq:) but \
+         counter %s has no corruption hook (byz-capable: %s)@."
+        cmd name
+        (String.concat ", " byz_capable);
+      exit 2
+  | _ -> ()
 
 let counter_arg =
   Arg.(
@@ -97,6 +118,14 @@ let list_cmd =
       (fun (module C : Counter.Counter_intf.S) ->
         Format.printf "  %-22s %s@." C.name C.describe)
       Baselines.Registry.all;
+    Format.printf "@.by-name only (correct, priced out of default sweeps):@.";
+    (let (module C : Counter.Counter_intf.S) = Baselines.Registry.sync_count in
+     Format.printf "  %-22s %s@." C.name C.describe);
+    Format.printf "@.broken baselines (negative controls, by name):@.";
+    List.iter
+      (fun (module C : Counter.Counter_intf.S) ->
+        Format.printf "  %-22s %s@." C.name C.describe)
+      Baselines.Registry.broken;
     Format.printf "@.quorum systems:@.";
     List.iter
       (fun (name, (module Q : Quorum.Quorum_intf.S)) ->
@@ -127,6 +156,8 @@ let run_cmd =
       Format.eprintf "dcount run: --sim-domains must be >= 1@.";
       exit 2
     end;
+    (let (module C : Counter.Counter_intf.S) = counter in
+     guard_byz_plan "run" C.name faults);
     (* Under an active fault plan stalls and value gaps are expected, so
        the correctness verdict only gates the exit code on fault-free
        runs. *)
@@ -280,6 +311,7 @@ let load_cmd =
             (String.concat ", " (Baselines.Registry.concurrent_names ()));
           exit 2
     in
+    guard_byz_plan "load" name faults;
     let arrivals =
       match (arrivals, rate) with
       | Some _, Some _ ->
@@ -394,6 +426,150 @@ let chaos_cmd =
     let ls = String.length s and lsub = String.length sub in
     let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
     go 0
+  in
+  (* Byzantine sweep: rows are turned-processor counts b; victims are
+     the kings, LAST king first — the strongest seats the adversary can
+     hold, since the final phase's king has the last word on every
+     replica's value. Rules cycle off-by-7 / max-int / replay-stale and
+     every second victim equivocates. Only the phase-king counters
+     install the corruption hook, so --byz rejects everything else.
+     --check asserts the f < n/3 contract: sync-count completes every
+     operation with zero agreement stalls at b <= f, while the
+     sync-no-threshold control must show an agreement violation on
+     every row with b >= 1 (its equivocating last king splits the
+     replicas deterministically). *)
+  let run_byz counter n seed delay byz_counts ops check =
+    let (module C : Counter.Counter_intf.S) = counter in
+    if not (List.mem C.name byz_capable) then begin
+      Format.eprintf
+        "dcount chaos: --byz sweeps need a corruption-hooked counter \
+         (%s); %s has none@."
+        (String.concat ", " byz_capable)
+        C.name;
+      exit 2
+    end;
+    let n = C.supported_n n in
+    let f = (n - 1) / 3 in
+    let ops = if ops <= 0 then 2 * n else ops in
+    let run_ops c =
+      let completed = ref 0 and stalled = ref 0 and agree = ref 0 in
+      let last_stall = ref "" in
+      let origin = ref 0 in
+      for _ = 1 to ops do
+        origin := (!origin mod n) + 1;
+        match C.inc_result c ~origin:!origin with
+        | Counter.Counter_intf.Completed _ -> incr completed
+        | Counter.Counter_intf.Stalled reason ->
+            incr stalled;
+            if contains ~sub:"agreement" reason then incr agree;
+            last_stall := reason
+      done;
+      (!completed, !stalled, !agree, !last_stall)
+    in
+    let baseline = C.create ~seed ?delay ~n () in
+    let _ = run_ops baseline in
+    let base_metrics = C.metrics baseline in
+    let base_total = Sim.Metrics.total_messages base_metrics in
+    let base_bproc, base_bload = Sim.Metrics.bottleneck base_metrics in
+    let base_per_op = float_of_int base_total /. float_of_int (max 1 ops) in
+    Format.printf
+      "chaos sweep (byzantine): counter=%s n=%d f=%d ops=%d seed=%d@.\
+       baseline: %d msgs (%.1f/op), bottleneck p%d(%d)@.@."
+      C.name n f ops seed base_total base_per_op base_bproc base_bload;
+    Format.printf "%4s %6s  %-11s %7s  %8s %8s  %-12s %s@." "byz" "vs f"
+      "done/req" "stalled" "msgs/op" "load+%" "bottleneck" "notes";
+    let rules =
+      [| Sim.Fault.Off_by 7; Sim.Fault.Max_int; Sim.Fault.Replay_stale |]
+    in
+    let victims b =
+      (* The kings are processors 1 .. f+1 (phase p's king is processor
+         p); take them from the last phase backwards, then pad with the
+         highest non-king ids. *)
+      let kings = List.init (min b (f + 1)) (fun i -> f + 1 - i) in
+      let rest = List.init (max 0 (b - (f + 1))) (fun i -> n - i) in
+      kings @ rest
+    in
+    let check_failures = ref [] in
+    List.iter
+      (fun b ->
+        let b = min b n in
+        let faults =
+          if b = 0 then Sim.Fault.none
+          else
+            let vs = victims b in
+            {
+              Sim.Fault.none with
+              Sim.Fault.byz =
+                List.map
+                  (fun p ->
+                    { Sim.Fault.processor = p; trigger = Sim.Fault.At 0. })
+                  vs;
+              byz_rules =
+                List.mapi (fun i p -> (p, rules.(i mod 3))) vs;
+              byz_equiv = List.filteri (fun i _ -> i mod 2 = 0) vs;
+            }
+        in
+        let c = C.create ~seed ?delay ~faults ~n () in
+        let completed, stalled, agree, last_stall = run_ops c in
+        let m = C.metrics c in
+        let total = Sim.Metrics.total_messages m in
+        let corrupted = Sim.Metrics.corruptions m in
+        let bproc, bload = Sim.Metrics.bottleneck m in
+        let per_op = float_of_int total /. float_of_int (max 1 ops) in
+        let added_pct =
+          if base_per_op > 0. then 100. *. ((per_op /. base_per_op) -. 1.)
+          else 0.
+        in
+        let shifted = bproc <> base_bproc in
+        let notes =
+          (if corrupted > 0 then
+             [ Printf.sprintf "corrupted=%d" corrupted ]
+           else [])
+          @ (if agree > 0 then
+               [ Printf.sprintf "agreement-violations=%d" agree ]
+             else [])
+          @ if stalled > 0 then [ "last stall: " ^ last_stall ] else []
+        in
+        Format.printf "%4d %6s  %5d/%-5d %7d  %8.1f %+7.0f%%  p%d(%d)%s %s@."
+          b
+          (if b <= f then "b<=f" else "b>f")
+          completed ops stalled per_op added_pct bproc bload
+          (if shifted then "*" else " ")
+          (String.concat "; " notes);
+        if check then begin
+          let fail fmt =
+            Printf.ksprintf
+              (fun s ->
+                check_failures :=
+                  Printf.sprintf "byz=%d: %s" b s :: !check_failures)
+              fmt
+          in
+          if b = 0 && completed <> ops then
+            fail "fault-free row completed %d/%d operations" completed ops;
+          if C.name = "sync-count" && b <= f && (agree > 0 || completed <> ops)
+          then
+            fail
+              "b <= f = %d must complete cleanly (completed %d/%d, %d \
+               agreement violations)"
+              f completed ops agree;
+          if C.name = "sync-no-threshold" && b >= 1 && agree = 0 then
+            fail
+              "control must show an agreement violation (equivocating \
+               last king)"
+        end)
+      byz_counts;
+    Format.printf
+      "@.(* = bottleneck moved off the fault-free bottleneck processor \
+       p%d)@."
+      base_bproc;
+    if check then
+      match !check_failures with
+      | [] -> Format.printf "chaos check (byzantine): OK@."
+      | fs ->
+          List.iter
+            (fun s -> Format.eprintf "chaos check FAILED: %s@." s)
+            fs;
+          exit 1
   in
   (* Durable sweep: runs Core.Durable_counter concretely (the generic
      row loop cannot reach durable-only accessors through the sealed
@@ -578,8 +754,14 @@ let chaos_cmd =
           exit 1
   in
   let run counter n seed delay crash_counts drop_rates dup ops check recover
-      durable =
-    if durable then
+      durable byz byz_counts =
+    if byz && durable then begin
+      Format.eprintf "dcount chaos: --byz and --durable are mutually \
+                      exclusive@.";
+      exit 2
+    end;
+    if byz then run_byz counter n seed delay byz_counts ops check
+    else if durable then
       run_durable n seed delay crash_counts drop_rates dup ops check recover
     else
     let (module C : Counter.Counter_intf.S) = counter in
@@ -841,15 +1023,41 @@ let chaos_cmd =
              WAL monitor saw no violation. Combine with $(b,--recover) \
              to exercise crash-recovery.")
   in
+  let byz_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "byz" ]
+          ~doc:
+            "Sweep turned-Byzantine processor counts instead of crashes \
+             (requires a corruption-hooked counter: $(b,sync-count) or \
+             $(b,sync-no-threshold)). Victims are the kings, last king \
+             first — the adversary's strongest seats — with rewrite \
+             rules cycling off-by-7 / max-int / replay-stale and every \
+             second victim equivocating. With $(b,--check), asserts the \
+             f < n/3 contract: sync-count completes every operation \
+             with zero agreement stalls at b <= f, and the \
+             sync-no-threshold control shows an agreement violation on \
+             every row with b >= 1.")
+  in
+  let byz_counts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 0; 1; 2; 3 ]
+      & info [ "byz-counts" ] ~docv:"B,B,..."
+          ~doc:
+            "Turned-processor counts for the $(b,--byz) sweep (default \
+             0,1,2,3 — straddles f = 2 at n = 7).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Sweep crash counts and drop rates against a counter; report \
-          completion rate, added message load and bottleneck shift.")
+          completion rate, added message load and bottleneck shift. With \
+          $(b,--byz), sweep Byzantine turn counts instead.")
     Term.(
       const run $ counter_arg $ n_arg $ seed_arg $ delay_arg $ crashes_arg
       $ drops_arg $ dup_arg $ ops_arg $ check_arg $ recover_arg
-      $ durable_arg)
+      $ durable_arg $ byz_flag_arg $ byz_counts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)
@@ -1080,7 +1288,17 @@ let exhaustive_cmd =
 let mc_cmd =
   let run counter n seed faults schedule max_states max_depth prune
       expect_violation allow_incomplete cx_out replay_file sweep_all
-      progress =
+      progress property =
+    let required_property =
+      match property with
+      | None -> None
+      | Some s -> (
+          match Mc.Explore.property_of_name s with
+          | Ok p -> Some p
+          | Error e ->
+              Format.eprintf "dcount mc: %s@." e;
+              exit 2)
+    in
     let config =
       {
         Mc.Explore.default_config with
@@ -1096,6 +1314,12 @@ let mc_cmd =
       }
     in
     let faults = Option.value faults ~default:Sim.Fault.none in
+    if sweep_all && faults.Sim.Fault.byz_rules <> [] then begin
+      Format.eprintf
+        "dcount mc: --all cannot take a payload-rewriting plan \
+         (byzval:/byzeq:) — most counters have no corruption hook@.";
+      exit 2
+    end;
     match replay_file with
     | Some path -> (
         (* Replay a stored counterexample byte stream deterministically. *)
@@ -1176,6 +1400,8 @@ let mc_cmd =
           rows;
         if !any_unexpected then exit 1
     | None -> (
+        (let (module C : Counter.Counter_intf.S) = counter in
+         guard_byz_plan "mc" C.name (Some faults));
         let outcome = Mc.Explore.check ~seed ~faults ~config counter ~n ~schedule in
         Format.printf "@[<v>%a@,%a@]@." Mc.Explore.pp_verdict
           outcome.Mc.Explore.verdict Mc.Explore.pp_stats
@@ -1193,7 +1419,15 @@ let mc_cmd =
         | _ -> ());
         match outcome.Mc.Explore.verdict with
         | Mc.Explore.Exhausted_ok -> if expect_violation then exit 1
-        | Mc.Explore.Violation_found _ ->
+        | Mc.Explore.Violation_found v ->
+            (match required_property with
+            | Some p when v.Mc.Explore.property <> p ->
+                Format.printf
+                  "found property %s, but --property requires %s@."
+                  (Mc.Explore.property_name v.Mc.Explore.property)
+                  (Mc.Explore.property_name p);
+                exit 1
+            | _ -> ());
             if not expect_violation then exit 1
         | Mc.Explore.Budget_exhausted ->
             (* A clean bounded run only counts as success when the caller
@@ -1299,6 +1533,17 @@ let mc_cmd =
              quiescent, an operation may only stall for an origin-local \
              reason (its origin was down, or it gave up retrying).")
   in
+  let property_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "property" ] ~docv:"NAME"
+          ~doc:
+            "Require any found violation to be this property (e.g. \
+             $(b,agreement-violated)): a violation of a different \
+             property exits 1 even with $(b,--expect-violation); an \
+             unknown property name exits 2.")
+  in
   Cmd.v
     (Cmd.info "mc"
        ~doc:
@@ -1310,7 +1555,7 @@ let mc_cmd =
       const run $ counter_arg $ n_mc_arg $ seed_arg $ faults_arg
       $ schedule_arg $ max_states_arg $ max_depth_arg $ prune_arg
       $ expect_violation_arg $ allow_incomplete_arg $ cx_out_arg
-      $ replay_arg $ all_arg $ progress_arg)
+      $ replay_arg $ all_arg $ progress_arg $ property_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

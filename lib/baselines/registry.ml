@@ -34,6 +34,12 @@ let quorum_plane : Counter.Counter_intf.counter =
 
 let durable : Counter.Counter_intf.counter = (module Core.Durable_counter)
 
+(* Correct but priced out of [all]: every op is (f+1) phases of all-to-all
+   exchange, O(f * n^2) messages, so default sweeps (dcount compare runs
+   Registry.all up to n = 1024) would drown in it. [find] still resolves
+   it by name. *)
+let sync_count : Counter.Counter_intf.counter = (module Core.Sync_counter)
+
 let all =
   [
     retire_tree;
@@ -61,12 +67,16 @@ let ft_no_handoff : Counter.Counter_intf.counter = (module Ft_no_handoff)
 
 let durable_no_cas : Counter.Counter_intf.counter = (module Durable_no_cas)
 
-let broken = [ amnesiac; race_reply; ft_no_handoff; durable_no_cas ]
+let sync_no_threshold : Counter.Counter_intf.counter =
+  (module Sync_no_threshold)
+
+let broken =
+  [ amnesiac; race_reply; ft_no_handoff; durable_no_cas; sync_no_threshold ]
 
 let find name =
   List.find_opt
     (fun (module C : Counter.Counter_intf.S) -> C.name = name)
-    (all @ broken)
+    (all @ (sync_count :: broken))
 
 let names () =
   List.map (fun (module C : Counter.Counter_intf.S) -> C.name) all

@@ -38,6 +38,12 @@ val durable : Counter.Counter_intf.counter
     ({!Core.Durable_counter}) — the one counter whose [recover:P@T]
     revival is not amnesia. *)
 
+val sync_count : Counter.Counter_intf.counter
+(** The phase-king synchronous-counting baseline tolerating f < n/3
+    Byzantine processors ({!Core.Sync_counter}). Correct, but kept out
+    of {!all}: its O(f·n²)-messages-per-op all-to-all exchange would
+    dominate every default sweep. {!find} resolves it by name. *)
+
 val all : Counter.Counter_intf.counter list
 (** Every {e correct} counter, the paper's first. *)
 
@@ -54,6 +60,10 @@ val ft_no_handoff : Counter.Counter_intf.counter
 val durable_no_cas : Counter.Counter_intf.counter
 (** Deliberately broken under reordering: {!Core.Durable_counter} with
     blind puts instead of compare-and-swap ({!Durable_no_cas}). *)
+
+val sync_no_threshold : Counter.Counter_intf.counter
+(** Deliberately broken under Byzantine kings: {!Core.Sync_counter}
+    without the round-3 threshold guard ({!Sync_no_threshold}). *)
 
 val broken : Counter.Counter_intf.counter list
 (** The deliberately broken counters — negative controls for the

@@ -4,6 +4,7 @@ type key =
   | Timer
   | Crash of int
   | Recover of int
+  | Byz of int
 
 let of_choice (c : Sim.Network.choice) =
   if c.link_src = 0 && c.link_dst = 0 then Timer
@@ -19,6 +20,7 @@ let compare (a : key) (b : key) =
     | Timer -> 2
     | Crash _ -> 3
     | Recover _ -> 4
+    | Byz _ -> 5
   in
   match (a, b) with
   | Link (s1, d1), Link (s2, d2) -> Stdlib.compare (s1, d1) (s2, d2)
@@ -26,6 +28,7 @@ let compare (a : key) (b : key) =
       Stdlib.compare (s1, d1, k1) (s2, d2, k2)
   | Crash p, Crash q -> Stdlib.compare p q
   | Recover p, Recover q -> Stdlib.compare p q
+  | Byz p, Byz q -> Stdlib.compare p q
   | _ -> Stdlib.compare (rank a) (rank b)
 
 let to_token = function
@@ -34,6 +37,7 @@ let to_token = function
   | Timer -> "@"
   | Crash p -> Printf.sprintf "!%d" p
   | Recover p -> Printf.sprintf "^%d" p
+  | Byz p -> Printf.sprintf "*%d" p
 
 let of_token s =
   let len = String.length s in
@@ -47,11 +51,15 @@ let of_token s =
     match int_of_string_opt (String.sub s 1 (len - 1)) with
     | Some p when p >= 1 -> Ok (Recover p)
     | _ -> Error (Printf.sprintf "bad recover token %S (want ^P)" s)
+  else if s.[0] = '*' then
+    match int_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some p when p >= 1 -> Ok (Byz p)
+    | _ -> Error (Printf.sprintf "bad byz token %S (want *P)" s)
   else
     match String.index_opt s '>' with
     | None ->
         Error
-          (Printf.sprintf "bad decision token %S (want S>D, S>D#K, @, !P or ^P)"
+          (Printf.sprintf "bad decision token %S (want S>D, S>D#K, @, !P, ^P or *P)"
              s)
     | Some i -> (
         let parse_ends ~stop =
@@ -84,19 +92,21 @@ let of_token s =
    any delivery not involving [p], and two crashes always commute (crash
    is silent in this model; detection happens via timers). A recovery
    behaves like a crash for locality: it only touches the revived
-   processor. Linkn keys (individually enabled messages to an unordered
+   processor, and so does turning a processor Byzantine (it rewrites
+   only that processor's future sends). Linkn keys (individually enabled messages to an unordered
    destination) project onto their (src, dst) for locality — two of them
    on the same link are exactly the reorderings the unordered
    declaration exists to explore, hence dependent. *)
 let ends = function
   | Link (s, d) | Linkn (s, d, _) -> Some (s, d)
-  | Timer | Crash _ | Recover _ -> None
+  | Timer | Crash _ | Recover _ | Byz _ -> None
 
 let independent a b =
   match (a, b) with
   | Timer, _ | _, Timer -> false
-  | (Crash p | Recover p), (Crash q | Recover q) -> p <> q
-  | (Crash p | Recover p), other | other, (Crash p | Recover p) -> (
+  | (Crash p | Recover p | Byz p), (Crash q | Recover q | Byz q) -> p <> q
+  | (Crash p | Recover p | Byz p), other | other, (Crash p | Recover p | Byz p)
+    -> (
       match ends other with Some (s, d) -> p <> s && p <> d | None -> false)
   | a, b -> (
       match (ends a, ends b) with

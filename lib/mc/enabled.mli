@@ -20,6 +20,9 @@ type key =
   | Crash of int  (** Crash-stop this processor before the next delivery. *)
   | Recover of int
       (** Revive this crashed processor before the next delivery. *)
+  | Byz of int
+      (** Turn this processor Byzantine before the next delivery: its
+          future sends are rewritten by the fault plan's [byzval] rule. *)
 
 val of_choice : Sim.Network.choice -> key
 (** Map the network's enabled-event descriptor to a key (the timer
@@ -31,11 +34,13 @@ val equal : key -> key -> bool
 
 val compare : key -> key -> int
 (** Links ascending by (src, dst), then numbered links by
-    (src, dst, seq), then the timer, then crashes, then recovers — the
-    same canonical order the enabled array uses. *)
+    (src, dst, seq), then the timer, then crashes, then recovers,
+    then byz events — the same canonical order the enabled array
+    uses. *)
 
 val to_token : key -> string
-(** Compact serial form: ["S>D"], ["S>D#K"], ["@"], ["!P"], ["^P"]. *)
+(** Compact serial form: ["S>D"], ["S>D#K"], ["@"], ["!P"], ["^P"],
+    ["*P"]. *)
 
 val of_token : string -> (key, string) result
 (** Inverse of {!to_token}. *)
@@ -47,8 +52,8 @@ val independent : key -> key -> bool
     d2 <> s1], with {!Linkn} projecting onto its (src, dst) — two
     numbered deliveries on the same link are exactly the reorderings
     unordered destinations exist to explore, hence dependent; {!Timer}
-    is dependent with everything; [Crash p] and [Recover p] ⊥ anything
-    not involving [p]. Exact for receiver-local protocols (every handler
+    is dependent with everything; [Crash p], [Recover p] and [Byz p] ⊥
+    anything not involving [p]. Exact for receiver-local protocols (every handler
     touches only the receiving processor's state); protocols with
     cross-processor shared state should explore with pruning off
     ({!Prune.No_prune}). *)

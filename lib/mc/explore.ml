@@ -28,6 +28,7 @@ type property =
   | Lsn_inconsistent
   | Manifest_regressed
   | Counter_regressed
+  | Agreement_violated
   | No_progress
 
 let property_name = function
@@ -41,6 +42,7 @@ let property_name = function
   | Lsn_inconsistent -> "lsn-inconsistent"
   | Manifest_regressed -> "manifest-regressed"
   | Counter_regressed -> "counter-regressed"
+  | Agreement_violated -> "agreement-violated"
   | No_progress -> "no-progress"
 
 let property_of_name = function
@@ -54,6 +56,7 @@ let property_of_name = function
   | "lsn-inconsistent" -> Ok Lsn_inconsistent
   | "manifest-regressed" -> Ok Manifest_regressed
   | "counter-regressed" -> Ok Counter_regressed
+  | "agreement-violated" -> Ok Agreement_violated
   | "no-progress" -> Ok No_progress
   | s -> Error (Printf.sprintf "unknown property %S" s)
 
@@ -113,7 +116,11 @@ let recover_processors (faults : Sim.Fault.t) =
    itself never fires either (so runs stay a pure function of the
    decision sequence), but failure-aware protocols still see a non-empty
    plan and arm their timeout machinery. The explorer injects the actual
-   crashes as [Crash_now] decisions and revivals as [Recover_now]. *)
+   crashes as [Crash_now] decisions and revivals as [Recover_now].
+   Byzantine victims are neutered the same way ([After max_int]) while
+   their [byzval]/[byzeq] rewrite rules are kept verbatim: the explorer
+   decides *when* a victim turns ([Byz_now]), the plan still decides
+   *how* it lies. *)
 let neuter (faults : Sim.Fault.t) =
   {
     Sim.Fault.none with
@@ -125,14 +132,22 @@ let neuter (faults : Sim.Fault.t) =
       List.map
         (fun p -> ({ processor = p; time = Float.max_float } : Sim.Fault.recover))
         (recover_processors faults);
+    byz =
+      List.map
+        (fun p -> { Sim.Fault.processor = p; trigger = Sim.Fault.After max_int })
+        (Sim.Fault.byzantine_processors faults);
+    byz_rules = faults.byz_rules;
+    byz_equiv = faults.byz_equiv;
   }
 
 let execute (module C : Counter_intf.S) ~seed ~neutered ~n ~schedule ~victims
-    ~revivable ~choose =
+    ~revivable ~byzable ~choose =
   let crashed = ref [] in
   let revived = ref [] in
+  let byzed = ref [] in
   let policy (choices : Sim.Network.choice array) =
     let base = Array.map Enabled.of_choice choices in
+    let honest = List.filter (fun p -> not (List.mem p !byzed)) byzable in
     let live = List.filter (fun p -> not (List.mem p !crashed)) victims in
     (* Each victim crashes at most once and revives at most once: the
        adversary decides *when*, the plan decides *whether*. *)
@@ -146,15 +161,22 @@ let execute (module C : Counter_intf.S) ~seed ~neutered ~n ~schedule ~victims
        deliveries, revives mid-recovery) are reached immediately instead
        of after exhausting every benign timer interleaving — with
        bounded budgets the late branches may never be reached at all. *)
+    (* Byz keys lead even the crash keys: corruption branches are the
+       whole point of a byz hunt, and a corrupted-from-the-start victim
+       is the classic worst case. *)
     let keys =
       Array.concat
         [
+          Array.of_list (List.map (fun p -> Enabled.Byz p) honest);
           Array.of_list (List.map (fun p -> Enabled.Crash p) live);
           Array.of_list (List.map (fun p -> Enabled.Recover p) downed);
           base;
         ]
     in
     match (choose keys : Enabled.key) with
+    | Enabled.Byz p ->
+        byzed := p :: !byzed;
+        Sim.Network.Byz_now p
     | Enabled.Crash p ->
         crashed := p :: !crashed;
         Sim.Network.Crash_now p
@@ -249,7 +271,9 @@ let spec_stall_violation outcomes =
     (function
       | Counter_intf.Stalled r when contains ~sub:"spec: " r ->
           let property =
-            if contains ~sub:"manifest-monotonicity" r then Manifest_regressed
+            if contains ~sub:"agreement" r then Agreement_violated
+            else if contains ~sub:"manifest-monotonicity" r then
+              Manifest_regressed
             else if contains ~sub:"counter-monotonicity" r then
               Counter_regressed
             else Lsn_inconsistent
@@ -377,12 +401,19 @@ let check ?(seed = 42) ?(faults = Sim.Fault.none) ?(config = default_config)
   reject_probabilistic faults;
   let n = C.supported_n n in
   let victims = Sim.Fault.crash_processors faults in
+  let byzable = Sim.Fault.byzantine_processors faults in
   List.iter
     (fun p ->
       if p > n then
         invalid_arg
           (Printf.sprintf "Mc.Explore: crash victim %d outside 1..%d" p n))
     victims;
+  List.iter
+    (fun p ->
+      if p > n then
+        invalid_arg
+          (Printf.sprintf "Mc.Explore: byz victim %d outside 1..%d" p n))
+    byzable;
   let revivable = recover_processors faults in
   let neutered = neuter faults in
   let schedule_origins =
@@ -466,7 +497,8 @@ let check ?(seed = 42) ?(faults = Sim.Fault.none) ?(config = default_config)
       run_decisions := key :: !run_decisions;
       key
     in
-    execute (module C) ~seed ~neutered ~n ~schedule ~victims ~revivable ~choose
+    execute (module C) ~seed ~neutered ~n ~schedule ~victims ~revivable
+      ~byzable ~choose
   in
   (* After a subtree is done: put the explored choice to sleep at the
      deepest frame and move to its next awake choice, popping frames
@@ -515,8 +547,9 @@ let check ?(seed = 42) ?(faults = Sim.Fault.none) ?(config = default_config)
     | exec -> (
         incr executions;
         match
-          check_properties ~config ~faulty:(victims <> []) ~schedule
-            ~origins:schedule_origins ~n exec
+          check_properties ~config
+            ~faulty:(victims <> [] || byzable <> [])
+            ~schedule ~origins:schedule_origins ~n exec
         with
         | Some (property, detail) ->
             finish (Violation_found (violation property detail))
@@ -542,6 +575,7 @@ let run_schedule ?(seed = 42) ?(faults = Sim.Fault.none)
   reject_probabilistic faults;
   let n = C.supported_n n in
   let victims = Sim.Fault.crash_processors faults in
+  let byzable = Sim.Fault.byzantine_processors faults in
   let revivable = recover_processors faults in
   let neutered = neuter faults in
   let schedule_origins =
@@ -560,7 +594,8 @@ let run_schedule ?(seed = 42) ?(faults = Sim.Fault.none)
     else keys.(0)
   in
   match
-    execute (module C) ~seed ~neutered ~n ~schedule ~victims ~revivable ~choose
+    execute (module C) ~seed ~neutered ~n ~schedule ~victims ~revivable
+      ~byzable ~choose
   with
   | exception Replay_diverged (d, key) ->
       Error
@@ -581,8 +616,9 @@ let run_schedule ?(seed = 42) ?(faults = Sim.Fault.none)
       Ok
         (Option.map
            (fun (property, detail) -> { property; detail; decisions })
-           (check_properties ~config ~faulty:(victims <> []) ~schedule
-              ~origins:schedule_origins ~n exec))
+           (check_properties ~config
+              ~faulty:(victims <> [] || byzable <> [])
+              ~schedule ~origins:schedule_origins ~n exec))
 
 (* ------------------------------------------------------------------ *)
 

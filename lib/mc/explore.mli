@@ -77,6 +77,11 @@ type property =
   | Counter_regressed
       (** Durability: recovery reconstructed a count at or below a value
           already acked to an origin (SafetyCounterMonotonicity). *)
+  | Agreement_violated
+      (** Byzantine agreement: two correct (neither crashed nor turned)
+          replicas decided different values for the same operation — the
+          per-op oracle of {!Core.Sync_counter} stalled with a
+          ["spec: agreement violated"] reason. *)
   | No_progress
       (** Liveness: an operation stalled for a non-origin-local reason
           though every crashed victim was revived and all messages
@@ -127,12 +132,15 @@ val check :
     default 42, fixes the counter's internal seed and the schedule's own
     draws — exploration branches over {e delivery order}, not seeds).
 
-    [faults] may name crash victims ([crash:P@...] clauses) and revivals
-    ([recover:P@...]) — the trigger times are ignored and re-decided
-    adversarially: the explorer branches over crashing each living
-    victim and reviving each crashed one at {e every} decision point
-    (each victim crashes at most once and revives at most once per
-    execution). Probabilistic clauses (drop/dup/partitions) and store
+    [faults] may name crash victims ([crash:P@...] clauses), revivals
+    ([recover:P@...]) and Byzantine victims ([byz:P@...], with their
+    [byzval]/[byzeq] rewrite rules kept verbatim) — the trigger times
+    are ignored and re-decided adversarially: the explorer branches over
+    crashing each living victim, reviving each crashed one and turning
+    each honest Byzantine victim at {e every} decision point (each
+    victim crashes, revives or turns at most once per execution; turn
+    branches lead the depth-first order, so corrupted-early worst cases
+    are explored first). Probabilistic clauses (drop/dup/partitions) and store
     clauses (sdrop/sdup/sslow/sout) raise [Invalid_argument]: the former
     sample the engine's rng, the latter are subsumed by the adversary
     already owning delivery of store traffic. *)

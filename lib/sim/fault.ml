@@ -11,6 +11,8 @@ type partition = {
   heal_time : float;
 }
 
+type byz_rule = Replay_stale | Off_by of int | Max_int
+
 type t = {
   crashes : crash list;
   recovers : recover list;
@@ -22,6 +24,9 @@ type t = {
   store_dup : float;
   store_slow : float * float;
   store_outages : (float * float) list;
+  byz : crash list;
+  byz_rules : (int * byz_rule) list;
+  byz_equiv : int list;
 }
 
 let none =
@@ -36,6 +41,9 @@ let none =
     store_dup = 0.;
     store_slow = (0., 0.);
     store_outages = [];
+    byz = [];
+    byz_rules = [];
+    byz_equiv = [];
   }
 
 let store_active t =
@@ -44,6 +52,8 @@ let store_active t =
   || (not (Float.equal (fst t.store_slow) 0.))
   || t.store_outages <> []
 
+let byz_active t = t.byz <> []
+
 let is_none t =
   t.crashes = []
   && t.recovers = []
@@ -51,7 +61,10 @@ let is_none t =
   && t.drop_links = []
   && Float.equal t.duplicate 0.
   && t.partitions = []
-  && not (store_active t)
+  && (not (store_active t))
+  && t.byz = []
+  && t.byz_rules = []
+  && t.byz_equiv = []
 
 let valid_prob p = Float.is_finite p && p >= 0. && p <= 1.
 
@@ -125,6 +138,62 @@ let validate t =
       err "sslow: extra delay must be finite and >= 0"
     else check_outages t.store_outages
   in
+  let byz_processor p =
+    List.exists (fun (c : crash) -> c.processor = p) t.byz
+  in
+  let rec distinct = function
+    | [] -> true
+    | p :: rest -> (not (List.mem p rest)) && distinct rest
+  in
+  let rec check_byz = function
+    | [] -> Ok ()
+    | ({ processor; trigger } : crash) :: rest ->
+        if processor < 1 then err "byz: processor ids start at 1"
+        else begin
+          match trigger with
+          | At time when not (Float.is_finite time) || time < 0. ->
+              err "byz:%d: time must be finite and >= 0" processor
+          | After d when d < 0 ->
+              err "byz:%d: delivery count must be >= 0" processor
+          | At _ | After _ -> check_byz rest
+        end
+  in
+  let rec check_byz_rules = function
+    | [] -> Ok ()
+    | (processor, rule) :: rest ->
+        if processor < 1 then err "byzval: processor ids start at 1"
+        else if not (byz_processor processor) then
+          err "byzval:%d: processor never turns Byzantine in this plan"
+            processor
+        else begin
+          match rule with
+          | Off_by 0 -> err "byzval:%d: off-by offset must be non-zero" processor
+          | Off_by _ | Replay_stale | Max_int -> check_byz_rules rest
+        end
+  in
+  let rec check_byz_equiv = function
+    | [] -> Ok ()
+    | processor :: rest ->
+        if processor < 1 then err "byzeq: processor ids start at 1"
+        else if not (List.mem_assoc processor t.byz_rules) then
+          err "byzeq:%d: equivocation needs a byzval rewrite rule" processor
+        else check_byz_equiv rest
+  in
+  let check_byz_statics () =
+    if not (distinct (List.map (fun (c : crash) -> c.processor) t.byz)) then
+      err "byz: at most one clause per processor"
+    else if not (distinct (List.map fst t.byz_rules)) then
+      err "byzval: at most one rewrite rule per processor"
+    else if not (distinct t.byz_equiv) then
+      err "byzeq: at most one clause per processor"
+    else
+      match check_byz t.byz with
+      | Error _ as e -> e
+      | Ok () -> (
+          match check_byz_rules t.byz_rules with
+          | Error _ as e -> e
+          | Ok () -> check_byz_equiv t.byz_equiv)
+  in
   match check_crashes t.crashes with
   | Error _ as e -> e
   | Ok () -> (
@@ -143,7 +212,10 @@ let validate t =
             | Ok () -> (
                 match check_store () with
                 | Error _ as e -> e
-                | Ok () -> Ok t)))
+                | Ok () -> (
+                    match check_byz_statics () with
+                    | Error _ as e -> e
+                    | Ok () -> Ok t))))
 
 let drop_on t ~src ~dst =
   match List.assoc_opt (src, dst) t.drop_links with
@@ -170,6 +242,34 @@ let crash_processors t =
 
 let crash_count t = List.length (crash_processors t)
 
+let byzantine_processors t =
+  Int_set.elements
+    (List.fold_left
+       (fun acc (c : crash) -> Int_set.add c.processor acc)
+       Int_set.empty t.byz)
+
+let byz_count t = List.length (byzantine_processors t)
+
+let byz_rule_of t p = List.assoc_opt p t.byz_rules
+
+let equivocates t p = List.mem p t.byz_equiv
+
+(* Large enough to wreck any naive aggregate, small enough that sums of a
+   few of them never overflow 63-bit ints. *)
+let byz_sentinel = 1 lsl 30
+
+(* Deterministic payload rewrite: a pure function of (rule, equivocate,
+   dst, v) — zero Rng draws, so Byzantine plans preserve the fault
+   layer's determinism contract. Equivocation splits the receivers by id
+   parity: the same logical send shows two different values to the two
+   halves of the audience, the cheapest deterministic "different values
+   to different receivers". *)
+let apply_rule ~rule ~equivocate ~dst v =
+  match rule with
+  | Replay_stale -> if equivocate && dst land 1 = 1 then v else 0
+  | Off_by k -> if equivocate && dst land 1 = 1 then v - k else v + k
+  | Max_int -> if equivocate && dst land 1 = 1 then 0 else byz_sentinel
+
 (* ------------------------------------------------------------------ *)
 (* Textual form. Clause separator is '/', which %g float output never
    contains (unlike '+', which appears in exponents such as 1e+06). *)
@@ -190,6 +290,15 @@ let pp_clause ppf = function
   | `Store_dup p -> Format.fprintf ppf "sdup:%g" p
   | `Store_slow (p, d) -> Format.fprintf ppf "sslow:%g:%g" p d
   | `Store_out (t0, t1) -> Format.fprintf ppf "sout:%g,%g" t0 t1
+  | `Byz { processor; trigger = At time } ->
+      Format.fprintf ppf "byz:%d@@%g" processor time
+  | `Byz { processor; trigger = After d } ->
+      Format.fprintf ppf "byz:%d@@#%d" processor d
+  | `Byz_val (p, Replay_stale) ->
+      Format.fprintf ppf "byzval:%d:replay-stale" p
+  | `Byz_val (p, Off_by k) -> Format.fprintf ppf "byzval:%d:off-by-%d" p k
+  | `Byz_val (p, Max_int) -> Format.fprintf ppf "byzval:%d:max-int" p
+  | `Byz_eq p -> Format.fprintf ppf "byzeq:%d" p
 
 let clauses t =
   List.map (fun c -> `Crash c) t.crashes
@@ -206,6 +315,9 @@ let clauses t =
        [ `Store_slow t.store_slow ]
      else [])
   @ List.map (fun w -> `Store_out w) t.store_outages
+  @ List.map (fun b -> `Byz b) t.byz
+  @ List.map (fun r -> `Byz_val r) t.byz_rules
+  @ List.map (fun p -> `Byz_eq p) t.byz_equiv
 
 let pp ppf t =
   match clauses t with
@@ -302,6 +414,55 @@ let of_string s =
                     match (float_of p, float_of d) with
                     | Some p, Some d -> Ok { t with store_slow = (p, d) }
                     | _ -> fail ())
+                | None -> fail ())
+            | "byz" -> (
+                match split2 '@' rest with
+                | Some (p, at) -> (
+                    let trigger =
+                      if String.length at > 0 && at.[0] = '#' then
+                        Option.map
+                          (fun d -> After d)
+                          (int_of (String.sub at 1 (String.length at - 1)))
+                      else Option.map (fun x -> At x) (float_of at)
+                    in
+                    match (int_of p, trigger) with
+                    | Some processor, Some trigger ->
+                        Ok { t with byz = t.byz @ [ { processor; trigger } ] }
+                    | _ -> fail ())
+                | None -> fail ())
+            | "byzval" -> (
+                match split2 ':' rest with
+                | Some (p, rule) -> (
+                    let rule =
+                      match String.trim rule with
+                      | "replay-stale" -> Some Replay_stale
+                      | "max-int" -> Some Max_int
+                      | r ->
+                          let prefix = "off-by-" in
+                          let pl = String.length prefix in
+                          if
+                            String.length r > pl
+                            && String.sub r 0 pl = prefix
+                          then
+                            Option.map
+                              (fun k -> Off_by k)
+                              (int_of
+                                 (String.sub r pl (String.length r - pl)))
+                          else None
+                    in
+                    match (int_of p, rule) with
+                    | Some processor, Some rule ->
+                        Ok
+                          {
+                            t with
+                            byz_rules = t.byz_rules @ [ (processor, rule) ];
+                          }
+                    | _ -> fail ())
+                | None -> fail ())
+            | "byzeq" -> (
+                match int_of rest with
+                | Some processor ->
+                    Ok { t with byz_equiv = t.byz_equiv @ [ processor ] }
                 | None -> fail ())
             | "sout" -> (
                 match split2 ',' rest with

@@ -31,6 +31,13 @@
                             units with probability F
     sout:T0,T1              store outage: the store answers Unavailable
                             during the half-open interval [T0, T1)
+    byz:P@T                 processor P turns Byzantine at virtual time T
+    byz:P@#D                ... after D total deliveries
+    byzval:P:RULE           payload rewrite applied to P's sends once
+                            Byzantine; RULE is replay-stale, off-by-K
+                            (K a non-zero integer) or max-int
+    byzeq:P                 equivocate: P shows different rewritten values
+                            to different receivers of the same logical send
     v}
 
     Clauses combine with ['/']: ["crash:3@1.5/drop:0.01/part:1-4@2,10"].
@@ -41,7 +48,19 @@
     (a request lost before it was applied, a response lost after — the
     distinction idempotent recovery protocols exist for; see
     docs/DURABILITY.md). Like the network clauses they draw from the
-    network's own {!Rng} stream, and make zero draws when absent. *)
+    network's own {!Rng} stream, and make zero draws when absent.
+
+    The [byz*] clauses model Byzantine payload corruption (docs/FAULTS.md):
+    a Byzantine processor keeps running the protocol code but every integer
+    payload it sends is rewritten by its [byzval] rule — deterministically,
+    with {e zero} Rng draws, so Byzantine plans keep runs bit-identical
+    functions of [(protocol, n, seed, delay, faults, schedule)]. With
+    [byzeq] the rewrite additionally depends on the receiver id (split by
+    parity), which is equivocation: two receivers of the same logical
+    broadcast observe different values. {!validate} requires every
+    [byzval]/[byzeq] clause to name a processor some [byz] clause turns
+    adversarial, at most one rule per processor, and a [byzval] rule
+    behind every [byzeq]. *)
 
 type trigger =
   | At of float  (** at a virtual time *)
@@ -63,6 +82,15 @@ type partition = {
   heal_time : float;  (** active during [[from_time, heal_time)) *)
 }
 
+type byz_rule =
+  | Replay_stale
+      (** always resend the protocol's initial value (0): a replica stuck
+          in the past *)
+  | Off_by of int  (** add a constant non-zero offset to every payload *)
+  | Max_int
+      (** replace every payload with a huge sentinel (2{^30}): the
+          classic poisoned-aggregate attack *)
+
 type t = {
   crashes : crash list;
   recovers : recover list;
@@ -83,6 +111,17 @@ type t = {
   store_outages : (float * float) list;
       (** half-open [[t0, t1)) windows during which the store answers
           every request with [Unavailable] *)
+  byz : crash list;
+      (** processors that turn Byzantine when their trigger fires (same
+          trigger forms as crashes; at most one clause per processor —
+          there is no way back) *)
+  byz_rules : (int * byz_rule) list;
+      (** payload-rewrite rule per Byzantine processor; {!validate}
+          rejects a rule for a processor no [byz] clause names, and more
+          than one rule per processor *)
+  byz_equiv : int list;
+      (** processors whose rewrites equivocate (vary by receiver-id
+          parity); each must have a [byz_rules] entry *)
 }
 
 val none : t
@@ -124,6 +163,37 @@ val crash_processors : t -> int list
     model checker reads the {e victims} from here and re-decides the
     {e when} itself, branching over every interleaving of crash events
     with deliveries. *)
+
+val byz_active : t -> bool
+(** Whether any [byz] clause is set — the network consults the Byzantine
+    rewrite machinery only when this holds. *)
+
+val byz_count : t -> int
+(** Number of distinct processors the plan eventually turns Byzantine. *)
+
+val byzantine_processors : t -> int list
+(** The distinct processors the plan eventually turns Byzantine,
+    ascending. Like {!crash_processors}, the model checker reads the
+    {e corrupted} from here and re-decides the {e when} itself. *)
+
+val byz_rule_of : t -> int -> byz_rule option
+(** The payload-rewrite rule for a processor, if the plan gives it one.
+    A Byzantine processor without a rule sends unmodified payloads (it
+    "turned" but behaves — useful for measuring detection overhead). *)
+
+val equivocates : t -> int -> bool
+(** Whether the processor's rewrites vary by receiver. *)
+
+val byz_sentinel : int
+(** The huge payload {!Max_int} substitutes (2{^30}). *)
+
+val apply_rule : rule:byz_rule -> equivocate:bool -> dst:int -> int -> int
+(** [apply_rule ~rule ~equivocate ~dst v] is the rewritten payload a
+    Byzantine sender shows receiver [dst] in place of [v]. Pure — the
+    rewrite makes zero Rng draws. With [equivocate], receivers of odd id
+    see a different corruption than receivers of even id ([Replay_stale]:
+    true value vs 0; [Off_by k]: [v - k] vs [v + k]; [Max_int]: 0 vs the
+    sentinel). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -8,6 +8,8 @@ type t = {
   mutable crashes : int;
   mutable recoveries : int;
   mutable emergency_retirements : int;
+  mutable byzantine : int;
+  mutable corruptions : int;
 }
 
 let create ~n =
@@ -21,6 +23,8 @@ let create ~n =
     crashes = 0;
     recoveries = 0;
     emergency_retirements = 0;
+    byzantine = 0;
+    corruptions = 0;
   }
 
 let n t = t.n
@@ -57,6 +61,14 @@ let on_recover t = t.recoveries <- t.recoveries + 1
 
 let on_emergency_retirement t =
   t.emergency_retirements <- t.emergency_retirements + 1
+
+let on_byzantine t = t.byzantine <- t.byzantine + 1
+
+let on_corruption t = t.corruptions <- t.corruptions + 1
+
+let byzantine t = t.byzantine
+
+let corruptions t = t.corruptions
 
 let dropped t = t.dropped
 
@@ -144,6 +156,13 @@ let checksum t =
     mix t.recoveries;
     mix t.emergency_retirements
   end;
+  (* Byzantine-era counters, guarded the same way: crash-only and
+     fault-free runs keep their historical checksums. *)
+  if t.byzantine <> 0 || t.corruptions <> 0 then begin
+    mix 0x62797a61;  (* "byza" *)
+    mix t.byzantine;
+    mix t.corruptions
+  end;
   !h land max_int
 
 let reset t =
@@ -154,7 +173,9 @@ let reset t =
   t.duplicated <- 0;
   t.crashes <- 0;
   t.recoveries <- 0;
-  t.emergency_retirements <- 0
+  t.emergency_retirements <- 0;
+  t.byzantine <- 0;
+  t.corruptions <- 0
 
 let copy t =
   {
@@ -167,6 +188,8 @@ let copy t =
     crashes = t.crashes;
     recoveries = t.recoveries;
     emergency_retirements = t.emergency_retirements;
+    byzantine = t.byzantine;
+    corruptions = t.corruptions;
   }
 
 (* Bulk absorption — how Sim.Par folds its shard-local flat counters into
@@ -187,6 +210,10 @@ let absorb_faults t ~dropped ~duplicated ~crashes ~recoveries =
   t.crashes <- t.crashes + crashes;
   t.recoveries <- t.recoveries + recoveries
 
+let absorb_byz t ~byzantine ~corruptions =
+  t.byzantine <- t.byzantine + byzantine;
+  t.corruptions <- t.corruptions + corruptions
+
 let merge_into ~dst src =
   for p = 1 to Array.length src.sent - 1 do
     if src.sent.(p) > 0 then begin
@@ -204,7 +231,9 @@ let merge_into ~dst src =
   dst.crashes <- dst.crashes + src.crashes;
   dst.recoveries <- dst.recoveries + src.recoveries;
   dst.emergency_retirements <-
-    dst.emergency_retirements + src.emergency_retirements
+    dst.emergency_retirements + src.emergency_retirements;
+  dst.byzantine <- dst.byzantine + src.byzantine;
+  dst.corruptions <- dst.corruptions + src.corruptions
 
 let pp_summary ppf t =
   let p, b = bottleneck t in
@@ -217,4 +246,6 @@ let pp_summary ppf t =
       t.duplicated t.crashes;
   if t.recoveries <> 0 || t.emergency_retirements <> 0 then
     Format.fprintf ppf " recovered=%d emergency_retired=%d" t.recoveries
-      t.emergency_retirements
+      t.emergency_retirements;
+  if t.byzantine <> 0 || t.corruptions <> 0 then
+    Format.fprintf ppf " byzantine=%d corrupted=%d" t.byzantine t.corruptions

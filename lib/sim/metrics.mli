@@ -62,6 +62,18 @@ val recoveries : t -> int
 val emergency_retirements : t -> int
 (** Crash-triggered role reassignments recorded by the protocol. *)
 
+val on_byzantine : t -> unit
+(** Record one processor turning Byzantine ([byz:P@T] firing). *)
+
+val on_corruption : t -> unit
+(** Charge one payload rewritten by a Byzantine sender's [byzval] rule. *)
+
+val byzantine : t -> int
+(** Processors turned Byzantine so far. *)
+
+val corruptions : t -> int
+(** Payloads rewritten by Byzantine senders so far. *)
+
 val sent : t -> int -> int
 (** Messages sent by a processor so far. *)
 
@@ -103,7 +115,8 @@ val checksum : t -> int
     them is non-zero, so fault-free runs keep their historical values; the
     recovery-era counters ({!recoveries}, {!emergency_retirements}) get the
     same treatment in their own guarded block, preserving crash-only
-    checksums too. *)
+    checksums too, as do the Byzantine counters ({!byzantine},
+    {!corruptions}). *)
 
 val reset : t -> unit
 
@@ -121,5 +134,8 @@ val absorb_load : t -> p:int -> sent:int -> recv:int -> unit
 val absorb_faults :
   t -> dropped:int -> duplicated:int -> crashes:int -> recoveries:int -> unit
 (** Bulk equivalent of the corresponding [on_*] fault charges. *)
+
+val absorb_byz : t -> byzantine:int -> corruptions:int -> unit
+(** Bulk equivalent of the corresponding Byzantine [on_*] charges. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -107,7 +107,11 @@ type choice = {
   link_tag : string;
 }
 
-type decision = Deliver_next of int | Crash_now of int | Recover_now of int
+type decision =
+  | Deliver_next of int
+  | Crash_now of int
+  | Recover_now of int
+  | Byz_now of int
 
 type policy = choice array -> decision
 
@@ -173,6 +177,14 @@ type 'msg t = {
          zero Rng draws are made), keeping Fault.none runs bit-identical;
          flipped on by a plan or by a manual [crash] *)
   mutable crashed_tbl : bool array;  (* index = processor id; grows *)
+  mutable byz_tbl : bool array;  (* turned Byzantine; index = id; grows *)
+  corrupt :
+    (rule:Fault.byz_rule -> equivocate:bool -> src:int -> dst:int ->
+     'msg -> 'msg)
+    option;
+      (* protocol-supplied payload rewriter: the network knows when to
+         corrupt (plan triggers) but not how to rewrite an opaque ['msg];
+         counters that support Byzantine runs pass one at [create] *)
   mutable recovered_tbl : bool array;  (* ever recovered; index = id; grows *)
   mutable recovery_counts : int array;
       (* completed revivals per processor; index = id; grows *)
@@ -181,10 +193,13 @@ type 'msg t = {
          permute beyond per-link FIFO; index = id; grows *)
   time_events : (float * int * int) array;
       (* (At trigger, kind, processor) with kind 0 = crash, 1 = recover,
-         sorted by time then kind then processor — a crash and a recovery
-         of the same processor at the same instant apply crash-first *)
+         2 = turn Byzantine, sorted by time then kind then processor — a
+         crash and a recovery of the same processor at the same instant
+         apply crash-first *)
   mutable time_event_idx : int;
-  count_crashes : (int * int) array;  (* (After trigger, processor), sorted *)
+  count_crashes : (int * int * int) array;
+      (* (After trigger, kind, processor) with kind 0 = crash, 2 = turn
+         Byzantine, sorted *)
   mutable count_crash_idx : int;
   mutable sched : 'msg sched option;
       (* None = the heap engine, bit-identical to pre-scheduler builds *)
@@ -251,6 +266,25 @@ let recover t p =
     record_fault t ~src:p ~dst:p Trace.Recovered
   end
 
+let byzantine t p = p >= 0 && p < Array.length t.byz_tbl && t.byz_tbl.(p)
+
+let make_byzantine t p =
+  if p < 1 then invalid_arg "Network.make_byzantine: ids start at 1";
+  if not (byzantine t p) then begin
+    t.faults_active <- true;
+    t.byz_tbl <- grown t.byz_tbl p;
+    t.byz_tbl.(p) <- true;
+    Metrics.on_byzantine t.metrics;
+    record_fault t ~src:p ~dst:p Trace.Turned_byzantine
+  end
+
+let byzantine_processors t =
+  let acc = ref [] in
+  for p = Array.length t.byz_tbl - 1 downto 1 do
+    if t.byz_tbl.(p) then acc := p :: !acc
+  done;
+  !acc
+
 let recoveries_of t p =
   if p >= 0 && p < Array.length t.recovery_counts then t.recovery_counts.(p)
   else 0
@@ -281,15 +315,18 @@ let apply_due_crashes t ~at =
   do
     let _, kind, p = t.time_events.(t.time_event_idx) in
     t.time_event_idx <- t.time_event_idx + 1;
-    if kind = 0 then crash t p else recover t p
+    if kind = 0 then crash t p
+    else if kind = 1 then recover t p
+    else make_byzantine t p
   done;
   while
     t.count_crash_idx < Array.length t.count_crashes
-    && fst t.count_crashes.(t.count_crash_idx) <= t.deliveries
+    && (let d, _, _ = t.count_crashes.(t.count_crash_idx) in
+        d <= t.deliveries)
   do
-    let _, p = t.count_crashes.(t.count_crash_idx) in
+    let _, kind, p = t.count_crashes.(t.count_crash_idx) in
     t.count_crash_idx <- t.count_crash_idx + 1;
-    crash t p
+    if kind = 0 then crash t p else make_byzantine t p
   done
 
 (* Ambient default policy: counters build their own networks inside
@@ -324,7 +361,7 @@ let shard_of ~n ~shards dst =
   else (dst - 1) * shards / n
 
 let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
-    ?(fifo = false) ?(faults = Fault.none) ?shards ~n () =
+    ?(fifo = false) ?(faults = Fault.none) ?corrupt ?shards ~n () =
   let shards =
     match shards with Some s -> s | None -> !ambient_shards
   in
@@ -337,14 +374,22 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
   (match Fault.validate faults with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Network.create: bad fault plan: " ^ e));
+  (* A byzval rule promises payload corruption; without a rewriter the
+     network cannot keep it (the payload type is opaque here). Refusing
+     beats silently running the plan honestly. *)
+  if faults.Fault.byz_rules <> [] && corrupt = None then
+    invalid_arg
+      "Network.create: fault plan has byzval rules but this protocol \
+       supplies no ?corrupt rewriter";
   let time_events, count_crashes =
     let at, after =
       List.partition_map
-        (fun { Fault.processor; trigger } ->
+        (fun (kind, { Fault.processor; trigger }) ->
           match trigger with
-          | Fault.At time -> Either.Left (time, 0, processor)
-          | Fault.After d -> Either.Right (d, processor))
-        faults.Fault.crashes
+          | Fault.At time -> Either.Left (time, kind, processor)
+          | Fault.After d -> Either.Right (d, kind, processor))
+        (List.map (fun c -> (0, c)) faults.Fault.crashes
+        @ List.map (fun b -> (2, b)) faults.Fault.byz)
     in
     let at =
       at
@@ -352,23 +397,18 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
           (fun ({ processor; time } : Fault.recover) -> (time, 1, processor))
           faults.Fault.recovers
     in
-    (* (time, kind, proc) and (delivery-count, proc) tuples, ordered by
-       trigger then kind (crash before recover) then victim — spelled out
-       so the tie-break is typed. *)
-    let sort_at =
-      List.sort
-        (fun (t1, k1, p1) (t2, k2, p2) ->
-          match Float.compare t1 t2 with
+    (* (time, kind, proc) and (delivery-count, kind, proc) tuples, ordered
+       by trigger then kind (crash before recover before Byzantine turn)
+       then victim — spelled out so the tie-break is typed. *)
+    let sort3 cmp_fst =
+      List.sort (fun (t1, k1, p1) (t2, k2, p2) ->
+          match cmp_fst t1 t2 with
           | 0 -> (
               match Int.compare k1 k2 with 0 -> Int.compare p1 p2 | c -> c)
           | c -> c)
-        at
-    and sort_after =
-      List.sort
-        (fun (d1, p1) (d2, p2) ->
-          match Int.compare d1 d2 with 0 -> Int.compare p1 p2 | c -> c)
-        after
     in
+    let sort_at = sort3 Float.compare at
+    and sort_after = sort3 Int.compare after in
     (Array.of_list sort_at, Array.of_list sort_after)
   in
   let t =
@@ -400,6 +440,8 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?label ?bits
       faults;
       faults_active = not (Fault.is_none faults);
       crashed_tbl = [||];
+      byz_tbl = [||];
+      corrupt;
       recovered_tbl = [||];
       recovery_counts = [||];
       unordered_tbl = [||];
@@ -520,6 +562,28 @@ let send t ~src ~dst payload =
     record_fault t ~src ~dst Trace.Dropped
   end
   else begin
+    (* Byzantine payload rewrite: once the sender has turned and its plan
+       gives it a byzval rule, every payload it emits is rewritten by the
+       protocol-supplied [corrupt] — a pure function of (rule, equivocate,
+       src, dst, payload), so this arm makes zero Rng draws and plans
+       without byz clauses never reach it. *)
+    let payload =
+      if t.faults_active && byzantine t src then
+        match (t.corrupt, Fault.byz_rule_of t.faults src) with
+        | Some f, Some rule ->
+            let rewritten =
+              f ~rule
+                ~equivocate:(Fault.equivocates t.faults src)
+                ~src ~dst payload
+            in
+            if rewritten != payload then begin
+              Metrics.on_corruption t.metrics;
+              record_fault t ~src ~dst Trace.Corrupted
+            end;
+            rewritten
+        | _ -> payload
+      else payload
+    in
     Metrics.on_send t.metrics src;
     if t.measure_bits then begin
       let size = t.bits payload in
@@ -687,6 +751,9 @@ let rec sched_step t s =
     | Recover_now p ->
         recover t p;
         sched_step t s
+    | Byz_now p ->
+        make_byzantine t p;
+        sched_step t s
     | Deliver_next i ->
         if i < 0 || i >= Array.length picks then
           invalid_arg "Network: scheduler chose an out-of-range event";
@@ -846,6 +913,8 @@ let clone_quiescent t =
     faults = t.faults;
     faults_active = t.faults_active;
     crashed_tbl = Array.copy t.crashed_tbl;
+    byz_tbl = Array.copy t.byz_tbl;
+    corrupt = t.corrupt;
     recovered_tbl = Array.copy t.recovered_tbl;
     recovery_counts = Array.copy t.recovery_counts;
     unordered_tbl = Array.copy t.unordered_tbl;

@@ -70,6 +70,11 @@ type decision =
       (** Revive this (crashed) processor between deliveries, then ask
           again — how the model checker interleaves [recover:P@T]
           revivals with deliveries. *)
+  | Byz_now of int
+      (** Turn this processor Byzantine between deliveries, then ask
+          again — how the model checker interleaves the corruption
+          onset with deliveries. The rewrite rule still comes from the
+          network's fault plan ([byzval]). *)
 
 type policy = choice array -> decision
 (** Called with a non-empty enabled array each time the engine must pick
@@ -112,6 +117,13 @@ val create :
   ?bits:('msg -> int) ->
   ?fifo:bool ->
   ?faults:Fault.t ->
+  ?corrupt:
+    (rule:Fault.byz_rule ->
+    equivocate:bool ->
+    src:int ->
+    dst:int ->
+    'msg ->
+    'msg) ->
   ?shards:int ->
   n:int ->
   unit ->
@@ -131,6 +143,19 @@ val create :
     duplication decisions draw from the network's own random stream, and
     partition cuts are evaluated at send time. Raises [Invalid_argument]
     if the plan fails {!Fault.validate}.
+
+    [corrupt] is the protocol's Byzantine payload rewriter: once a [byz]
+    trigger fires for a sender with a [byzval] rule, every payload it
+    sends passes through
+    [corrupt ~rule ~equivocate ~src ~dst payload] (typically delegating
+    the integer field to {!Fault.apply_rule}). It must be pure — the
+    Byzantine path makes zero Rng draws. Returning the payload
+    {e physically unchanged} means "this message kind carries nothing
+    corruptible" and is not charged to {!Metrics.corruptions}. Raises
+    [Invalid_argument] when the plan carries [byzval] rules but no
+    [corrupt] was supplied: the network cannot rewrite an opaque
+    payload, and running such a plan honestly would be worse than
+    refusing.
 
     [shards] (default: the ambient count installed by {!with_shards},
     itself defaulting to 1) splits the event queue into that many
@@ -240,6 +265,22 @@ val ever_crashed : 'msg t -> int -> bool
 val recovered_processors : 'msg t -> int list
 (** Processors that have recovered and are currently alive, ascending —
     the rejoin pool a failure-aware allocator draws fresh workers from. *)
+
+val byzantine : 'msg t -> int -> bool
+(** Whether a processor has turned Byzantine (by plan trigger or
+    {!make_byzantine}). There is no way back. *)
+
+val make_byzantine : 'msg t -> int -> unit
+(** Turn a processor Byzantine immediately (the [byz:P@T] clause calls
+    this when its trigger fires; the model checker's [Byz_now] decision
+    calls it between deliveries). From now on every payload the
+    processor sends is rewritten by the [corrupt] hook according to its
+    [byzval] rule — with no rule (or no hook) it keeps sending honest
+    payloads, which measures pure detection overhead. Idempotent.
+    Counted in {!Metrics.byzantine} and annotated on the open trace. *)
+
+val byzantine_processors : 'msg t -> int list
+(** Processors currently Byzantine, ascending. *)
 
 val recoveries_of : 'msg t -> int -> int
 (** Number of completed revivals of this processor (0 if it never

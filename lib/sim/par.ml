@@ -40,6 +40,7 @@ type cfg = {
   faults : Fault.t;
   partitions_active : bool;
       (* skip the partition test entirely on fault-free plans *)
+  byz_active : bool;  (* skip the Byzantine rewrite test on byz-free plans *)
 }
 
 (* One queued delivery. The arrival time lives in the heap's unboxed
@@ -69,13 +70,17 @@ type 'msg shard = {
   s_sent : int array;
   s_recv : int array;
   crashed_l : bool array;
+  byz_l : bool array;
   tev : (float * int * int) array;
       (* this shard's (time, kind, victim) triggers, kind 0 = crash,
-         1 = recover, sorted by (time, kind, victim) as in Network *)
+         1 = recover, 2 = turn Byzantine, sorted by (time, kind, victim)
+         as in Network *)
   mutable tev_idx : int;
   mutable s_dropped : int;
   mutable s_crashes : int;
   mutable s_recoveries : int;
+  mutable s_byz : int;
+  mutable s_corruptions : int;
   mutable s_deliveries : int;
   mutable s_events : int;  (* deliveries + crash-drops: the Storm meter *)
   mutable min_pub : float;  (* earliest pending time, published at drain *)
@@ -83,7 +88,15 @@ type 'msg shard = {
   out : 'msg packet list ref array;  (* this shard's outbox row *)
 }
 
-type 'msg ctx = { cfg : cfg; sh : 'msg shard; mutable cself : int }
+type 'msg corrupt_fn =
+  rule:Fault.byz_rule -> equivocate:bool -> src:int -> dst:int -> 'msg -> 'msg
+
+type 'msg ctx = {
+  cfg : cfg;
+  sh : 'msg shard;
+  mutable cself : int;
+  xcorrupt : 'msg corrupt_fn option;
+}
 
 type 'msg t = {
   c : cfg;
@@ -95,6 +108,7 @@ type 'msg t = {
          two phases is the happens-before edge that publishes it *)
   mutable handler : ('msg ctx -> src:int -> 'msg -> unit) option;
   mutable running : bool;
+  corrupt : 'msg corrupt_fn option;
 }
 
 let shard_of c p = if c.nshards = 1 then 0 else (p - 1) * c.nshards / c.n
@@ -124,9 +138,15 @@ let[@dlint.allow
         sh.s_crashes <- sh.s_crashes + 1
       end
     end
-    else if sh.crashed_l.(i) then begin
-      sh.crashed_l.(i) <- false;
-      sh.s_recoveries <- sh.s_recoveries + 1
+    else if kind = 1 then begin
+      if sh.crashed_l.(i) then begin
+        sh.crashed_l.(i) <- false;
+        sh.s_recoveries <- sh.s_recoveries + 1
+      end
+    end
+    else if not sh.byz_l.(i) then begin
+      sh.byz_l.(i) <- true;
+      sh.s_byz <- sh.s_byz + 1
     end
   done
 
@@ -135,8 +155,25 @@ let[@dlint.allow
    arrive at or past the horizon, so they cannot re-enter the current
    window); cross-shard messages are parked in the outbox for the
    destination's next drain. *)
-let enqueue_from c src_sh ~at ~src ~dst pay =
+let enqueue_from c src_sh ~corrupt ~at ~src ~dst pay =
   let i = src - src_sh.lo in
+  (* Byzantine payload rewrite, exactly as in Network.send: pure, keyed
+     on nothing but (rule, equivocate, src, dst, payload), so it neither
+     draws nor depends on the shard layout. *)
+  let pay =
+    if c.byz_active && src_sh.byz_l.(i) then
+      match (corrupt, Fault.byz_rule_of c.faults src) with
+      | Some f, Some rule ->
+          let rewritten =
+            f ~rule ~equivocate:(Fault.equivocates c.faults src) ~src ~dst
+              pay
+          in
+          if rewritten != pay then
+            src_sh.s_corruptions <- src_sh.s_corruptions + 1;
+          rewritten
+      | _ -> pay
+    else pay
+  in
   let q = src_sh.sseq.(i) in
   if q >= max_sseq then failwith "Par: per-source send index overflow";
   src_sh.sseq.(i) <- q + 1;
@@ -161,7 +198,8 @@ let enqueue_from c src_sh ~at ~src ~dst pay =
 
 let send ctx ~dst pay =
   if dst < 1 || dst > ctx.cfg.n then invalid_arg "Par.send: dst out of range";
-  enqueue_from ctx.cfg ctx.sh ~at:ctx.sh.clock.(0) ~src:ctx.cself ~dst pay
+  enqueue_from ctx.cfg ctx.sh ~corrupt:ctx.xcorrupt ~at:ctx.sh.clock.(0)
+    ~src:ctx.cself ~dst pay
 
 let self ctx = ctx.cself
 
@@ -201,6 +239,12 @@ let crashed t p =
   let sh = t.shards.(shard_of t.c p) in
   sh.crashed_l.(p - sh.lo)
 
+let byzantine t p =
+  p >= 1 && p <= t.c.n
+  &&
+  let sh = t.shards.(shard_of t.c p) in
+  sh.byz_l.(p - sh.lo)
+
 let inject t ~src ~dst pay =
   if t.running then failwith "Par.inject: engine is running";
   if src < 1 || src > t.c.n || dst < 1 || dst > t.c.n then
@@ -212,7 +256,7 @@ let inject t ~src ~dst pay =
     (* a crash-stopped processor emits nothing: suppressed before any
        send charge, as in Network.send *)
     sh.s_dropped <- sh.s_dropped + 1
-  else enqueue_from t.c sh ~at ~src ~dst pay
+  else enqueue_from t.c sh ~corrupt:t.corrupt ~at ~src ~dst pay
 
 (* --- Round phases ---------------------------------------------------- *)
 
@@ -432,10 +476,15 @@ let metrics t =
     Array.fold_left (fun a sh -> a + sh.s_recoveries) 0 t.shards
   in
   Metrics.absorb_faults m ~dropped ~duplicated:0 ~crashes ~recoveries;
+  let byzantine = Array.fold_left (fun a sh -> a + sh.s_byz) 0 t.shards in
+  let corruptions =
+    Array.fold_left (fun a sh -> a + sh.s_corruptions) 0 t.shards
+  in
+  Metrics.absorb_byz m ~byzantine ~corruptions;
   m
 
 let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
-    ?(domains = 1) ~n () =
+    ?corrupt ?(domains = 1) ~n () =
   if n < 1 then invalid_arg "Par.create: n must be >= 1";
   if n > max_n then
     invalid_arg "Par.create: n too large for the canonical event key";
@@ -480,6 +529,21 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
       if processor > n then
         invalid_arg "Par.create: fault plan names a processor above n")
     faults.Fault.recovers;
+  List.iter
+    (fun { Fault.processor; trigger } ->
+      (match trigger with
+      | Fault.At _ -> ()
+      | Fault.After _ ->
+          invalid_arg
+            "Par.create: delivery-count triggers (byz:P@#D) need the \
+             global delivery order; use the sequential engine");
+      if processor > n then
+        invalid_arg "Par.create: fault plan names a processor above n")
+    faults.Fault.byz;
+  if faults.Fault.byz_rules <> [] && corrupt = None then
+    invalid_arg
+      "Par.create: fault plan has byzval rules but this protocol supplies \
+       no ?corrupt rewriter";
   let c =
     {
       n;
@@ -490,6 +554,7 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
       faults;
       partitions_active =
         (match faults.Fault.partitions with [] -> false | _ :: _ -> true);
+      byz_active = Fault.byz_active faults;
     }
   in
   let triggers =
@@ -503,6 +568,12 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
       @ List.map
           (fun ({ processor; time } : Fault.recover) -> (time, 1, processor))
           faults.Fault.recovers
+      @ List.map
+          (fun { Fault.processor; trigger } ->
+            match trigger with
+            | Fault.At time -> (time, 2, processor)
+            | Fault.After _ -> assert false)
+          faults.Fault.byz
     in
     List.sort
       (fun (t1, k1, p1) (t2, k2, p2) ->
@@ -532,6 +603,7 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
           s_sent = Array.make len 0;
           s_recv = Array.make len 0;
           crashed_l = Array.make len false;
+          byz_l = Array.make len false;
           tev =
             Array.of_list
               (List.filter (fun (_, _, p) -> p >= lo && p <= hi) triggers);
@@ -539,6 +611,8 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
           s_dropped = 0;
           s_crashes = 0;
           s_recoveries = 0;
+          s_byz = 0;
+          s_corruptions = 0;
           s_deliveries = 0;
           s_events = 0;
           min_pub = infinity;
@@ -550,10 +624,14 @@ let create ?(seed = 0xC0FFEE) ?(delay = Delay.default) ?(faults = Fault.none)
     {
       c;
       shards;
-      ctxs = Array.map (fun sh -> { cfg = c; sh; cself = 0 }) shards;
+      ctxs =
+        Array.map
+          (fun sh -> { cfg = c; sh; cself = 0; xcorrupt = corrupt })
+          shards;
       mail;
       handler = None;
       running = false;
+      corrupt;
     }
   in
   (* "Crashed from the start" (At 0.) applies before any send, as in the

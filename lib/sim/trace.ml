@@ -7,7 +7,7 @@ type event = {
   parent : int;
 }
 
-type fault_kind = Dropped | Duplicated | Crashed | Recovered
+type fault_kind = Dropped | Duplicated | Crashed | Recovered | Turned_byzantine | Corrupted
 
 type fault = { fault_time : float; fault_src : int; fault_dst : int; kind : fault_kind }
 
@@ -56,6 +56,8 @@ let fault_kind_label = function
   | Duplicated -> "duplicated"
   | Crashed -> "crashed"
   | Recovered -> "recovered"
+  | Turned_byzantine -> "byzantine"
+  | Corrupted -> "corrupted"
 
 let duration t =
   if t.count = 0 then 0. else t.events_arr.(t.count - 1).time -. t.start_time

@@ -32,6 +32,10 @@ type fault_kind =
   | Duplicated  (** a spurious extra copy was injected *)
   | Crashed  (** a processor crash-stopped ([fault_src = fault_dst]) *)
   | Recovered  (** a crashed processor rejoined ([fault_src = fault_dst]) *)
+  | Turned_byzantine
+      (** a processor turned adversarial ([fault_src = fault_dst]) *)
+  | Corrupted
+      (** a Byzantine sender's rule rewrote this message's payload *)
 
 type fault = {
   fault_time : float;

@@ -164,6 +164,59 @@ let test_mc_durable_no_cas_stored () =
   check_exit "stored counterexample replays" 0
     "mc --replay data/durable_no_cas_n2.mcs"
 
+let test_mc_byz_property () =
+  (* The corruption adversary splits the guard-stripped control on the
+     very first execution; --property pins the verdict to the agreement
+     invariant specifically. *)
+  let hunt =
+    "mc -c sync-no-threshold -n 4 -s explicit:1 --faults \
+     byz:2@99/byzval:2:off-by-1/byzeq:2 --max-depth 100"
+  in
+  check_exit "hunt finds agreement-violated" 0
+    (hunt ^ " --expect-violation --property agreement-violated");
+  check_exit "--property mismatch = exit 1" 1
+    (hunt ^ " --expect-violation --property values-wrong");
+  check_exit "unknown property name = exit 2" 2
+    (hunt ^ " --expect-violation --property no-such-thing");
+  (* The guarded counter survives the same adversary under a bounded
+     budget. *)
+  check_exit "sync-count survives the same hunt" 0
+    "mc -c sync-count -n 4 -s explicit:1 --faults \
+     byz:2@99/byzval:2:off-by-1/byzeq:2 --max-depth 100 --max-states 4000 \
+     --allow-incomplete --property agreement-violated"
+
+let test_mc_byz_usage_errors () =
+  (* A payload-rewriting plan needs the corruption hook: counters
+     without one are rejected up front, and --all never mixes hooked
+     and hookless counters under one plan. *)
+  check_exit "byzval plan on hookless counter = exit 2" 2
+    "mc -c central -n 3 --faults byz:1@99/byzval:1:max-int";
+  check_exit "--all with byzval plan = exit 2" 2
+    "mc --all -n 3 --faults byz:1@99/byzval:1:max-int"
+
+let test_mc_sync_no_threshold_stored () =
+  (* Regenerate the Byzantine negative control with the Makefile's hunt
+     parameters and compare byte-for-byte against the stored file — the
+     round-3-threshold-is-load-bearing witness. *)
+  let out = Filename.concat tmp "dcount_cli_sync_cx.mcs" in
+  (try Sys.remove out with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      check_exit "corruption adversary splits the control" 0
+        ("mc -c sync-no-threshold -n 4 -s explicit:1 --faults \
+          byz:2@99/byzval:2:off-by-1/byzeq:2 --max-depth 100 \
+          --expect-violation --property agreement-violated \
+          --counterexample-out "
+        ^ Filename.quote out);
+      let slurp p = In_channel.with_open_text p In_channel.input_all in
+      Alcotest.(check string)
+        "canonical bytes match the stored negative control"
+        (slurp "data/sync_no_threshold_n4.mcs")
+        (slurp out));
+  check_exit "stored counterexample replays" 0
+    "mc --replay data/sync_no_threshold_n4.mcs"
+
 (* ------------------------------------------------------------------ *)
 (* dcount chaos *)
 
@@ -235,6 +288,48 @@ let test_chaos_durable () =
         (contains "chaos check (durable): OK");
       Alcotest.(check bool) "no amnesiac recovered= note" false
         (contains "recovered="))
+
+let test_chaos_byz_check () =
+  (* The Byzantine sweep: sync-count must survive every b <= f budget,
+     the guard-stripped control must split at every b >= 1 — both are
+     --check verdicts with exit 0. *)
+  check_exit "sync-count --byz --check" 0
+    "chaos --byz -c sync-count -n 7 --check";
+  check_exit "sync-no-threshold --byz --check" 0
+    "chaos --byz -c sync-no-threshold -n 7 --check"
+
+let test_chaos_byz_usage_errors () =
+  (* Only byz-capable counters accept the sweep; --durable is a
+     different engine entirely. *)
+  check_exit "--byz on a hookless counter = exit 2" 2
+    "chaos --byz -c retire-tree -n 8";
+  check_exit "--byz --durable = exit 2" 2 "chaos --byz --durable -n 4"
+
+let test_chaos_byz_output_shape () =
+  let out = Filename.concat tmp "dcount_cli_chaos_byz.txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Filename.quote dcount
+          ^ " chaos --byz -c sync-count -n 7 --byz-counts 0,2 --check > "
+          ^ Filename.quote out ^ " 2>/dev/null")
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      let s = In_channel.with_open_text out In_channel.input_all in
+      let contains needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "byzantine sweep header" true
+        (contains "chaos sweep (byzantine)");
+      Alcotest.(check bool) "threshold column" true (contains "b<=f");
+      Alcotest.(check bool) "corruption counts reported" true
+        (contains "corrupted=");
+      Alcotest.(check bool) "byzantine check line" true
+        (contains "chaos check (byzantine): OK"))
 
 let test_chaos_output_shape () =
   (* Smoke the stdout contract the docs quote: the check line and the
@@ -426,6 +521,10 @@ let () =
           Alcotest.test_case "durable" `Quick test_mc_durable;
           Alcotest.test_case "durable-no-cas stored" `Quick
             test_mc_durable_no_cas_stored;
+          Alcotest.test_case "byz --property codes" `Quick test_mc_byz_property;
+          Alcotest.test_case "byz usage errors" `Quick test_mc_byz_usage_errors;
+          Alcotest.test_case "sync-no-threshold stored" `Quick
+            test_mc_sync_no_threshold_stored;
         ] );
       ( "chaos",
         [
@@ -433,6 +532,11 @@ let () =
           Alcotest.test_case "plain sweep" `Quick test_chaos_plain_sweep;
           Alcotest.test_case "--recover" `Quick test_chaos_recover;
           Alcotest.test_case "--durable" `Quick test_chaos_durable;
+          Alcotest.test_case "--byz check" `Quick test_chaos_byz_check;
+          Alcotest.test_case "--byz usage errors" `Quick
+            test_chaos_byz_usage_errors;
+          Alcotest.test_case "--byz output shape" `Quick
+            test_chaos_byz_output_shape;
           Alcotest.test_case "output shape" `Quick test_chaos_output_shape;
         ] );
       ( "load",

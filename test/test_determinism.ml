@@ -243,6 +243,52 @@ let test_durable_shard_matrix () =
         checksum (Sim.Metrics.checksum m))
     shard_counts
 
+(* The phase-king Byzantine counter under Fault.none must be as
+   deterministic as everything else: the corruption path is never
+   consulted (zero Rng draws, nothing mixed into the checksum), so the
+   pinned golden must reproduce with and without the empty plan and
+   across every shard count. The golden pins the full load vector of an
+   all-to-all protocol — any change to the three-round phase cadence
+   (an extra vote, a reordered king broadcast) moves it. *)
+let sync_golden =
+  (* n = 7, seed 42, seed-shuffled each-once order. *)
+  (1974, 3948, (1, 584), 1735325893595757405)
+
+let run_sync_metrics ?faults () =
+  let module S = Core.Sync_counter in
+  let n = 7 in
+  let c = S.create ?faults ~n ~seed:42 () in
+  let order = Sim.Rng.permutation (Sim.Rng.create ~seed:42) n in
+  Array.iteri
+    (fun i p ->
+      let v = S.inc c ~origin:(p + 1) in
+      check Alcotest.int (Printf.sprintf "sync: value %d" i) i v)
+    order;
+  S.metrics c
+
+let test_sync_golden () =
+  let msgs, load, bottleneck, checksum = sync_golden in
+  let m = run_sync_metrics () in
+  check Alcotest.int "total messages" msgs (Sim.Metrics.total_messages m);
+  check Alcotest.int "total load" load (Sim.Metrics.total_load m);
+  check
+    Alcotest.(pair int int)
+    "bottleneck" bottleneck (Sim.Metrics.bottleneck m);
+  check Alcotest.int "load-vector checksum" checksum (Sim.Metrics.checksum m);
+  let m' = run_sync_metrics ~faults:Sim.Fault.none () in
+  check Alcotest.int "checksum under Fault.none" checksum
+    (Sim.Metrics.checksum m')
+
+let test_sync_shard_matrix () =
+  let _, _, _, checksum = sync_golden in
+  List.iter
+    (fun s ->
+      let m = Sim.Network.with_shards s (fun () -> run_sync_metrics ()) in
+      check Alcotest.int
+        (Printf.sprintf "sync: golden checksum under %d shards" s)
+        checksum (Sim.Metrics.checksum m))
+    shard_counts
+
 (* The driver-level wiring of the same knob: --sim-domains reports are
    byte-identical for every value. *)
 let test_driver_sim_domains_identical () =
@@ -309,6 +355,9 @@ let () =
           Alcotest.test_case "durable golden" `Quick test_durable_golden;
           Alcotest.test_case "durable bit-identical under 1/2/4/8 shards"
             `Quick test_durable_shard_matrix;
+          Alcotest.test_case "sync-count golden" `Quick test_sync_golden;
+          Alcotest.test_case "sync-count bit-identical under 1/2/4/8 shards"
+            `Quick test_sync_shard_matrix;
           Alcotest.test_case "driver --sim-domains reports identical" `Quick
             test_driver_sim_domains_identical;
         ] );

@@ -254,6 +254,9 @@ let gen_fault =
       store_dup;
       store_slow;
       store_outages;
+      byz = [];
+      byz_rules = [];
+      byz_equiv = [];
     }
 
 let qcheck_delay_round_trip =
